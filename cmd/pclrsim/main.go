@@ -1,0 +1,27 @@
+// Command pclrsim drives the CC-NUMA PCLR simulator on one application.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/workloads"
+)
+
+func main() {
+	app := flag.String("app", "Equake", "application: Euler|Equake|Vml|Charmm|Nbf")
+	nodes := flag.Int("nodes", 16, "node count")
+	scale := flag.Float64("scale", 0.15, "input scale (1 = paper size)")
+	flag.Parse()
+	for _, a := range workloads.PCLRApps() {
+		if a.Name == *app {
+			r := experiments.RunPCLRApp(a, *nodes, *scale)
+			fmt.Print(experiments.FormatFig6([]experiments.PCLRAppResult{r}))
+			return
+		}
+	}
+	fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
+	os.Exit(2)
+}

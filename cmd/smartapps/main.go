@@ -1,0 +1,90 @@
+// Command smartapps regenerates the tables and figures of the paper's
+// evaluation: fig3 (adaptive software reduction selection), table1 (the
+// modeled CC-NUMA architecture), table2 (PCLR application
+// characteristics), fig6 (Sw/Hw/Flex execution-time comparison at 16
+// nodes), fig7 (scalability at 4/8/16 nodes) and rlrpd (the Section 3
+// speculative-parallelization demonstration).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/simarch"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.15, "fraction of the paper's input sizes (caches scale alongside); 1 = full size")
+	flag.Parse()
+	cmd := "all"
+	if flag.NArg() > 0 {
+		cmd = flag.Arg(0)
+	}
+	switch cmd {
+	case "fig3":
+		fig3(*scale)
+	case "table1":
+		table1()
+	case "table2":
+		table2(*scale)
+	case "fig6":
+		fig6(*scale)
+	case "fig7":
+		fig7(*scale)
+	case "rlrpd":
+		rlrpd()
+	case "all":
+		table1()
+		fig3(*scale)
+		table2(*scale)
+		fig6(*scale)
+		fig7(*scale)
+		rlrpd()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q (want fig3|table1|table2|fig6|fig7|rlrpd|all)\n", cmd)
+		os.Exit(2)
+	}
+}
+
+func fig3(scale float64) {
+	fmt.Println("== Figure 3: adaptive reduction algorithm selection (8 processors) ==")
+	sc := experiments.DefaultFig3Scale()
+	sc.Dense = scale
+	if sc.Sparse < scale {
+		sc.Sparse = scale
+	}
+	fmt.Print(experiments.FormatFig3(experiments.RunFig3(sc)))
+	fmt.Println()
+}
+
+func table1() {
+	fmt.Println("== Table 1: modeled CC-NUMA architecture ==")
+	fmt.Print(simarch.DefaultConfig(16).FormatTable1())
+	fmt.Println()
+}
+
+func table2(scale float64) {
+	fmt.Println("== Table 2: application characteristics (16-node PCLR simulation) ==")
+	fmt.Print(experiments.FormatTable2(experiments.RunPCLRApps(16, scale)))
+	fmt.Println()
+}
+
+func fig6(scale float64) {
+	fmt.Println("== Figure 6: execution time under Sw / Hw / Flex, 16 nodes ==")
+	fmt.Print(experiments.FormatFig6(experiments.RunPCLRApps(16, scale)))
+	fmt.Println()
+}
+
+func rlrpd() {
+	fmt.Println("== Section 3: Recursive LRPD on a TRACK-like partially parallel loop (8 processors) ==")
+	fmt.Print(experiments.FormatRLRPD(experiments.RunRLRPD(4000, 8)))
+	fmt.Println()
+}
+
+func fig7(scale float64) {
+	fmt.Println("== Figure 7: speedup scalability (harmonic mean over the 5 applications) ==")
+	fmt.Print(experiments.FormatFig7(experiments.RunFig7(scale)))
+	fmt.Println()
+}

@@ -1,0 +1,39 @@
+// Equake's smvp reduction loop on the simulated 16-node CC-NUMA machine:
+// software-only replicated arrays (Sw) versus PCLR with hardwired (Hw)
+// and programmable (Flex) directory controllers — the paper's Figure 6
+// experiment for one application.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/simarch"
+	"repro/internal/workloads"
+)
+
+func main() {
+	app := workloads.PCLRApps()[1] // Equake
+	loop := app.Generate(0.2)
+	cfg := simarch.DefaultConfig(16)
+	cfg.L1Bytes = cfg.L1Bytes / 5
+	cfg.L2Bytes = cfg.L2Bytes / 5 // caches scale with the data
+
+	seq := machine.RunSequential(cfg, loop)
+	sw := machine.New(cfg).RunSw(loop)
+	hw, err := machine.New(cfg).RunPCLR(loop, simarch.Hardwired)
+	if err != nil {
+		panic(err)
+	}
+	flex, err := machine.New(cfg).RunPCLR(loop, simarch.Programmable)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("%s/%s on 16 nodes (scale 0.2)\n", app.Name, app.LoopName)
+	fmt.Printf("sequential: %.0f cycles\n", seq.Breakdown.Total())
+	fmt.Printf("Sw:   %v  speedup %.1f (paper %.1f)\n", sw.Breakdown, seq.Breakdown.Total()/sw.Breakdown.Total(), app.PaperSpeedupSw)
+	fmt.Printf("Hw:   %v  speedup %.1f (paper %.1f)\n", hw.Breakdown, seq.Breakdown.Total()/hw.Breakdown.Total(), app.PaperSpeedupHw)
+	fmt.Printf("Flex: %v  speedup %.1f (paper %.1f)\n", flex.Breakdown, seq.Breakdown.Total()/flex.Breakdown.Total(), app.PaperSpeedupFlex)
+	fmt.Printf("PCLR lines displaced: %d, flushed: %d\n", hw.Stats.LinesDisplaced, hw.Stats.LinesFlushed)
+}

@@ -1,0 +1,44 @@
+// Speculative parallelization of a partially parallel loop with the
+// Recursive LRPD test (Section 3): plain speculation fails outright, but
+// R-LRPD commits the correct prefix each pass and re-executes only the
+// remainder, extracting the available parallelism.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/spec"
+)
+
+func main() {
+	const iters = 3000
+	rng := rand.New(rand.NewSource(9))
+	l := spec.NewLoop(iters + 1)
+	for i := 0; i < iters; i++ {
+		accs := []spec.Access{
+			{Elem: int32(i), Kind: spec.Read},
+			{Elem: int32(i), Kind: spec.Write},
+		}
+		if i > 0 && rng.Float64() < 0.03 { // 3% of iterations depend on a recent one
+			back := 1 + rng.Intn(8)
+			accs = append(accs, spec.Access{Elem: int32(i - back), Kind: spec.Read})
+		}
+		l.AddIter(accs...)
+	}
+
+	init := make([]float64, l.NumElems)
+	if res := l.LRPD(init, 8); !res.Passed {
+		fmt.Printf("plain LRPD: dependence detected at iteration %d -> loop is not DOALL\n", res.FirstDependence)
+	}
+	got, st := l.RLRPD(init, 8)
+	want := l.RunSequential(init)
+	for i := range want {
+		if d := got[i] - want[i]; d > 1e-9 || d < -1e-9 {
+			panic("R-LRPD result mismatch")
+		}
+	}
+	fmt.Printf("R-LRPD: %d passes, %.2fx iteration replication, estimated speedup %.1f on 8 processors\n",
+		st.Passes, float64(st.IterationsExecuted)/iters, st.SpeedupEstimate(iters, 8))
+	fmt.Println("result verified against sequential execution")
+}

@@ -1,0 +1,222 @@
+// Package adapt implements Section 4's adaptive reduction-algorithm
+// selection: a decision algorithm that maps a measured access-pattern
+// profile (package pattern) to the reduction scheme that best matches it,
+// and a measurement harness that ranks all library schemes by simulated
+// execution time so the recommendation can be validated the way the
+// paper's Figure 3 does ("Recommended scheme" column vs. the measured
+// ordering in the "Experimental Result" column).
+package adapt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pattern"
+	"repro/internal/reduction"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// Thresholds are the decision algorithm's tunable cut-points. The paper
+// characterizes each scheme's sweet spot qualitatively; these constants
+// quantify them and are exercised by the ablation benchmarks (DESIGN.md
+// D4). The defaults reproduce all twenty "Recommended scheme" entries of
+// the paper's Figure 3.
+type Thresholds struct {
+	// HashMaxSP is the sparsity (percent) below which hash tables are
+	// considered: "the very sparse nature of the references" (Spice is
+	// 0.14–0.2%).
+	HashMaxSP float64
+	// HashMinMO is the minimum mobility for hash: very sparse patterns
+	// with low mobility are served equally well by sel without hashing
+	// overhead (Irreg's largest input has SP 0.25% but MO 2 and the paper
+	// recommends sel there).
+	HashMinMO float64
+	// RepMinCHR is the contention ratio above which full replication is
+	// on the table (enough references to amortize whole-array sweeps).
+	RepMinCHR float64
+	// RepMaxDIM is the largest array-to-cache ratio for which replicated
+	// arrays stay cache-resident enough to win; above it, local write
+	// avoids the private copies entirely.
+	RepMaxDIM float64
+	// LLMinCHR is the contention ratio above which lazy replicated
+	// buffers beat selective privatization (below RepMinCHR).
+	LLMinCHR float64
+	// LLMaxDIM / LLMinSP admit ll in the low-CHR regime: a small array
+	// densely touched (Nbf's smallest input) still favors ll over sel.
+	LLMaxDIM float64
+	LLMinSP  float64
+}
+
+// DefaultThresholds returns the calibrated decision points.
+func DefaultThresholds() Thresholds {
+	// RepMinCHR and LLMinCHR are centered between the closest Figure 3
+	// rows on either side of each boundary (Moldyn's 0.36 vs 0.33 around
+	// RepMinCHR; Moldyn's 0.29 vs Irreg's 0.26 around LLMinCHR), which
+	// maximizes their perturbation margins (~±4–5%).
+	return Thresholds{
+		HashMaxSP: 0.5,
+		HashMinMO: 8,
+		RepMinCHR: 0.345,
+		RepMaxDIM: 2.0,
+		LLMinCHR:  0.275,
+		LLMaxDIM:  0.5,
+		LLMinSP:   5.0,
+	}
+}
+
+// Recommendation is the decision algorithm's output.
+type Recommendation struct {
+	// Scheme is the paper abbreviation of the selected algorithm.
+	Scheme string
+	// Why is a one-line human-readable rationale.
+	Why string
+}
+
+// Recommend runs the paper's decision algorithm on a measured profile
+// using the default thresholds.
+func Recommend(p *pattern.Profile) Recommendation {
+	return RecommendWith(p, DefaultThresholds())
+}
+
+// RecommendWith runs the decision algorithm with explicit thresholds.
+//
+// The rule structure follows the paper's taxonomy: extreme sparsity with
+// high mobility selects hash; high contention ratio selects a replicated
+// scheme (full replication while the array is cache-scaled, local write
+// once private copies would be too large); moderate contention selects
+// the lazy replicated buffer; everything else — large, sparsely and
+// irregularly referenced arrays — selects selective privatization.
+func RecommendWith(p *pattern.Profile, t Thresholds) Recommendation {
+	switch {
+	case p.SP < t.HashMaxSP && p.MO > t.HashMinMO:
+		return Recommendation{"hash", fmt.Sprintf("very sparse (SP=%.2f%% < %.2f%%) with high mobility (MO=%.1f): private hash tables shrink the processed space", p.SP, t.HashMaxSP, p.MO)}
+	case p.CHR >= t.RepMinCHR && p.DIM <= t.RepMaxDIM:
+		return Recommendation{"rep", fmt.Sprintf("high contention (CHR=%.2f) and cache-scaled array (DIM=%.2f): replicated arrays amortize their sweeps", p.CHR, p.DIM)}
+	case p.CHR >= t.RepMinCHR:
+		return Recommendation{"lw", fmt.Sprintf("high contention (CHR=%.2f) but large array (DIM=%.2f): owner-computes avoids private copies", p.CHR, p.DIM)}
+	case p.CHR >= t.LLMinCHR:
+		return Recommendation{"ll", fmt.Sprintf("moderate contention (CHR=%.2f): lazy replicated buffers skip the full-array sweeps", p.CHR)}
+	case p.DIM <= t.LLMaxDIM && p.SP >= t.LLMinSP:
+		return Recommendation{"ll", fmt.Sprintf("small array (DIM=%.2f) densely touched (SP=%.1f%%): lazy buffers win despite low CHR", p.DIM, p.SP)}
+	default:
+		return Recommendation{"sel", fmt.Sprintf("low contention (CHR=%.2f) over a large/sparse array (DIM=%.2f, SP=%.2f%%): privatize only conflicting elements", p.CHR, p.DIM, p.SP)}
+	}
+}
+
+// Measured is one scheme's simulated performance on a loop instance.
+type Measured struct {
+	// Scheme is the paper abbreviation.
+	Scheme string
+	// Breakdown is the Init/Loop/Merge virtual-time split.
+	Breakdown stats.Breakdown
+	// Speedup is sequential virtual time / parallel virtual time.
+	Speedup float64
+}
+
+// SimulateSequential charges the loop's sequential execution (direct
+// updates into the shared array, no privatization) on a one-processor
+// virtual machine and returns its virtual time.
+func SimulateSequential(l *trace.Loop, cfg vtime.Config) float64 {
+	m := vtime.NewMachine(1, cfg)
+	const (
+		sharedW = int64(1)<<20 + 7*64
+		sharedX = int64(1)<<32 + 37*64
+	)
+	m.Serial(func(cpu *vtime.CPU) {
+		pos := 0
+		for i := 0; i < l.NumIters(); i++ {
+			refs := l.Iter(i)
+			cpu.Compute(l.WorkPerIter)
+			for k := range refs {
+				cpu.Load(sharedX + int64(pos+k)*4)
+			}
+			pos += len(refs)
+			for _, idx := range refs {
+				addr := sharedW + int64(idx)*8
+				cpu.Load(addr)
+				cpu.Compute(1)
+				cpu.Store(addr)
+			}
+		}
+	})
+	return m.Now()
+}
+
+// Rank simulates every scheme in the library on a procs-processor virtual
+// machine and returns them sorted by ascending virtual time (best first),
+// with speedups relative to the sequential execution.
+func Rank(l *trace.Loop, procs int, cfg vtime.Config) []Measured {
+	seq := SimulateSequential(l, cfg)
+	out := make([]Measured, 0, len(reduction.All()))
+	for _, s := range reduction.All() {
+		m := vtime.NewMachine(procs, cfg)
+		m.EnableSharingTracking()
+		b := s.Simulate(l, m)
+		out = append(out, Measured{
+			Scheme:    s.Name(),
+			Breakdown: b,
+			Speedup:   stats.Speedup(seq, b.Total()),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Breakdown.Total() < out[j].Breakdown.Total()
+	})
+	return out
+}
+
+// Order formats a ranking the way Figure 3's "Experimental Result" column
+// does: scheme names in decreasing speedup order separated by " > ".
+func Order(ms []Measured) string {
+	s := ""
+	for i, m := range ms {
+		if i > 0 {
+			s += " > "
+		}
+		s += m.Scheme
+	}
+	return s
+}
+
+// Selection is the full output of adaptive selection on a loop instance.
+type Selection struct {
+	Profile        *pattern.Profile
+	Recommendation Recommendation
+	Ranking        []Measured
+	// Hit reports whether the recommended scheme was also the fastest in
+	// the measured ranking.
+	Hit bool
+}
+
+// Select characterizes the loop, runs the decision algorithm, measures
+// all schemes and reports whether the recommendation hit the measured
+// optimum. This is the whole Section 4 pipeline in one call, and the unit
+// the SmartApps runtime (package core) invokes when a reduction loop's
+// pattern changes.
+func Select(l *trace.Loop, procs int, cfg vtime.Config) Selection {
+	if cfg.LineBytes == 0 {
+		cfg = vtime.DefaultConfig()
+	}
+	prof := pattern.Characterize(l, procs, cfg.L2Bytes)
+	rec := Recommend(prof)
+	rank := Rank(l, procs, cfg)
+	return Selection{
+		Profile:        prof,
+		Recommendation: rec,
+		Ranking:        rank,
+		Hit:            len(rank) > 0 && rank[0].Scheme == rec.Scheme,
+	}
+}
+
+// SchemeFor returns the runnable Scheme for a recommendation, so callers
+// can execute the selected algorithm for real.
+func SchemeFor(rec Recommendation) reduction.Scheme {
+	s, err := reduction.ByName(rec.Scheme)
+	if err != nil {
+		// The decision algorithm only emits library names; reaching this
+		// is a programming error.
+		panic(err)
+	}
+	return s
+}

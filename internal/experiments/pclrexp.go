@@ -1,0 +1,200 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/pclr"
+	"repro/internal/simarch"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// PCLRAppResult is one application's simulated outcome under the three
+// schemes of Figure 6 on one machine size.
+type PCLRAppResult struct {
+	App   workloads.PCLRApp
+	Nodes int
+	Scale float64
+
+	SeqCycles float64
+	Sw        stats.Breakdown
+	Hw        stats.Breakdown
+	Flex      stats.Breakdown
+	// HwStats carries Table 2's protocol counters from the Hw run.
+	HwStats pclr.Stats
+
+	SpeedupSw, SpeedupHw, SpeedupFlex float64
+}
+
+// pclrConfig returns the Table 1 machine scaled like the workloads: cache
+// capacity shrinks with the data so displacement/flush regimes survive
+// reduced-scale runs.
+func pclrConfig(nodes int, scale float64) simarch.Config {
+	cfg := simarch.DefaultConfig(nodes)
+	cfg.L1Bytes = scaleCache(cfg.L1Bytes, scale)
+	cfg.L2Bytes = scaleCache(cfg.L2Bytes, scale)
+	return cfg
+}
+
+// RunPCLRApp simulates one application at the given machine size/scale.
+// Applications whose loops are already small (Vml) get a floor on the
+// effective scale so that fixed per-run overheads (the ConfigHardware
+// call, flush tails) are not artificially magnified.
+func RunPCLRApp(app workloads.PCLRApp, nodes int, scale float64) PCLRAppResult {
+	if minIters := 3000.0; float64(app.Iters)*scale < minIters {
+		scale = minIters / float64(app.Iters)
+		if scale > 1 {
+			scale = 1
+		}
+	}
+	l := app.Generate(scale)
+	cfg := pclrConfig(nodes, scale)
+
+	seq := machine.RunSequential(cfg, l)
+	sw := machine.New(cfg).RunSw(l)
+	hw, err := machine.New(cfg).RunPCLR(l, simarch.Hardwired)
+	if err != nil {
+		panic(err) // all Table 2 apps use FP add, which PCLR supports
+	}
+	flex, err := machine.New(cfg).RunPCLR(l, simarch.Programmable)
+	if err != nil {
+		panic(err)
+	}
+
+	r := PCLRAppResult{
+		App: app, Nodes: nodes, Scale: scale,
+		SeqCycles: seq.Breakdown.Total(),
+		Sw:        sw.Breakdown, Hw: hw.Breakdown, Flex: flex.Breakdown,
+		HwStats: hw.Stats,
+	}
+	r.SpeedupSw = stats.Speedup(r.SeqCycles, r.Sw.Total())
+	r.SpeedupHw = stats.Speedup(r.SeqCycles, r.Hw.Total())
+	r.SpeedupFlex = stats.Speedup(r.SeqCycles, r.Flex.Total())
+	return r
+}
+
+// RunPCLRApps simulates all five Table 2 applications on a nodes-node
+// machine (16 in the paper).
+func RunPCLRApps(nodes int, scale float64) []PCLRAppResult {
+	apps := workloads.PCLRApps()
+	out := make([]PCLRAppResult, 0, len(apps))
+	for _, a := range apps {
+		out = append(out, RunPCLRApp(a, nodes, scale))
+	}
+	return out
+}
+
+// FormatTable2 renders the application characteristics table with the
+// measured lines flushed/displaced next to the paper's (16-processor
+// simulation, single loop). Counts scale roughly linearly with the run
+// scale, so the paper columns are shown scaled for comparison.
+func FormatTable2(results []PCLRAppResult) string {
+	header := []string{"Appl.", "%Tseq", "Invoc.", "Iters", "Instr/it", "RedOps/it", "ArrayKB",
+		"Flushed", "(paper*s)", "Displaced", "(paper*s)"}
+	rows := make([][]string, 0, len(results))
+	var fl, dis, itSum, inSum, roSum, akSum float64
+	for _, r := range results {
+		a := r.App
+		s := r.Scale
+		rows = append(rows, []string{
+			a.Name + "/" + a.LoopName,
+			fmt.Sprintf("%.1f", a.PctTseq),
+			fmt.Sprintf("%d", a.Invocations),
+			fmt.Sprintf("%d", a.Iters),
+			fmt.Sprintf("%.0f", a.InstrPerIter),
+			fmt.Sprintf("%d", a.RedOpsPerIter),
+			fmt.Sprintf("%.1f", a.ArrayKB),
+			fmt.Sprintf("%d", r.HwStats.LinesFlushed),
+			fmt.Sprintf("%.0f", float64(a.PaperLinesFlushed)*s),
+			fmt.Sprintf("%d", r.HwStats.LinesDisplaced),
+			fmt.Sprintf("%.0f", float64(a.PaperLinesDisplaced)*s),
+		})
+		fl += float64(r.HwStats.LinesFlushed)
+		dis += float64(r.HwStats.LinesDisplaced)
+		itSum += float64(a.Iters)
+		inSum += a.InstrPerIter
+		roSum += float64(a.RedOpsPerIter)
+		akSum += a.ArrayKB
+	}
+	n := float64(len(results))
+	rows = append(rows, []string{"Average", "", "", fmt.Sprintf("%.0f", itSum/n),
+		fmt.Sprintf("%.0f", inSum/n), fmt.Sprintf("%.0f", roSum/n), fmt.Sprintf("%.1f", akSum/n),
+		fmt.Sprintf("%.0f", fl/n), "", fmt.Sprintf("%.0f", dis/n), ""})
+	return stats.FormatTable(header, rows)
+}
+
+// FormatFig6 renders the execution-time comparison of Figure 6: per
+// application, the Sw/Hw/Flex bars broken into Init/Loop/Merge and
+// normalized to Sw, with speedups vs sequential above each bar.
+func FormatFig6(results []PCLRAppResult) string {
+	header := []string{"Appl.", "Scheme", "Init", "Loop", "Merge", "Total(norm)", "Speedup", "PaperSpeedup"}
+	rows := make([][]string, 0, 3*len(results))
+	var spSw, spHw, spFlex []float64
+	for _, r := range results {
+		ref := r.Sw.Total()
+		add := func(name string, b stats.Breakdown, sp, paper float64) {
+			n := b.Normalized(ref)
+			rows = append(rows, []string{
+				r.App.Name, name,
+				fmt.Sprintf("%.3f", n.Init), fmt.Sprintf("%.3f", n.Loop), fmt.Sprintf("%.3f", n.Merge),
+				fmt.Sprintf("%.3f", n.Total()),
+				fmt.Sprintf("%.1f", sp), fmt.Sprintf("%.1f", paper),
+			})
+		}
+		add("Sw", r.Sw, r.SpeedupSw, r.App.PaperSpeedupSw)
+		add("Hw", r.Hw, r.SpeedupHw, r.App.PaperSpeedupHw)
+		add("Flex", r.Flex, r.SpeedupFlex, r.App.PaperSpeedupFlex)
+		spSw = append(spSw, r.SpeedupSw)
+		spHw = append(spHw, r.SpeedupHw)
+		spFlex = append(spFlex, r.SpeedupFlex)
+	}
+	out := stats.FormatTable(header, rows)
+	out += fmt.Sprintf("\nharmonic means: Sw=%.1f (paper 2.7)  Hw=%.1f (paper 7.6)  Flex=%.1f (paper 6.4)\n",
+		stats.HarmonicMean(spSw), stats.HarmonicMean(spHw), stats.HarmonicMean(spFlex))
+	return out
+}
+
+// Fig7Point is one machine size's harmonic-mean speedups.
+type Fig7Point struct {
+	Procs        int
+	Sw, Hw, Flex float64
+	PerAppSw     []float64
+	PerAppHw     []float64
+	PerAppFlex   []float64
+}
+
+// RunFig7 sweeps machine sizes 4, 8, 16 as the paper's Figure 7 does.
+func RunFig7(scale float64) []Fig7Point {
+	var points []Fig7Point
+	for _, procs := range []int{4, 8, 16} {
+		results := RunPCLRApps(procs, scale)
+		var p Fig7Point
+		p.Procs = procs
+		for _, r := range results {
+			p.PerAppSw = append(p.PerAppSw, r.SpeedupSw)
+			p.PerAppHw = append(p.PerAppHw, r.SpeedupHw)
+			p.PerAppFlex = append(p.PerAppFlex, r.SpeedupFlex)
+		}
+		p.Sw = stats.HarmonicMean(p.PerAppSw)
+		p.Hw = stats.HarmonicMean(p.PerAppHw)
+		p.Flex = stats.HarmonicMean(p.PerAppFlex)
+		points = append(points, p)
+	}
+	return points
+}
+
+// FormatFig7 renders the scalability series of Figure 7.
+func FormatFig7(points []Fig7Point) string {
+	header := []string{"Procs", "Hw", "Flex", "Sw"}
+	rows := make([][]string, 0, len(points))
+	for _, p := range points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.Procs),
+			fmt.Sprintf("%.1f", p.Hw), fmt.Sprintf("%.1f", p.Flex), fmt.Sprintf("%.1f", p.Sw),
+		})
+	}
+	out := stats.FormatTable(header, rows)
+	out += "\npaper at 16 procs: Hw 7.6, Flex 6.4, Sw 2.7; Hw/Flex scale, Sw flattens (merge is Amdahl-bound)\n"
+	return out
+}

@@ -1,0 +1,130 @@
+package inspector
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/spec"
+)
+
+func initArray(n int) []float64 {
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = float64(i%7) * 0.5
+	}
+	return a
+}
+
+func TestWavefrontsIndependentLoop(t *testing.T) {
+	l := spec.NewLoop(16)
+	for i := 0; i < 8; i++ {
+		l.AddIter(spec.Access{Elem: int32(i), Kind: spec.Write})
+	}
+	fronts := Wavefronts(l)
+	if len(fronts) != 1 || len(fronts[0]) != 8 {
+		t.Fatalf("independent loop should be one wavefront of 8, got %v", fronts)
+	}
+	if p := Parallelism(fronts); p != 8 {
+		t.Errorf("parallelism = %g, want 8", p)
+	}
+}
+
+func TestWavefrontsChain(t *testing.T) {
+	// i reads i-1's output: a full chain -> one iteration per front.
+	l := spec.NewLoop(10)
+	l.AddIter(spec.Access{Elem: 0, Kind: spec.Write})
+	for i := 1; i < 9; i++ {
+		l.AddIter(
+			spec.Access{Elem: int32(i - 1), Kind: spec.Read},
+			spec.Access{Elem: int32(i), Kind: spec.Write},
+		)
+	}
+	fronts := Wavefronts(l)
+	if len(fronts) != 9 {
+		t.Fatalf("chain of 9 should give 9 wavefronts, got %d", len(fronts))
+	}
+	for lv, f := range fronts {
+		if len(f) != 1 || f[0] != lv {
+			t.Errorf("front %d = %v", lv, f)
+		}
+	}
+}
+
+func TestWavefrontsDiamond(t *testing.T) {
+	// it0 writes A; it1 and it2 read A (independent of each other);
+	// it3 reads both their outputs.
+	l := spec.NewLoop(8)
+	l.AddIter(spec.Access{Elem: 0, Kind: spec.Write})
+	l.AddIter(spec.Access{Elem: 0, Kind: spec.Read}, spec.Access{Elem: 1, Kind: spec.Write})
+	l.AddIter(spec.Access{Elem: 0, Kind: spec.Read}, spec.Access{Elem: 2, Kind: spec.Write})
+	l.AddIter(spec.Access{Elem: 1, Kind: spec.Read}, spec.Access{Elem: 2, Kind: spec.Read}, spec.Access{Elem: 3, Kind: spec.Write})
+	fronts := Wavefronts(l)
+	if len(fronts) != 3 {
+		t.Fatalf("diamond should give 3 levels, got %d: %v", len(fronts), fronts)
+	}
+	if len(fronts[1]) != 2 {
+		t.Errorf("middle front should hold 2 iterations, got %v", fronts[1])
+	}
+}
+
+func TestExecuteWavefrontsMatchesSequential(t *testing.T) {
+	l := spec.NewLoop(32)
+	// A mix: independent updates plus some chains.
+	for i := 0; i < 20; i++ {
+		if i%5 == 4 {
+			l.AddIter(
+				spec.Access{Elem: int32(i - 1), Kind: spec.Read},
+				spec.Access{Elem: int32(i), Kind: spec.Write},
+			)
+		} else {
+			l.AddIter(
+				spec.Access{Elem: int32(i), Kind: spec.Read},
+				spec.Access{Elem: int32(i), Kind: spec.Write},
+			)
+		}
+	}
+	init := initArray(32)
+	want := l.RunSequential(init)
+	for _, procs := range []int{1, 2, 4} {
+		got := ExecuteWavefronts(l, init, procs)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("procs=%d element %d: %g vs %g", procs, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestQuickWavefrontExecutionCorrect(t *testing.T) {
+	f := func(pat []uint8) bool {
+		l := spec.NewLoop(16)
+		for j := 0; j+1 < len(pat); j += 2 {
+			l.AddIter(
+				spec.Access{Elem: int32(pat[j] % 16), Kind: spec.Read},
+				spec.Access{Elem: int32(pat[j+1] % 16), Kind: spec.Write},
+			)
+		}
+		if l.NumIters() == 0 {
+			return true
+		}
+		init := initArray(16)
+		want := l.RunSequential(init)
+		got := ExecuteWavefronts(l, init, 3)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParallelismEmpty(t *testing.T) {
+	if Parallelism(nil) != 1 {
+		t.Error("empty fronts parallelism should be 1")
+	}
+}

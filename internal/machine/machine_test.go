@@ -1,0 +1,245 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/simarch"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func smallLoop(dim, iters, mo int, locality float64, seed int64) *trace.Loop {
+	return workloads.Generate("t", workloads.PatternSpec{
+		Dim: dim, SPPercent: 90, CHR: float64(iters*mo) / (16 * float64(dim)),
+		CHRProcs: 16, MO: mo, Locality: locality, Work: 50, Seed: seed,
+	}, 1)
+}
+
+func TestPCLRFunctionalCorrectness(t *testing.T) {
+	// The headline protocol property: neutral-element fill on miss +
+	// background combining on displacement + final flush reproduces the
+	// sequential reduction exactly. Small caches force many displacements
+	// so the background path is genuinely exercised.
+	l := smallLoop(4096, 6000, 3, 0.5, 11)
+	want := l.RunSequential()
+
+	cfg := simarch.DefaultConfig(4)
+	cfg.L1Bytes = 2 << 10 // tiny caches: constant displacement traffic
+	cfg.L2Bytes = 8 << 10
+	m := New(cfg)
+	m.TrackValues = true
+	res, err := m.RunPCLR(l, simarch.Hardwired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.LinesDisplaced == 0 {
+		t.Fatal("test must exercise displacement combining; got none")
+	}
+	if res.Stats.LinesFlushed == 0 {
+		t.Fatal("flush must find resident reduction lines")
+	}
+	for i := range want {
+		if math.Abs(res.Check[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("element %d: PCLR %g vs sequential %g", i, res.Check[i], want[i])
+		}
+	}
+}
+
+func TestPCLRFunctionalWithMax(t *testing.T) {
+	l := smallLoop(1024, 3000, 2, 0.4, 7)
+	l.Op = trace.OpMax
+	want := l.RunSequential()
+	cfg := simarch.DefaultConfig(4)
+	cfg.L1Bytes = 2 << 10
+	cfg.L2Bytes = 8 << 10
+	m := New(cfg)
+	m.TrackValues = true
+	res, err := m.RunPCLR(l, simarch.Programmable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if res.Check[i] != want[i] {
+			t.Fatalf("max reduction: element %d PCLR %g vs %g", i, res.Check[i], want[i])
+		}
+	}
+}
+
+func TestPCLRRejectsMultiply(t *testing.T) {
+	// The directory execution units implement add and compare only; a
+	// multiplicative reduction must be rejected, as Section 5.1.3 argues.
+	l := smallLoop(256, 100, 1, 0.5, 3)
+	l.Op = trace.OpMul
+	m := New(simarch.DefaultConfig(4))
+	if _, err := m.RunPCLR(l, simarch.Hardwired); err == nil {
+		t.Fatal("PCLR must reject FP multiply reductions")
+	}
+}
+
+func TestPCLREliminatesInitAndShrinksMerge(t *testing.T) {
+	// Figure 6's qualitative claim: Sw pays Init and Merge sweeps; PCLR
+	// has no Init sweep (only the config call) and a flush bounded by
+	// cache size rather than array size.
+	l := smallLoop(60000, 40000, 4, 0.85, 5)
+	cfg := simarch.DefaultConfig(16)
+
+	sw := New(cfg).RunSw(l)
+	hw, err := New(cfg).RunPCLR(l, simarch.Hardwired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw.Breakdown.Init >= sw.Breakdown.Init/10 {
+		t.Errorf("PCLR Init (%g) should be tiny vs Sw Init (%g)", hw.Breakdown.Init, sw.Breakdown.Init)
+	}
+	if hw.Breakdown.Merge >= sw.Breakdown.Merge {
+		t.Errorf("PCLR flush (%g) should beat Sw merge (%g)", hw.Breakdown.Merge, sw.Breakdown.Merge)
+	}
+	if hw.Breakdown.Total() >= sw.Breakdown.Total() {
+		t.Errorf("PCLR total (%g) should beat Sw total (%g)", hw.Breakdown.Total(), sw.Breakdown.Total())
+	}
+}
+
+func TestHwBeatsFlexBeatsSw(t *testing.T) {
+	l := smallLoop(60000, 40000, 4, 0.85, 9)
+	cfg := simarch.DefaultConfig(16)
+	sw := New(cfg).RunSw(l)
+	hw, err := New(cfg).RunPCLR(l, simarch.Hardwired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flex, err := New(cfg).RunPCLR(l, simarch.Programmable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tHw, tFlex, tSw := hw.Breakdown.Total(), flex.Breakdown.Total(), sw.Breakdown.Total()
+	if !(tHw <= tFlex && tFlex <= tSw) {
+		t.Errorf("expected Hw <= Flex <= Sw, got %g / %g / %g", tHw, tFlex, tSw)
+	}
+}
+
+func TestSwMergeDoesNotScale(t *testing.T) {
+	// Figure 7's explanation: the Sw merge step's per-processor work is
+	// constant in P (each processor reads the whole array across copies),
+	// so merge time does not decrease with more processors.
+	l := smallLoop(40000, 30000, 2, 0.9, 13)
+	m4 := New(simarch.DefaultConfig(4)).RunSw(l)
+	m16 := New(simarch.DefaultConfig(16)).RunSw(l)
+	if m16.Breakdown.Merge < m4.Breakdown.Merge*0.8 {
+		t.Errorf("Sw merge should not shrink with P: 4p=%g 16p=%g",
+			m4.Breakdown.Merge, m16.Breakdown.Merge)
+	}
+	// The loop phase, in contrast, must scale.
+	if m16.Breakdown.Loop > m4.Breakdown.Loop*0.5 {
+		t.Errorf("Sw loop should scale with P: 4p=%g 16p=%g",
+			m4.Breakdown.Loop, m16.Breakdown.Loop)
+	}
+}
+
+func TestPCLRScales(t *testing.T) {
+	l := smallLoop(40000, 30000, 2, 0.9, 17)
+	seq := RunSequential(simarch.DefaultConfig(16), l).Breakdown.Total()
+	var prev float64
+	for _, p := range []int{4, 8, 16} {
+		res, err := New(simarch.DefaultConfig(p)).RunPCLR(l, simarch.Hardwired)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := seq / res.Breakdown.Total()
+		if sp <= prev {
+			t.Errorf("PCLR speedup must grow with P: at %dp speedup %.2f (prev %.2f)", p, sp, prev)
+		}
+		prev = sp
+	}
+	if prev < 4 {
+		t.Errorf("16-processor PCLR speedup %.2f is implausibly low", prev)
+	}
+}
+
+func TestFlushedBoundedByCache(t *testing.T) {
+	// "The work is at worst proportional to the size of the cache,
+	// rather than to the size of the shared array."
+	l := smallLoop(200000, 50000, 2, 0.2, 19)
+	cfg := simarch.DefaultConfig(4)
+	m := New(cfg)
+	res, err := m.RunPCLR(l, simarch.Hardwired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheLines := (cfg.L1Bytes + cfg.L2Bytes) / cfg.LineBytes
+	if res.Stats.LinesFlushed > cfg.Nodes*cacheLines {
+		t.Errorf("flushed %d lines exceeds aggregate cache capacity %d",
+			res.Stats.LinesFlushed, cfg.Nodes*cacheLines)
+	}
+}
+
+func TestSmallArrayNoDisplacement(t *testing.T) {
+	// A Vml-sized array (fits every cache) must displace nothing — the
+	// paper's Table 2 reports 0 displaced lines for Vml.
+	l := smallLoop(5000, 4929, 6, 0.8, 21)
+	m := New(simarch.DefaultConfig(16))
+	res, err := m.RunPCLR(l, simarch.Hardwired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.LinesDisplaced != 0 {
+		t.Errorf("small array displaced %d lines, want 0", res.Stats.LinesDisplaced)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	l := smallLoop(10000, 8000, 2, 0.7, 23)
+	run := func() (float64, int) {
+		m := New(simarch.DefaultConfig(8))
+		res, err := m.RunPCLR(l, simarch.Hardwired)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Breakdown.Total(), res.Stats.LinesDisplaced
+	}
+	t1, d1 := run()
+	t2, d2 := run()
+	if t1 != t2 || d1 != d2 {
+		t.Errorf("simulation must be deterministic: %g/%d vs %g/%d", t1, d1, t2, d2)
+	}
+}
+
+func TestShadowAddressCodecInMachine(t *testing.T) {
+	addr := wBase + 12345*8
+	if got := pclrRoundTrip(addr); got != addr {
+		t.Errorf("shadow round trip %d -> %d", addr, got)
+	}
+}
+
+func pclrRoundTrip(addr int64) int64 {
+	// exercised via the pclr package directly in its own tests; here we
+	// only confirm the machine's bases stay clear of the shadow bit.
+	if addr >= int64(1)<<45 {
+		return -1
+	}
+	return addr
+}
+
+func TestConfigValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New must panic on invalid config")
+		}
+	}()
+	bad := simarch.DefaultConfig(0)
+	New(bad)
+}
+
+func TestSequentialSlowerThanParallelLoop(t *testing.T) {
+	l := smallLoop(30000, 30000, 2, 0.8, 29)
+	cfg := simarch.DefaultConfig(16)
+	seq := RunSequential(cfg, l)
+	hw, err := New(cfg).RunPCLR(l, simarch.Hardwired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Breakdown.Total() <= hw.Breakdown.Total() {
+		t.Errorf("sequential (%g) should be slower than 16-node PCLR (%g)",
+			seq.Breakdown.Total(), hw.Breakdown.Total())
+	}
+}

@@ -1,0 +1,321 @@
+// Package pattern implements the memory-reference characterization of
+// Section 4 of the paper. For a reduction loop it computes the paper's
+// taxonomy of access-pattern metrics:
+//
+//   - CH:  histogram of "number of elements referenced by a certain number
+//     of iterations"
+//   - CHD: the CH distribution (normalized CH)
+//   - CHR: ratio of the total number of references to the space needed for
+//     per-processor replicated arrays (TotalRefs / (P * NumElems))
+//   - CON: connectivity — iterations / distinct referenced elements
+//   - MO:  mobility — proportional to the number of distinct elements an
+//     iteration references (average distinct refs per iteration)
+//   - SP:  sparsity — referenced elements / array dimension (reported in
+//     percent, as in the paper's Figure 3)
+//   - DIM: reduction array size / cache size
+//
+// Characterization can be exact (full trace) or sampled ("fast,
+// approximative methods" run during an inspector phase). A Tracker supports
+// the paper's incremental re-characterization: dynamic codes accumulate
+// pattern changes and trigger re-characterization only when the change
+// crosses a run-time threshold.
+package pattern
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Profile holds the measured characteristics of one reduction loop on a
+// machine with a given processor count and cache size.
+type Profile struct {
+	// LoopName identifies the characterized loop.
+	LoopName string
+	// Procs is the processor count CHR was computed for.
+	Procs int
+	// CacheBytes is the per-processor cache capacity DIM was computed for.
+	CacheBytes int
+
+	// NumElems is the reduction array dimension.
+	NumElems int
+	// NumIters is the number of loop iterations observed.
+	NumIters int
+	// TotalRefs is the total number of reduction references observed.
+	TotalRefs int
+	// Distinct is the number of distinct reduction elements referenced.
+	Distinct int
+	// MaxRefsPerElem is the largest number of references any single
+	// element receives (the tail of CH; a proxy for contention hot spots).
+	MaxRefsPerElem int
+
+	// CH is the contention histogram: CH.Count(k) is the number of
+	// elements referenced exactly k times.
+	CH *stats.Histogram
+
+	// CHR, CON, MO, SP, DIM are the paper's scalar metrics (SP in percent).
+	CHR float64
+	CON float64
+	MO  float64
+	SP  float64
+	DIM float64
+
+	// Sampled reports whether the profile was built from a sampled
+	// inspector pass rather than the full trace.
+	Sampled bool
+	// SampleStride is the iteration stride used when Sampled.
+	SampleStride int
+}
+
+// Characterize computes the exact profile of loop l for a machine with
+// procs processors whose per-processor cache holds cacheBytes bytes.
+func Characterize(l *trace.Loop, procs, cacheBytes int) *Profile {
+	return characterize(l, procs, cacheBytes, 1)
+}
+
+// CharacterizeSampled computes an approximate profile by inspecting every
+// stride-th iteration and scaling counts back up. It models the paper's
+// fast inspector-phase characterization. stride must be >= 1.
+func CharacterizeSampled(l *trace.Loop, procs, cacheBytes, stride int) *Profile {
+	if stride < 1 {
+		stride = 1
+	}
+	p := characterize(l, procs, cacheBytes, stride)
+	p.Sampled = stride > 1
+	p.SampleStride = stride
+	return p
+}
+
+func characterize(l *trace.Loop, procs, cacheBytes, stride int) *Profile {
+	if procs < 1 {
+		procs = 1
+	}
+	if cacheBytes < 1 {
+		cacheBytes = 1
+	}
+	perElem := make([]int32, l.NumElems)
+	sampledIters := 0
+	sampledRefs := 0
+	var distinctPerIterSum float64
+	seen := make(map[int32]struct{}, 16)
+	for i := 0; i < l.NumIters(); i += stride {
+		sampledIters++
+		refs := l.Iter(i)
+		sampledRefs += len(refs)
+		if len(refs) <= 1 {
+			distinctPerIterSum += float64(len(refs))
+			for _, r := range refs {
+				perElem[r]++
+			}
+			continue
+		}
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, r := range refs {
+			perElem[r]++
+			seen[r] = struct{}{}
+		}
+		distinctPerIterSum += float64(len(seen))
+	}
+
+	distinct := 0
+	maxPerElem := 0
+	ch := stats.NewHistogram()
+	for _, c := range perElem {
+		if c > 0 {
+			distinct++
+			// Scale sampled per-element counts back to full-trace
+			// magnitude so the CH histogram bins are comparable across
+			// sampled and exact profiles.
+			ch.Add(int(c) * stride)
+			if int(c)*stride > maxPerElem {
+				maxPerElem = int(c) * stride
+			}
+		}
+	}
+
+	totalRefs := sampledRefs * stride
+	numIters := l.NumIters()
+
+	p := &Profile{
+		LoopName:       l.Name,
+		Procs:          procs,
+		CacheBytes:     cacheBytes,
+		NumElems:       l.NumElems,
+		NumIters:       numIters,
+		TotalRefs:      totalRefs,
+		Distinct:       distinct,
+		MaxRefsPerElem: maxPerElem,
+		CH:             ch,
+	}
+	p.CHR = float64(totalRefs) / float64(procs*l.NumElems)
+	if distinct > 0 {
+		p.CON = float64(numIters) / float64(distinct)
+	}
+	if sampledIters > 0 {
+		p.MO = distinctPerIterSum / float64(sampledIters)
+	}
+	p.SP = 100 * float64(distinct) / float64(l.NumElems)
+	if p.Sampled {
+		// A sampled pass underestimates the distinct-element count; apply
+		// the standard occupancy correction for sampling without
+		// replacement approximated as Poisson arrivals.
+		p.SP = estimateSparsityFromSample(l.NumElems, distinct, sampledRefs, totalRefs)
+		if distinct > 0 {
+			est := float64(l.NumElems) * p.SP / 100
+			if est > 0 {
+				p.CON = float64(numIters) / est
+			}
+		}
+	}
+	p.DIM = float64(l.ArrayBytes()) / float64(cacheBytes)
+	return p
+}
+
+// estimateSparsityFromSample corrects the distinct-element count observed
+// in a sampled inspector pass. Under a uniform-contention model, if the
+// full trace has R references over d hot elements, a sample with r < R
+// references observes each hot element with probability 1-exp(-r/d·…);
+// inverting the occupancy formula recovers d.
+func estimateSparsityFromSample(numElems, distinctSeen, sampleRefs, totalRefs int) float64 {
+	if distinctSeen == 0 || sampleRefs == 0 {
+		return 0
+	}
+	frac := float64(sampleRefs) / float64(totalRefs)
+	if frac >= 0.999 {
+		return 100 * float64(distinctSeen) / float64(numElems)
+	}
+	// Solve distinctSeen = d * (1 - exp(-refsPerElem*frac)) where
+	// refsPerElem = totalRefs/d, by fixed-point iteration on d.
+	d := float64(distinctSeen)
+	for iter := 0; iter < 50; iter++ {
+		rate := float64(totalRefs) / d * frac
+		cov := 1 - math.Exp(-rate)
+		if cov < 1e-9 {
+			break
+		}
+		next := float64(distinctSeen) / cov
+		if next > float64(numElems) {
+			next = float64(numElems)
+		}
+		if math.Abs(next-d) < 0.5 {
+			d = next
+			break
+		}
+		d = next
+	}
+	return 100 * d / float64(numElems)
+}
+
+// CHD returns the CH distribution: the fraction of referenced elements in
+// each contention bin, keyed by bin, in ascending bin order.
+func (p *Profile) CHD() (bins []int, frac []float64) {
+	total := p.CH.Total()
+	if total == 0 {
+		return nil, nil
+	}
+	bins = p.CH.Bins()
+	frac = make([]float64, len(bins))
+	for i, b := range bins {
+		frac[i] = float64(p.CH.Count(b)) / float64(total)
+	}
+	return bins, frac
+}
+
+// HighContentionFraction returns the fraction of referenced elements whose
+// reference count is at least minRefs. The set of high-contention CHRs is
+// the paper's HCHR; this scalar summarizes it.
+func (p *Profile) HighContentionFraction(minRefs int) float64 {
+	total := p.CH.Total()
+	if total == 0 {
+		return 0
+	}
+	n := 0
+	for _, b := range p.CH.Bins() {
+		if b >= minRefs {
+			n += p.CH.Count(b)
+		}
+	}
+	return float64(n) / float64(total)
+}
+
+// String renders the scalar metrics in the order of the paper's Figure 3
+// columns (MO, DIM as element count, SP, CON, CHR).
+func (p *Profile) String() string {
+	return fmt.Sprintf("%s: MO=%.2f INPUT=%d SP=%.3g%% CON=%.3g CHR=%.3g DIM=%.3g",
+		p.LoopName, p.MO, p.NumElems, p.SP, p.CON, p.CHR, p.DIM)
+}
+
+// Distance returns a scale-free measure of how different two profiles are,
+// as the maximum relative change across the scalar metrics. It is the
+// quantity the paper's dynamic codes compare against a run-time threshold
+// to decide whether a re-characterization is needed.
+func Distance(a, b *Profile) float64 {
+	rel := func(x, y float64) float64 {
+		den := math.Max(math.Abs(x), math.Abs(y))
+		if den == 0 {
+			return 0
+		}
+		return math.Abs(x-y) / den
+	}
+	d := rel(a.CHR, b.CHR)
+	if v := rel(a.CON, b.CON); v > d {
+		d = v
+	}
+	if v := rel(a.MO, b.MO); v > d {
+		d = v
+	}
+	if v := rel(a.SP, b.SP); v > d {
+		d = v
+	}
+	if v := rel(a.DIM, b.DIM); v > d {
+		d = v
+	}
+	return d
+}
+
+// Tracker implements incremental re-characterization for dynamic codes:
+// changes in the access pattern are collected incrementally, and when they
+// are significant enough (a threshold tested at run time) the Tracker
+// reports that a re-characterization is needed.
+type Tracker struct {
+	// Threshold is the relative-change level above which Update reports
+	// that the pattern must be re-characterized. The zero value gets the
+	// paper-motivated default of 0.25 on first use.
+	Threshold float64
+
+	baseline *Profile
+	checks   int
+	triggers int
+}
+
+// Update offers a freshly measured profile. It returns true when the
+// accumulated change relative to the current baseline exceeds the
+// threshold, in which case the new profile becomes the baseline.
+func (t *Tracker) Update(p *Profile) bool {
+	if t.Threshold == 0 {
+		t.Threshold = 0.25
+	}
+	t.checks++
+	if t.baseline == nil {
+		t.baseline = p
+		t.triggers++
+		return true
+	}
+	if Distance(t.baseline, p) > t.Threshold {
+		t.baseline = p
+		t.triggers++
+		return true
+	}
+	return false
+}
+
+// Baseline returns the profile the tracker currently considers current.
+func (t *Tracker) Baseline() *Profile { return t.baseline }
+
+// Stats returns how many updates were offered and how many triggered
+// re-characterization.
+func (t *Tracker) Stats() (checks, triggers int) { return t.checks, t.triggers }

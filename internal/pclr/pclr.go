@@ -1,0 +1,128 @@
+// Package pclr implements the protocol-level pieces of Private Cache-Line
+// Reduction (Section 5): the shadow-address mechanism that lets an
+// unmodified processor mark reduction accesses (Section 5.1.5), the
+// runtime calls the compiler inserts around a PCLR loop (Figure 5's
+// ConfigHardware and CacheFlush), and the statistics Table 2 reports
+// (lines flushed at the end of the loop, lines displaced — and therefore
+// combined in the background — during the loop).
+package pclr
+
+import (
+	"fmt"
+
+	"repro/internal/simarch"
+	"repro/internal/trace"
+)
+
+// ShadowBit is the address bit that places an access above installed
+// physical memory. The directory controller recognizes such addresses as
+// reduction accesses and maps them back to the original array ("they can
+// have their most significant bit flipped" — Section 5.1.5).
+const ShadowBit = int64(1) << 45
+
+// ToShadow maps an original data address into the shadow region.
+func ToShadow(addr int64) int64 { return addr | ShadowBit }
+
+// FromShadow recovers the original address of a shadow access.
+func FromShadow(addr int64) int64 { return addr &^ ShadowBit }
+
+// IsShadow reports whether the address lies in the shadow region.
+func IsShadow(addr int64) bool { return addr&ShadowBit != 0 }
+
+// HardwareConfig is the per-loop directory-controller programming the
+// compiler-inserted system call installs before a reduction loop
+// (Figure 5, line 1): the reduction operator and element type. With this
+// simple approach only one reduction operation per parallel section is
+// supported; loops mixing operators must be distributed (Section 5.1.4).
+type HardwareConfig struct {
+	Op         trace.Op
+	Controller simarch.Controller
+	// ElemBytes is the reduction element size (8 for double precision).
+	ElemBytes int
+}
+
+// Validate reports the first unsupported configuration, or nil. The
+// directory execution units support FP add and compare (min/max) and
+// integer operations; FP multiply would complicate the controller and is
+// rare, so it is rejected exactly as the paper argues it can be.
+func (hc HardwareConfig) Validate() error {
+	switch hc.Op {
+	case trace.OpAdd, trace.OpMax, trace.OpMin:
+	default:
+		return fmt.Errorf("pclr: directory execution units do not implement %v; distribute the loop or fall back to software", hc.Op)
+	}
+	if hc.ElemBytes != 8 && hc.ElemBytes != 4 {
+		return fmt.Errorf("pclr: unsupported element size %d", hc.ElemBytes)
+	}
+	return nil
+}
+
+// ConfigCallCycles is the processor cost of the ConfigHardware system
+// call each processor issues before the loop.
+const ConfigCallCycles = 400
+
+// Stats aggregates PCLR activity over one loop execution on the machine.
+type Stats struct {
+	// LinesDisplaced counts reduction lines displaced from caches during
+	// the loop and combined in the background (Table 2, last column).
+	LinesDisplaced int
+	// LinesFlushed counts reduction lines flushed (and combined) at the
+	// end of the loop (Table 2, second-to-last column).
+	LinesFlushed int
+	// NeutralFills counts reduction misses satisfied locally with
+	// neutral-element lines.
+	NeutralFills int
+	// Combines counts combining operations performed by the directory
+	// controllers (displacements + flushes).
+	Combines int
+	// Recalls counts lines that were dirty in some cache under the
+	// ordinary protocol when their first reduction write-back arrived
+	// (Section 5.1.3's recall-and-invalidate path).
+	Recalls int
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.LinesDisplaced += other.LinesDisplaced
+	s.LinesFlushed += other.LinesFlushed
+	s.NeutralFills += other.NeutralFills
+	s.Combines += other.Combines
+	s.Recalls += other.Recalls
+}
+
+// Combiner accumulates reduction partial results into a memory image,
+// exactly as the home directory controller's execution units do. It is
+// the functional (value-level) half of PCLR, used by the machine
+// simulator to verify that background combining plus the final flush
+// reproduce the sequential reduction result.
+type Combiner struct {
+	op  trace.Op
+	mem []float64
+}
+
+// NewCombiner returns a combiner over an array of n elements initialized
+// to... the ORIGINAL memory contents, which for a reduction loop is the
+// operator's neutral element in every position the loop may touch.
+func NewCombiner(op trace.Op, n int) *Combiner {
+	c := &Combiner{op: op, mem: make([]float64, n)}
+	neutral := op.Neutral()
+	for i := range c.mem {
+		c.mem[i] = neutral
+	}
+	return c
+}
+
+// CombineLine merges a displaced or flushed line's elements into memory.
+// Untouched elements of the line still hold the neutral element, so
+// merging them leaves memory unchanged — the property that makes PCLR's
+// line-granularity combining correct.
+func (c *Combiner) CombineLine(firstElem int, vals []float64) {
+	for i, v := range vals {
+		if idx := firstElem + i; idx >= 0 && idx < len(c.mem) {
+			c.mem[idx] = c.op.Apply(c.mem[idx], v)
+		}
+	}
+}
+
+// Memory returns the combined memory image.
+func (c *Combiner) Memory() []float64 { return c.mem }

@@ -1,0 +1,118 @@
+package pclr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/simarch"
+	"repro/internal/trace"
+)
+
+func TestShadowCodec(t *testing.T) {
+	addrs := []int64{0, 64, 1 << 21, (1 << 40) - 8}
+	for _, a := range addrs {
+		s := ToShadow(a)
+		if !IsShadow(s) {
+			t.Errorf("ToShadow(%d) not recognized as shadow", a)
+		}
+		if IsShadow(a) {
+			t.Errorf("plain address %d recognized as shadow", a)
+		}
+		if got := FromShadow(s); got != a {
+			t.Errorf("round trip %d -> %d", a, got)
+		}
+	}
+}
+
+func TestShadowCodecProperty(t *testing.T) {
+	f := func(raw uint32) bool {
+		a := int64(raw) * 8
+		return FromShadow(ToShadow(a)) == a && IsShadow(ToShadow(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHardwareConfigValidate(t *testing.T) {
+	ok := HardwareConfig{Op: trace.OpAdd, Controller: simarch.Hardwired, ElemBytes: 8}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("add should validate: %v", err)
+	}
+	for _, op := range []trace.Op{trace.OpMax, trace.OpMin} {
+		hc := HardwareConfig{Op: op, ElemBytes: 8}
+		if err := hc.Validate(); err != nil {
+			t.Errorf("%v should validate (FP comparator): %v", op, err)
+		}
+	}
+	bad := HardwareConfig{Op: trace.OpMul, ElemBytes: 8}
+	if err := bad.Validate(); err == nil {
+		t.Error("multiply must be rejected")
+	}
+	badSize := HardwareConfig{Op: trace.OpAdd, ElemBytes: 3}
+	if err := badSize.Validate(); err == nil {
+		t.Error("element size 3 must be rejected")
+	}
+}
+
+func TestCombinerNeutralLineIsNoop(t *testing.T) {
+	// Combining a line of pure neutral elements must leave memory
+	// unchanged — the property that makes line-granularity combining
+	// correct when only some elements were touched.
+	c := NewCombiner(trace.OpAdd, 16)
+	c.CombineLine(0, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	before := append([]float64(nil), c.Memory()...)
+	neutral := make([]float64, 8)
+	c.CombineLine(0, neutral)
+	for i, v := range c.Memory() {
+		if v != before[i] {
+			t.Fatalf("neutral combine changed element %d: %g -> %g", i, before[i], v)
+		}
+	}
+}
+
+func TestCombinerAccumulates(t *testing.T) {
+	c := NewCombiner(trace.OpAdd, 8)
+	c.CombineLine(0, []float64{1, 0, 0, 0, 0, 0, 0, 0})
+	c.CombineLine(0, []float64{2, 3, 0, 0, 0, 0, 0, 0})
+	if c.Memory()[0] != 3 || c.Memory()[1] != 3 {
+		t.Errorf("memory = %v", c.Memory()[:2])
+	}
+}
+
+func TestCombinerBoundsClamped(t *testing.T) {
+	c := NewCombiner(trace.OpAdd, 4)
+	// Line partially beyond the array must not panic.
+	c.CombineLine(2, []float64{1, 1, 1, 1, 1, 1, 1, 1})
+	if c.Memory()[2] != 1 || c.Memory()[3] != 1 {
+		t.Errorf("in-range elements not combined: %v", c.Memory())
+	}
+}
+
+func TestCombinerMaxNeutral(t *testing.T) {
+	c := NewCombiner(trace.OpMax, 4)
+	if !math.IsInf(c.Memory()[0], -1) {
+		t.Error("max combiner must initialize to -Inf")
+	}
+	line := []float64{math.Inf(-1), 5, math.Inf(-1), math.Inf(-1)}
+	c.CombineLine(0, line)
+	if c.Memory()[1] != 5 {
+		t.Errorf("max combine: got %g", c.Memory()[1])
+	}
+	if !math.IsInf(c.Memory()[0], -1) {
+		t.Error("untouched element must stay at neutral")
+	}
+}
+
+func TestCombineOccupancyFlexFactor(t *testing.T) {
+	cfg := simarch.DefaultConfig(4)
+	hw := cfg.CombineOccupancy(simarch.Hardwired)
+	flex := cfg.CombineOccupancy(simarch.Programmable)
+	if flex <= hw {
+		t.Errorf("Flex occupancy (%g) must exceed Hw (%g)", flex, hw)
+	}
+	if math.Abs(flex/hw-cfg.FlexOccupancyFactor) > 1e-9 {
+		t.Errorf("Flex/Hw ratio %g, want %g", flex/hw, cfg.FlexOccupancyFactor)
+	}
+}

@@ -1,0 +1,197 @@
+package reduction
+
+import (
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// Hash implements the paper's sparse reduction with privatization in hash
+// tables. Each processor accumulates into a private open-addressing hash
+// table keyed by element index, so private storage is proportional to the
+// number of distinct elements the processor touches rather than to the
+// array dimension. The merge walks table entries only.
+//
+// The paper observes that hash wins only for extremely sparse references
+// (Spice: SP ~0.1–0.2%): "the hash table reduces the allocated and
+// processed space to such an extent that, although the setup of a hash
+// table is large, the performance improves dramatically". Every access
+// pays the hashing and probing overhead, so for anything but very sparse
+// patterns hash loses to the array-based schemes.
+type Hash struct{}
+
+// Name returns "hash".
+func (Hash) Name() string { return "hash" }
+
+// hashTable is a deterministic open-addressing (linear probing) table.
+type hashTable struct {
+	keys []int32 // -1 = empty
+	vals []float64
+	mask int32
+	n    int
+}
+
+func newHashTable(capacityHint int) *hashTable {
+	size := 16
+	for size < capacityHint*2 {
+		size <<= 1
+	}
+	t := &hashTable{keys: make([]int32, size), vals: make([]float64, size), mask: int32(size - 1)}
+	for i := range t.keys {
+		t.keys[i] = -1
+	}
+	return t
+}
+
+func hashKey(k int32) int32 {
+	h := uint32(k) * 0x9E3779B9
+	h ^= h >> 16
+	return int32(h)
+}
+
+// slot returns the table index where key resides or should be inserted,
+// and how many probes the lookup took.
+func (t *hashTable) slot(key int32) (idx int32, probes int) {
+	i := hashKey(key) & t.mask
+	probes = 1
+	for t.keys[i] != -1 && t.keys[i] != key {
+		i = (i + 1) & t.mask
+		probes++
+	}
+	return i, probes
+}
+
+// update applies op(contribution) to key's accumulator, inserting with the
+// neutral element on first touch. It reports probe count and whether the
+// key was newly inserted.
+func (t *hashTable) update(key int32, v float64, op trace.Op) (probes int, inserted bool) {
+	i, probes := t.slot(key)
+	if t.keys[i] == -1 {
+		t.keys[i] = key
+		t.vals[i] = op.Neutral()
+		t.n++
+		inserted = true
+	}
+	t.vals[i] = op.Apply(t.vals[i], v)
+	return probes, inserted
+}
+
+// Run executes the loop with per-processor hash tables.
+func (Hash) Run(l *trace.Loop, procs int) []float64 {
+	checkProcs(procs)
+	neutral := l.Op.Neutral()
+	tables := make([]*hashTable, procs)
+
+	// Size hint: distinct elements per processor is at most the total
+	// distinct count; a block's share of refs bounds it more tightly.
+	hint := l.TotalRefs()/procs + 16
+
+	parallelFor(procs, func(p int) {
+		t := newHashTable(hint)
+		lo, hi := blockBounds(l.NumIters(), procs, p)
+		for i := lo; i < hi; i++ {
+			for k, idx := range l.Iter(i) {
+				t.update(idx, trace.Value(i, k, idx), l.Op)
+			}
+		}
+		tables[p] = t
+	})
+
+	out := make([]float64, l.NumElems)
+	for i := range out {
+		out[i] = neutral
+	}
+	for _, t := range tables {
+		for i, key := range t.keys {
+			if key >= 0 {
+				out[key] = l.Op.Apply(out[key], t.vals[i])
+			}
+		}
+	}
+	return out
+}
+
+// Simulate charges hash's traffic: table allocation/zeroing as Init,
+// hashed probing per access during Loop (16-byte entries: key + value),
+// and an entry walk as Merge.
+func (Hash) Simulate(l *trace.Loop, m *vtime.Machine) stats.Breakdown {
+	procs := m.Procs()
+	refStart := refOffsets(l, procs)
+	var b stats.Breakdown
+
+	// Pre-size tables deterministically from each block's touched count.
+	caps := make([]int, procs)
+	for p := 0; p < procs; p++ {
+		lo, hi := blockBounds(l.NumIters(), procs, p)
+		seen := make(map[int32]struct{})
+		for i := lo; i < hi; i++ {
+			for _, idx := range l.Iter(i) {
+				seen[idx] = struct{}{}
+			}
+		}
+		caps[p] = len(seen)
+	}
+
+	tables := make([]*hashTable, procs)
+	// Init: allocate and zero the (small) tables — a sequential sweep.
+	b.Init = m.Parallel(func(cpu *vtime.CPU) {
+		p := cpu.ID()
+		t := newHashTable(caps[p] + 1)
+		tables[p] = t
+		base := vtime.PrivateBase(p) + privTable
+		for s := 0; s < len(t.keys); s++ {
+			cpu.StreamStore(base + int64(s)*16) // zero the key slot of each entry
+		}
+	})
+
+	// Loop: each access hashes (cheap ALU work) and probes entries.
+	b.Loop = m.Parallel(func(cpu *vtime.CPU) {
+		p := cpu.ID()
+		t := tables[p]
+		base := vtime.PrivateBase(p) + privTable
+		lo, hi := blockBounds(l.NumIters(), procs, p)
+		pos := refStart[p]
+		for i := lo; i < hi; i++ {
+			refs := l.Iter(i)
+			cpu.Compute(l.WorkPerIter)
+			loadIterRefs(cpu, pos, len(refs))
+			pos += len(refs)
+			for k, idx := range refs {
+				probes, _ := t.update(idx, trace.Value(i, k, idx), l.Op)
+				// Hashing, masking, key compare and branch chain: the
+				// paper stresses that "the setup of a hash table is
+				// large" — a software hashed update costs tens of
+				// instructions, not the 2–3 of an array update.
+				cpu.Compute(22)
+				slot, _ := t.slot(idx)
+				for pr := 0; pr < probes; pr++ {
+					// Probe sequence ends at the final slot; previous
+					// probes touched preceding entries.
+					s := (int64(slot) - int64(probes-1-pr)) & int64(t.mask)
+					cpu.Load(base + s*16)
+				}
+				cpu.Store(base + int64(slot)*16 + 8)
+				cpu.Compute(1)
+			}
+		}
+	})
+
+	// Merge: walk table entries sequentially; each occupied entry updates
+	// the shared array (scattered writes, coherence charged by the
+	// tracker).
+	b.Merge = m.Parallel(func(cpu *vtime.CPU) {
+		p := cpu.ID()
+		t := tables[p]
+		base := vtime.PrivateBase(p) + privTable
+		for s, key := range t.keys {
+			cpu.StreamLoad(base + int64(s)*16)
+			if key >= 0 {
+				cpu.Load(base + int64(s)*16 + 8)
+				cpu.Load(sharedWBase + int64(key)*8)
+				cpu.Compute(1)
+				cpu.Store(sharedWBase + int64(key)*8)
+			}
+		}
+	})
+	return b
+}

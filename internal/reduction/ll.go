@@ -1,0 +1,162 @@
+package reduction
+
+import (
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// LinkedList is the paper's "replicated buffer with links" (ll) scheme.
+// Like rep, every processor owns a full-size private buffer, but the
+// buffer is initialized lazily: the first time a processor touches an
+// element it initializes that single entry and threads it onto a private
+// linked list of touched elements. The merge phase then walks only the
+// lists, so Init disappears and Merge is proportional to the number of
+// elements each processor actually touched instead of the array size.
+//
+// ll wins over rep when the reference pattern is sparse enough that most
+// of rep's Init/Merge sweeps are wasted, but each access pays a flag check
+// and the merge pays pointer-chasing locality.
+type LinkedList struct{}
+
+// Name returns "ll".
+func (LinkedList) Name() string { return "ll" }
+
+// Run executes the loop with lazily-initialized replicated buffers.
+func (LinkedList) Run(l *trace.Loop, procs int) []float64 {
+	checkProcs(procs)
+	neutral := l.Op.Neutral()
+
+	type buffer struct {
+		vals []float64
+		next []int32 // link to previously touched element; -2 = untouched
+		head int32
+	}
+	bufs := make([]buffer, procs)
+
+	parallelFor(procs, func(p int) {
+		b := buffer{
+			vals: make([]float64, l.NumElems),
+			next: make([]int32, l.NumElems),
+			head: -1,
+		}
+		for i := range b.next {
+			b.next[i] = -2
+		}
+		lo, hi := blockBounds(l.NumIters(), procs, p)
+		for i := lo; i < hi; i++ {
+			for k, idx := range l.Iter(i) {
+				if b.next[idx] == -2 {
+					b.vals[idx] = neutral
+					b.next[idx] = b.head
+					b.head = idx
+				}
+				b.vals[idx] = l.Op.Apply(b.vals[idx], trace.Value(i, k, idx))
+			}
+		}
+		bufs[p] = b
+	})
+
+	// Merge: walk each processor's touched list. Serialized per processor
+	// list but applied concurrently over disjoint output partitions would
+	// require per-element locks; instead processors merge their own lists
+	// into the shared array one list at a time (lists are short when the
+	// pattern is sparse — that is ll's use case). To stay deterministic
+	// and race-free we merge sequentially here; Simulate charges the
+	// parallel cost model described in the paper.
+	out := make([]float64, l.NumElems)
+	for i := range out {
+		out[i] = neutral
+	}
+	for p := 0; p < procs; p++ {
+		b := bufs[p]
+		for e := b.head; e >= 0; e = b.next[e] {
+			out[e] = l.Op.Apply(out[e], b.vals[e])
+		}
+	}
+	return out
+}
+
+// Simulate charges ll's traffic: no Init phase, a flag check + possible
+// lazy initialization per access during Loop, and a Merge that walks each
+// processor's touched-element list with poor spatial locality.
+//
+// First-touch positions and touched lists are precomputed so the phase
+// bodies are idempotent (the virtual machine may replay a phase to
+// collect sharing information).
+func (LinkedList) Simulate(l *trace.Loop, m *vtime.Machine) stats.Breakdown {
+	procs := m.Procs()
+	var b stats.Breakdown
+	refStart := refOffsets(l, procs)
+
+	// Precompute, per processor: the touched-element list in first-touch
+	// order and a parallel-to-refs bitmap of which reference positions are
+	// first touches.
+	touched := make([][]int32, procs)
+	firstTouch := make([][]bool, procs)
+	for p := 0; p < procs; p++ {
+		seen := make(map[int32]struct{})
+		lo, hi := blockBounds(l.NumIters(), procs, p)
+		var ft []bool
+		for i := lo; i < hi; i++ {
+			for _, idx := range l.Iter(i) {
+				if _, ok := seen[idx]; !ok {
+					seen[idx] = struct{}{}
+					touched[p] = append(touched[p], idx)
+					ft = append(ft, true)
+				} else {
+					ft = append(ft, false)
+				}
+			}
+		}
+		firstTouch[p] = ft
+	}
+
+	b.Loop = m.Parallel(func(cpu *vtime.CPU) {
+		p := cpu.ID()
+		arr := vtime.PrivateBase(p) + privArray
+		flags := vtime.PrivateBase(p) + privFlags
+		lo, hi := blockBounds(l.NumIters(), procs, p)
+		pos := refStart[p]
+		local := 0
+		for i := lo; i < hi; i++ {
+			refs := l.Iter(i)
+			cpu.Compute(l.WorkPerIter)
+			loadIterRefs(cpu, pos, len(refs))
+			pos += len(refs)
+			for _, idx := range refs {
+				// Flag check: one load of the link entry.
+				cpu.Load(flags + int64(idx)*4)
+				if firstTouch[p][local] {
+					// Lazy init: write value + link.
+					cpu.Store(arr + int64(idx)*8)
+					cpu.Store(flags + int64(idx)*4)
+					cpu.Compute(2)
+				}
+				local++
+				addr := arr + int64(idx)*8
+				cpu.Load(addr)
+				cpu.Compute(1)
+				cpu.Store(addr)
+			}
+		}
+	})
+
+	// Merge: processors apply their own lists to the shared array. The
+	// lists are in first-touch order (poor locality on the shared side);
+	// updates to the shared array from different processors may collide,
+	// which the sharing tracker charges as coherence misses.
+	b.Merge = m.Parallel(func(cpu *vtime.CPU) {
+		p := cpu.ID()
+		arr := vtime.PrivateBase(p) + privArray
+		flags := vtime.PrivateBase(p) + privFlags
+		for _, e := range touched[p] {
+			cpu.Load(flags + int64(e)*4) // follow the link
+			cpu.Load(arr + int64(e)*8)   // private value
+			cpu.Load(sharedWBase + int64(e)*8)
+			cpu.Compute(1)
+			cpu.Store(sharedWBase + int64(e)*8)
+		}
+	})
+	return b
+}

@@ -1,0 +1,154 @@
+package reduction
+
+import (
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// LocalWrite is the paper's local write (lw) scheme, an "owner computes"
+// method (Han & Tseng). The reduction array is block-partitioned across
+// processors; every iteration is executed by each processor that owns at
+// least one element the iteration references, and each executing
+// processor applies only the updates to elements it owns. There is no
+// private storage, no initialization sweep, and no merge phase — the price
+// is iteration replication: an iteration with high mobility (touching
+// elements owned by several processors) is re-executed by each of them.
+//
+// lw wins when iterations mostly stay within one owner's partition
+// (low effective mobility) and the array is too large for rep; it loses
+// when mobility is high, because the loop body is replicated MO-fold.
+// The paper also notes lw is inapplicable when the loop body modifies
+// other shared arrays (iteration replication would double-apply those
+// writes); callers express that through trace metadata at a higher level.
+type LocalWrite struct{}
+
+// Name returns "lw".
+func (LocalWrite) Name() string { return "lw" }
+
+// inspect builds, for each processor, the list of iterations it must
+// execute (those touching at least one element it owns).
+func (LocalWrite) inspect(l *trace.Loop, procs int) [][]int32 {
+	iterLists := make([][]int32, procs)
+	var ownersSeen [64]bool // procs <= 64 in every configuration we model
+	for i := 0; i < l.NumIters(); i++ {
+		for j := range ownersSeen[:procs] {
+			ownersSeen[j] = false
+		}
+		for _, idx := range l.Iter(i) {
+			o := owner(idx, l.NumElems, procs)
+			if !ownersSeen[o] {
+				ownersSeen[o] = true
+				iterLists[o] = append(iterLists[o], int32(i))
+			}
+		}
+	}
+	return iterLists
+}
+
+// Run executes the loop under owner-computes with iteration replication.
+func (lw LocalWrite) Run(l *trace.Loop, procs int) []float64 {
+	checkProcs(procs)
+	if procs > 64 {
+		panic("reduction: LocalWrite supports at most 64 processors")
+	}
+	neutral := l.Op.Neutral()
+	iterLists := lw.inspect(l, procs)
+
+	out := make([]float64, l.NumElems)
+	for i := range out {
+		out[i] = neutral
+	}
+	parallelFor(procs, func(p int) {
+		elemLo, elemHi := blockBounds(l.NumElems, procs, p)
+		for _, i := range iterLists[p] {
+			for k, idx := range l.Iter(int(i)) {
+				if int(idx) >= elemLo && int(idx) < elemHi {
+					out[idx] = l.Op.Apply(out[idx], trace.Value(int(i), k, idx))
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Simulate charges lw's traffic: the inspector pass as Init (one sweep of
+// the subscript stream building per-owner iteration lists), the replicated
+// loop execution as Loop, and no Merge.
+func (lw LocalWrite) Simulate(l *trace.Loop, m *vtime.Machine) stats.Breakdown {
+	procs := m.Procs()
+	iterLists := lw.inspect(l, procs)
+	refStart := refOffsets(l, procs)
+	var b stats.Breakdown
+
+	// Init: inspector. Every processor scans its block of the subscript
+	// stream, computes owners, and appends to the per-owner lists. Like
+	// sel's inspector, the lists depend only on the access pattern and
+	// are amortized over the loop's invocations.
+	b.Init = m.ParallelScaled(1/float64(l.InvocationCount()), func(cpu *vtime.CPU) {
+		p := cpu.ID()
+		lo, hi := blockBounds(l.NumIters(), procs, p)
+		pos := refStart[p]
+		listBase := vtime.PrivateBase(p) + privTable
+		written := 0
+		for i := lo; i < hi; i++ {
+			n := len(l.Iter(i))
+			loadIterRefs(cpu, pos, n)
+			pos += n
+			cpu.Compute(float64(2 * n)) // owner computation per ref
+			// Appending iteration ids to owner lists: charge one
+			// sequential store per iteration (the common case at low
+			// mobility).
+			cpu.StreamStore(listBase + int64(written)*4)
+			written++
+		}
+	})
+
+	// Loop: each processor executes its (replicated) iteration list and
+	// updates only owned elements, which live in its contiguous shared
+	// block (good locality, no coherence traffic). Iteration lists are
+	// ascending, so the subscript re-reads stream.
+	cumRefs := make([]int, l.NumIters()+1)
+	for i := 0; i < l.NumIters(); i++ {
+		cumRefs[i+1] = cumRefs[i] + len(l.Iter(i))
+	}
+	b.Loop = m.Parallel(func(cpu *vtime.CPU) {
+		p := cpu.ID()
+		elemLo, elemHi := blockBounds(l.NumElems, procs, p)
+		for _, i := range iterLists[p] {
+			refs := l.Iter(int(i))
+			cpu.Compute(l.WorkPerIter) // full iteration work is replicated
+			loadIterRefs(cpu, cumRefs[i], len(refs))
+			// Every reference is ownership-tested (compare + branch),
+			// owned or not — that is the price of iteration replication.
+			cpu.Compute(float64(2 * len(refs)))
+			for _, idx := range refs {
+				if int(idx) >= elemLo && int(idx) < elemHi {
+					addr := sharedWBase + int64(idx)*8
+					cpu.Load(addr)
+					cpu.Compute(1)
+					cpu.Store(addr)
+				}
+			}
+		}
+	})
+
+	b.Merge = 0 // owner computes: nothing to merge
+	return b
+}
+
+// ReplicationFactor reports the average number of processors that execute
+// each iteration under lw's inspector — the effective iteration
+// replication the paper attributes to mobility. Exposed for the adaptive
+// model and for tests.
+func (lw LocalWrite) ReplicationFactor(l *trace.Loop, procs int) float64 {
+	if l.NumIters() == 0 {
+		return 0
+	}
+	lists := lw.inspect(l, procs)
+	total := 0
+	for _, lst := range lists {
+		total += len(lst)
+	}
+	return float64(total) / float64(l.NumIters())
+}

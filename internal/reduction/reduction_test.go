@@ -1,0 +1,421 @@
+package reduction
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// randomLoop builds a loop with a controllable pattern.
+func randomLoop(elems, iters, refsPerIter int, seed int64) *trace.Loop {
+	rng := rand.New(rand.NewSource(seed))
+	l := trace.NewLoop("rand", elems)
+	l.WorkPerIter = 10
+	refs := make([]int32, refsPerIter)
+	for i := 0; i < iters; i++ {
+		for k := range refs {
+			refs[k] = int32(rng.Intn(elems))
+		}
+		l.AddIter(refs...)
+	}
+	return l
+}
+
+// clusteredLoop makes most iterations touch a small hot set, testing high
+// contention paths.
+func clusteredLoop(elems, iters int, seed int64) *trace.Loop {
+	rng := rand.New(rand.NewSource(seed))
+	l := trace.NewLoop("clustered", elems)
+	hot := elems / 20
+	if hot < 1 {
+		hot = 1
+	}
+	for i := 0; i < iters; i++ {
+		if rng.Intn(10) < 8 {
+			l.AddIter(int32(rng.Intn(hot)), int32(rng.Intn(hot)))
+		} else {
+			l.AddIter(int32(rng.Intn(elems)))
+		}
+	}
+	return l
+}
+
+func assertMatchesSequential(t *testing.T, s Scheme, l *trace.Loop, procs int) {
+	t.Helper()
+	want := l.RunSequential()
+	got := s.Run(l, procs)
+	if len(got) != len(want) {
+		t.Fatalf("%s: result length %d, want %d", s.Name(), len(got), len(want))
+	}
+	for i := range want {
+		diff := math.Abs(got[i] - want[i])
+		tol := 1e-9 * (1 + math.Abs(want[i]))
+		if diff > tol {
+			t.Fatalf("%s(procs=%d): element %d = %g, want %g (diff %g)", s.Name(), procs, i, got[i], want[i], diff)
+		}
+	}
+}
+
+func TestAllSchemesMatchSequentialUniform(t *testing.T) {
+	l := randomLoop(500, 2000, 3, 42)
+	for _, s := range All() {
+		for _, procs := range []int{1, 2, 4, 8} {
+			assertMatchesSequential(t, s, l, procs)
+		}
+	}
+}
+
+func TestAllSchemesMatchSequentialClustered(t *testing.T) {
+	l := clusteredLoop(1000, 3000, 7)
+	for _, s := range All() {
+		assertMatchesSequential(t, s, l, 8)
+	}
+}
+
+func TestAllSchemesMatchSequentialSparse(t *testing.T) {
+	// Very sparse: 100k elements, only ~200 touched — hash's home turf.
+	rng := rand.New(rand.NewSource(3))
+	l := trace.NewLoop("sparse", 100000)
+	hot := make([]int32, 200)
+	for i := range hot {
+		hot[i] = int32(rng.Intn(100000))
+	}
+	for i := 0; i < 5000; i++ {
+		l.AddIter(hot[rng.Intn(len(hot))])
+	}
+	for _, s := range All() {
+		assertMatchesSequential(t, s, l, 8)
+	}
+}
+
+func TestSchemesWithMaxOperator(t *testing.T) {
+	l := randomLoop(200, 1000, 2, 9)
+	l.Op = trace.OpMax
+	for _, s := range All() {
+		assertMatchesSequential(t, s, l, 4)
+	}
+}
+
+func TestSchemesWithMinOperator(t *testing.T) {
+	l := randomLoop(200, 1000, 2, 11)
+	l.Op = trace.OpMin
+	for _, s := range All() {
+		assertMatchesSequential(t, s, l, 4)
+	}
+}
+
+func TestSchemesWithMulOperator(t *testing.T) {
+	// Contributions are in (0,1]; products stay bounded. Use few refs per
+	// element so products do not underflow.
+	l := randomLoop(5000, 300, 1, 13)
+	l.Op = trace.OpMul
+	for _, s := range All() {
+		assertMatchesSequential(t, s, l, 4)
+	}
+}
+
+func TestEmptyLoop(t *testing.T) {
+	l := trace.NewLoop("empty", 10)
+	for _, s := range All() {
+		got := s.Run(l, 4)
+		for i, v := range got {
+			if v != 0 {
+				t.Errorf("%s: empty loop element %d = %g, want 0", s.Name(), i, v)
+			}
+		}
+	}
+}
+
+func TestSingleIteration(t *testing.T) {
+	l := trace.NewLoop("one", 8)
+	l.AddIter(3, 3, 5)
+	for _, s := range All() {
+		assertMatchesSequential(t, s, l, 8) // more procs than iterations
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName of unknown scheme should error")
+	}
+	want := []string{"rep", "ll", "sel", "lw", "hash"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBlockBoundsPartition(t *testing.T) {
+	f := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw)
+		procs := int(pRaw)%16 + 1
+		prevHi := 0
+		total := 0
+		for p := 0; p < procs; p++ {
+			lo, hi := blockBounds(n, procs, p)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			total += hi - lo
+			prevHi = hi
+		}
+		return total == n && prevHi == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlockBoundsBalance(t *testing.T) {
+	// No block may be more than one iteration larger than another.
+	for _, n := range []int{0, 1, 7, 100, 1001} {
+		for _, procs := range []int{1, 3, 8, 16} {
+			minSz, maxSz := n, 0
+			for p := 0; p < procs; p++ {
+				lo, hi := blockBounds(n, procs, p)
+				if sz := hi - lo; sz < minSz {
+					minSz = sz
+				} else if sz > maxSz {
+					maxSz = sz
+				}
+				if hi-lo > maxSz {
+					maxSz = hi - lo
+				}
+			}
+			if maxSz-minSz > 1 {
+				t.Errorf("n=%d procs=%d: block sizes differ by %d", n, procs, maxSz-minSz)
+			}
+		}
+	}
+}
+
+func TestOwnerConsistentWithBlockBounds(t *testing.T) {
+	f := func(idxRaw uint16, nRaw uint16, pRaw uint8) bool {
+		n := int(nRaw)%5000 + 1
+		procs := int(pRaw)%16 + 1
+		idx := int32(int(idxRaw) % n)
+		o := owner(idx, n, procs)
+		lo, hi := blockBounds(n, procs, o)
+		return int(idx) >= lo && int(idx) < hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalWriteReplicationFactor(t *testing.T) {
+	// A loop where every iteration touches one element owned by one
+	// processor has replication factor exactly 1.
+	l := trace.NewLoop("aligned", 64)
+	for i := 0; i < 64; i++ {
+		l.AddIter(int32(i))
+	}
+	var lw LocalWrite
+	if rf := lw.ReplicationFactor(l, 8); rf != 1 {
+		t.Errorf("aligned replication factor = %g, want 1", rf)
+	}
+	// A loop where every iteration touches the first element of every
+	// processor's partition has replication factor = procs.
+	l2 := trace.NewLoop("spread", 64)
+	for i := 0; i < 10; i++ {
+		l2.AddIter(0, 8, 16, 24, 32, 40, 48, 56)
+	}
+	if rf := lw.ReplicationFactor(l2, 8); rf != 8 {
+		t.Errorf("spread replication factor = %g, want 8", rf)
+	}
+	if rf := lw.ReplicationFactor(trace.NewLoop("e", 4), 2); rf != 0 {
+		t.Errorf("empty loop replication factor = %g, want 0", rf)
+	}
+}
+
+func TestSelectiveClassify(t *testing.T) {
+	// 4 elements, 2 procs, 4 iterations: iterations 0,1 -> proc 0;
+	// 2,3 -> proc 1. Element 0 touched by both (conflict), element 1 only
+	// by proc 0, element 3 only by proc 1, element 2 untouched.
+	l := trace.NewLoop("cls", 4)
+	l.AddIter(0, 1)
+	l.AddIter(1)
+	l.AddIter(0, 3)
+	l.AddIter(3)
+	remap, n := Selective{}.classify(l, 2)
+	if n != 1 {
+		t.Fatalf("numConflict = %d, want 1", n)
+	}
+	if remap[0] != 0 {
+		t.Errorf("element 0 should be conflict slot 0, got %d", remap[0])
+	}
+	for _, e := range []int{1, 2, 3} {
+		if remap[e] != -1 {
+			t.Errorf("element %d should be exclusive, got remap %d", e, remap[e])
+		}
+	}
+}
+
+func TestHashTableBasics(t *testing.T) {
+	ht := newHashTable(4)
+	probes, ins := ht.update(42, 1.5, trace.OpAdd)
+	if !ins || probes < 1 {
+		t.Errorf("first update: probes=%d inserted=%v", probes, ins)
+	}
+	_, ins = ht.update(42, 2.5, trace.OpAdd)
+	if ins {
+		t.Error("second update of same key should not insert")
+	}
+	i, _ := ht.slot(42)
+	if ht.vals[i] != 4.0 {
+		t.Errorf("accumulated value = %g, want 4.0", ht.vals[i])
+	}
+	if ht.n != 1 {
+		t.Errorf("entry count = %d, want 1", ht.n)
+	}
+}
+
+func TestHashTableManyKeysNoLoss(t *testing.T) {
+	ht := newHashTable(100)
+	for k := int32(0); k < 100; k++ {
+		ht.update(k, 1, trace.OpAdd)
+	}
+	for k := int32(0); k < 100; k++ {
+		i, _ := ht.slot(k)
+		if ht.keys[i] != k || ht.vals[i] != 1 {
+			t.Fatalf("key %d lost or wrong: slot key=%d val=%g", k, ht.keys[i], ht.vals[i])
+		}
+	}
+}
+
+func TestSimulateBreakdownShapes(t *testing.T) {
+	l := randomLoop(2000, 8000, 2, 21)
+	for _, s := range All() {
+		m := vtime.NewMachine(8, vtime.DefaultConfig())
+		m.EnableSharingTracking()
+		b := s.Simulate(l, m)
+		if b.Loop <= 0 {
+			t.Errorf("%s: Loop phase must be positive, got %g", s.Name(), b.Loop)
+		}
+		if b.Init < 0 || b.Merge < 0 {
+			t.Errorf("%s: negative phase: %+v", s.Name(), b)
+		}
+		if m.Now() != b.Total() {
+			t.Errorf("%s: machine clock %g != breakdown total %g", s.Name(), m.Now(), b.Total())
+		}
+	}
+}
+
+func TestSimulateLocalWriteHasNoMerge(t *testing.T) {
+	l := randomLoop(1000, 4000, 2, 5)
+	m := vtime.NewMachine(8, vtime.DefaultConfig())
+	b := LocalWrite{}.Simulate(l, m)
+	if b.Merge != 0 {
+		t.Errorf("lw merge = %g, want 0", b.Merge)
+	}
+}
+
+func TestSimulateRepInitScalesWithArray(t *testing.T) {
+	small := randomLoop(1000, 1000, 1, 1)
+	big := randomLoop(100000, 1000, 1, 1)
+	mS := vtime.NewMachine(4, vtime.DefaultConfig())
+	mB := vtime.NewMachine(4, vtime.DefaultConfig())
+	bS := Rep{}.Simulate(small, mS)
+	bB := Rep{}.Simulate(big, mB)
+	if bB.Init < 10*bS.Init {
+		t.Errorf("rep Init should scale ~linearly with array size: small=%g big=%g", bS.Init, bB.Init)
+	}
+}
+
+func TestSimulateHashBeatsRepWhenVerySparse(t *testing.T) {
+	// Spice-like: huge array, tiny touched set. hash must beat rep in
+	// virtual time (this is the paper's headline qualitative claim for
+	// hash reductions).
+	rng := rand.New(rand.NewSource(17))
+	l := trace.NewLoop("spicey", 200000)
+	l.WorkPerIter = 50
+	hot := make([]int32, 300)
+	for i := range hot {
+		hot[i] = int32(rng.Intn(200000))
+	}
+	for i := 0; i < 4000; i++ {
+		l.AddIter(hot[rng.Intn(len(hot))], hot[rng.Intn(len(hot))])
+	}
+	mh := vtime.NewMachine(8, vtime.DefaultConfig())
+	mr := vtime.NewMachine(8, vtime.DefaultConfig())
+	th := Hash{}.Simulate(l, mh).Total()
+	tr := Rep{}.Simulate(l, mr).Total()
+	if th >= tr {
+		t.Errorf("hash (%g) should beat rep (%g) on very sparse pattern", th, tr)
+	}
+}
+
+func TestSimulateRepBeatsHashWhenDense(t *testing.T) {
+	// Small dense array with high contention: rep must beat hash.
+	l := clusteredLoop(512, 20000, 23)
+	l.WorkPerIter = 5
+	mh := vtime.NewMachine(8, vtime.DefaultConfig())
+	mr := vtime.NewMachine(8, vtime.DefaultConfig())
+	th := Hash{}.Simulate(l, mh).Total()
+	tr := Rep{}.Simulate(l, mr).Total()
+	if tr >= th {
+		t.Errorf("rep (%g) should beat hash (%g) on dense contended pattern", tr, th)
+	}
+}
+
+func TestRunPanicsOnZeroProcs(t *testing.T) {
+	l := randomLoop(10, 10, 1, 1)
+	for _, s := range All() {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic for procs=0", s.Name())
+				}
+			}()
+			s.Run(l, 0)
+		}()
+	}
+}
+
+func TestQuickAllSchemesAgree(t *testing.T) {
+	// Property: on arbitrary small patterns, every scheme produces the
+	// sequential result (within reassociation tolerance).
+	f := func(pat []uint16, procsRaw uint8) bool {
+		if len(pat) == 0 {
+			return true
+		}
+		procs := int(procsRaw)%8 + 1
+		n := 64
+		l := trace.NewLoop("q", n)
+		for i := 0; i+1 < len(pat); i += 2 {
+			l.AddIter(int32(int(pat[i])%n), int32(int(pat[i+1])%n))
+		}
+		want := l.RunSequential()
+		for _, s := range All() {
+			got := s.Run(l, procs)
+			for e := range want {
+				if math.Abs(got[e]-want[e]) > 1e-9*(1+math.Abs(want[e])) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

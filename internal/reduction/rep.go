@@ -1,0 +1,133 @@
+package reduction
+
+import (
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// Rep is the classic replicated-array reduction ("private accumulation and
+// global update in replicated private arrays" in the paper). Every
+// processor allocates a full private copy of the reduction array,
+// initializes it to the neutral element, accumulates its block of
+// iterations privately, and finally all processors cooperatively merge the
+// P private copies into the shared array.
+//
+// Rep wins when the array is small relative to the cache and the
+// contention ratio CHR is high (lots of references amortizing the
+// initialization and merge sweeps); it loses badly when the array is large
+// and sparsely referenced, because Init and Merge sweep P full copies
+// regardless of how few elements were touched.
+type Rep struct{}
+
+// Name returns "rep".
+func (Rep) Name() string { return "rep" }
+
+// Run executes the loop with replicated private arrays on procs goroutines.
+func (Rep) Run(l *trace.Loop, procs int) []float64 {
+	checkProcs(procs)
+	neutral := l.Op.Neutral()
+	priv := make([][]float64, procs)
+
+	// Init + Loop: each processor fills its private copy.
+	parallelFor(procs, func(p int) {
+		w := make([]float64, l.NumElems)
+		if neutral != 0 {
+			for i := range w {
+				w[i] = neutral
+			}
+		}
+		lo, hi := blockBounds(l.NumIters(), procs, p)
+		for i := lo; i < hi; i++ {
+			for k, idx := range l.Iter(i) {
+				w[idx] = l.Op.Apply(w[idx], trace.Value(i, k, idx))
+			}
+		}
+		priv[p] = w
+	})
+
+	// Merge: processors cooperatively combine element ranges.
+	out := make([]float64, l.NumElems)
+	parallelFor(procs, func(p int) {
+		lo, hi := blockBounds(l.NumElems, procs, p)
+		for e := lo; e < hi; e++ {
+			acc := neutral
+			for q := 0; q < procs; q++ {
+				acc = l.Op.Apply(acc, priv[q][e])
+			}
+			out[e] = acc
+		}
+	})
+	return out
+}
+
+// Simulate charges rep's traffic on the virtual machine: a full private
+// sweep at Init, private accumulation during Loop, and a P-way combine
+// sweep at Merge (reading every processor's copy, writing the shared
+// array).
+func (Rep) Simulate(l *trace.Loop, m *vtime.Machine) stats.Breakdown {
+	procs := m.Procs()
+	var b stats.Breakdown
+
+	// Init: every processor sweeps its entire private array (a
+	// sequential memset — misses overlap).
+	b.Init = m.Parallel(func(cpu *vtime.CPU) {
+		base := vtime.PrivateBase(cpu.ID()) + privArray
+		for e := 0; e < l.NumElems; e++ {
+			cpu.StreamStore(base + int64(e)*8)
+		}
+	})
+
+	// Loop: block-scheduled iterations accumulate privately.
+	refStart := refOffsets(l, procs)
+	b.Loop = m.Parallel(func(cpu *vtime.CPU) {
+		p := cpu.ID()
+		base := vtime.PrivateBase(p) + privArray
+		lo, hi := blockBounds(l.NumIters(), procs, p)
+		pos := refStart[p]
+		for i := lo; i < hi; i++ {
+			refs := l.Iter(i)
+			cpu.Compute(l.WorkPerIter)
+			loadIterRefs(cpu, pos, len(refs))
+			pos += len(refs)
+			for _, idx := range refs {
+				addr := base + int64(idx)*8
+				cpu.Load(addr)
+				cpu.Compute(1) // the reduction operation itself
+				cpu.Store(addr)
+			}
+		}
+	})
+
+	// Merge: each processor combines its element range across all copies.
+	// The P per-copy streams are sequential, so their misses overlap.
+	b.Merge = m.Parallel(func(cpu *vtime.CPU) {
+		p := cpu.ID()
+		lo, hi := blockBounds(l.NumElems, procs, p)
+		for e := lo; e < hi; e++ {
+			for q := 0; q < procs; q++ {
+				cpu.StreamLoad(vtime.PrivateBase(q) + privArray + int64(e)*8)
+				cpu.Compute(1)
+			}
+			cpu.StreamStore(sharedWBase + int64(e)*8)
+		}
+	})
+	return b
+}
+
+// refOffsets returns, for each processor's block start, the global
+// reference position where that block begins in the flattened ref stream.
+func refOffsets(l *trace.Loop, procs int) []int {
+	offs := make([]int, procs)
+	pos := 0
+	next := 0
+	for p := 0; p < procs; p++ {
+		lo, _ := blockBounds(l.NumIters(), procs, p)
+		for next < lo {
+			pos += len(l.Iter(next))
+			next++
+		}
+		offs[p] = pos
+	}
+	return offs
+}

@@ -1,0 +1,162 @@
+// Package reduction implements the paper's library of parallel reduction
+// algorithms (Section 4):
+//
+//   - rep:  private accumulation and global update in replicated private
+//     arrays
+//   - ll:   replicated buffer with links (lazy initialization, merge only
+//     touched elements)
+//   - sel:  selective privatization (only cross-processor shared elements
+//     are privatized; exclusive elements are written in place)
+//   - lw:   local write — an "owner computes" method with iteration
+//     replication and no merge phase
+//   - hash: sparse reductions with privatization in hash tables
+//
+// Every scheme offers two executions over the same trace.Loop:
+//
+//  1. Run: a real parallel execution on goroutines whose result must match
+//     the sequential reference (tested to tolerance, since parallel
+//     schemes reassociate the reduction operator), and
+//  2. Simulate: a deterministic virtual-time replay on a vtime.Machine
+//     that charges the memory traffic and computation the scheme performs
+//     and returns the Init/Loop/Merge breakdown of Figure 6.
+package reduction
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// Scheme is one parallel reduction algorithm.
+type Scheme interface {
+	// Name returns the paper's abbreviation: rep, ll, sel, lw or hash.
+	Name() string
+	// Run executes the loop in parallel on procs goroutines and returns
+	// the reduction array.
+	Run(l *trace.Loop, procs int) []float64
+	// Simulate replays the scheme's work on the virtual machine and
+	// returns the phase breakdown in cycles. The machine's clock advances.
+	Simulate(l *trace.Loop, m *vtime.Machine) stats.Breakdown
+}
+
+// All returns every scheme in the library, in the paper's order.
+func All() []Scheme {
+	return []Scheme{Rep{}, LinkedList{}, Selective{}, LocalWrite{}, Hash{}}
+}
+
+// ByName returns the scheme with the given paper abbreviation.
+func ByName(name string) (Scheme, error) {
+	for _, s := range All() {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("reduction: unknown scheme %q", name)
+}
+
+// Names returns the abbreviations of all schemes in library order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name()
+	}
+	return names
+}
+
+// Abstract address-space layout used by Simulate. The shared reduction
+// array w, the shared subscript stream x, and each processor's private
+// structures occupy disjoint regions (see vtime.PrivateBase). Bases carry
+// distinct line-granularity offsets so different arrays do not all alias
+// cache set 0 the way raw power-of-two bases would.
+const (
+	sharedWBase     = int64(1)<<20 + 7*64  // shared reduction array
+	sharedXBase     = int64(1)<<32 + 37*64 // shared subscript/index stream (read-only)
+	sharedRemapBase = int64(3)<<30 + 53*64 // shared remap table (sel)
+	privArray       = int64(0)             // offset of private replicated array
+	privFlags       = int64(1)<<34 + 17*64 // offset of private init-flag / link array
+	privTable       = int64(2)<<34 + 29*64 // offset of private hash table / remap
+)
+
+// blockBounds returns the [lo, hi) iteration range of block p when n
+// iterations are block-scheduled over procs processors, matching the
+// paper's static block scheduling (Figure 5 splits "0..Nodes" this way).
+func blockBounds(n, procs, p int) (lo, hi int) {
+	base := n / procs
+	rem := n % procs
+	lo = p*base + min(p, rem)
+	hi = lo + base
+	if p < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// owner returns the processor that owns element idx under a block
+// partition of numElems elements over procs processors (the partition the
+// local-write scheme uses).
+func owner(idx int32, numElems, procs int) int {
+	lo, hi := 0, procs
+	for lo < hi {
+		mid := (lo + hi) / 2
+		elemLo, elemHi := blockBounds(numElems, procs, mid)
+		switch {
+		case int(idx) < elemLo:
+			hi = mid
+		case int(idx) >= elemHi:
+			lo = mid + 1
+		default:
+			return mid
+		}
+	}
+	return lo
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// parallelFor runs body(p) for p in [0, procs) on procs goroutines and
+// waits for all of them.
+func parallelFor(procs int, body func(p int)) {
+	var wg sync.WaitGroup
+	wg.Add(procs)
+	for p := 0; p < procs; p++ {
+		go func(p int) {
+			defer wg.Done()
+			body(p)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// loadIterRefs charges the reads of iteration i's subscripts from the
+// shared index stream. refPos is the running global reference position so
+// that consecutive iterations stream through the same cache lines; the
+// stream is sequential, so its misses overlap.
+func loadIterRefs(cpu *vtime.CPU, refPos int, n int) {
+	for k := 0; k < n; k++ {
+		cpu.StreamLoad(sharedXBase + int64(refPos+k)*4)
+	}
+}
+
+// amortize scales an inspector-phase cost by the loop's invocation count:
+// the inspector's result depends only on the access pattern, so a program
+// invoking the loop K times pays it once, i.e. 1/K per invocation.
+func amortize(cost float64, l *trace.Loop) float64 {
+	return cost / float64(l.InvocationCount())
+}
+
+// checkProcs panics on a non-positive processor count; all schemes share
+// this argument contract.
+func checkProcs(procs int) {
+	if procs < 1 {
+		panic(fmt.Sprintf("reduction: invalid processor count %d", procs))
+	}
+}

@@ -1,0 +1,199 @@
+// Package sched implements the load-balancing support of Section 3:
+// feedback-guided block scheduling, "which allows highly imbalanced loops
+// to be block scheduled by predicting a good work distribution from
+// previous measured execution times of iteration blocks". Each invocation
+// measures per-block times; since block times are exact integrals of the
+// iteration-cost profile between boundaries, every boundary ever used
+// becomes an exact knot of the cumulative cost function. The scheduler
+// interpolates that function and re-cuts the boundaries at equal
+// cumulative cost, so a cost spike narrower than a block is bracketed
+// more tightly each round instead of sloshing between blocks.
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FeedbackScheduler maintains block boundaries for a loop executed
+// repeatedly with a slowly changing (but possibly very skewed) iteration
+// cost profile.
+type FeedbackScheduler struct {
+	procs int
+	iters int
+	// bounds has procs+1 entries; block p is [bounds[p], bounds[p+1]).
+	bounds []int
+	// knots maps an iteration index to the measured cumulative cost of
+	// all iterations before it. knots[0] == 0 always; knots[iters] is the
+	// total. Re-measured knots are exponentially averaged so the
+	// scheduler tracks slowly drifting profiles.
+	knots map[int]float64
+
+	invocations int
+}
+
+// NewFeedbackScheduler starts with an equal-size block partition.
+func NewFeedbackScheduler(procs, iters int) *FeedbackScheduler {
+	if procs < 1 || iters < 0 {
+		panic(fmt.Sprintf("sched: invalid procs=%d iters=%d", procs, iters))
+	}
+	s := &FeedbackScheduler{procs: procs, iters: iters, knots: map[int]float64{0: 0}}
+	s.bounds = make([]int, procs+1)
+	for p := 0; p <= procs; p++ {
+		s.bounds[p] = p * iters / procs
+	}
+	return s
+}
+
+// Blocks returns the current block ranges: procs pairs [lo, hi).
+func (s *FeedbackScheduler) Blocks() [][2]int {
+	out := make([][2]int, s.procs)
+	for p := 0; p < s.procs; p++ {
+		out[p] = [2]int{s.bounds[p], s.bounds[p+1]}
+	}
+	return out
+}
+
+// Record feeds the measured execution time of each block from the last
+// invocation and recomputes the boundaries for the next one.
+func (s *FeedbackScheduler) Record(times []float64) {
+	if len(times) != s.procs {
+		panic(fmt.Sprintf("sched: %d block times for %d blocks", len(times), s.procs))
+	}
+	s.invocations++
+	if s.iters == 0 {
+		return
+	}
+
+	// Update the cumulative-cost knots at the boundaries just used.
+	acc := 0.0
+	for p := 0; p < s.procs; p++ {
+		acc += times[p]
+		b := s.bounds[p+1]
+		if old, ok := s.knots[b]; ok {
+			s.knots[b] = 0.5*old + 0.5*acc
+		} else {
+			s.knots[b] = acc
+		}
+	}
+	total := s.knots[s.iters]
+	if total <= 0 {
+		return
+	}
+	// Enforce monotonicity over the knot set (measurement noise or a
+	// drifting profile can locally violate it).
+	keys := s.sortedKnots()
+	prev := 0.0
+	for _, k := range keys {
+		if s.knots[k] < prev {
+			s.knots[k] = prev
+		}
+		prev = s.knots[k]
+	}
+	total = s.knots[s.iters]
+
+	// Cut at equal cumulative cost by linear interpolation between knots.
+	newBounds := make([]int, s.procs+1)
+	newBounds[s.procs] = s.iters
+	for p := 1; p < s.procs; p++ {
+		target := total * float64(p) / float64(s.procs)
+		newBounds[p] = s.invertCum(keys, target)
+	}
+	for p := 1; p <= s.procs; p++ {
+		if newBounds[p] < newBounds[p-1] {
+			newBounds[p] = newBounds[p-1]
+		}
+	}
+	s.bounds = newBounds
+}
+
+func (s *FeedbackScheduler) sortedKnots() []int {
+	keys := make([]int, 0, len(s.knots))
+	for k := range s.knots {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// invertCum returns the iteration at which the interpolated cumulative
+// cost reaches target.
+func (s *FeedbackScheduler) invertCum(keys []int, target float64) int {
+	for j := 1; j < len(keys); j++ {
+		k1, k2 := keys[j-1], keys[j]
+		c1, c2 := s.knots[k1], s.knots[k2]
+		if target > c2 {
+			continue
+		}
+		if c2 == c1 {
+			return k1
+		}
+		frac := (target - c1) / (c2 - c1)
+		b := k1 + int(frac*float64(k2-k1)+0.5)
+		if b < k1 {
+			b = k1
+		}
+		if b > k2 {
+			b = k2
+		}
+		return b
+	}
+	return s.iters
+}
+
+// Imbalance returns max(times)/mean(times) for a measurement; 1.0 is
+// perfectly balanced.
+func Imbalance(times []float64) float64 {
+	if len(times) == 0 {
+		return 1
+	}
+	var sum, max float64
+	for _, t := range times {
+		sum += t
+		if t > max {
+			max = t
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	return max / (sum / float64(len(times)))
+}
+
+// PredictTimes returns the scheduler's predicted per-block times for its
+// current boundaries from the interpolated cumulative cost (nil before
+// any Record).
+func (s *FeedbackScheduler) PredictTimes() []float64 {
+	if s.invocations == 0 {
+		return nil
+	}
+	keys := s.sortedKnots()
+	out := make([]float64, s.procs)
+	for p := 0; p < s.procs; p++ {
+		out[p] = s.cumAt(keys, s.bounds[p+1]) - s.cumAt(keys, s.bounds[p])
+	}
+	return out
+}
+
+func (s *FeedbackScheduler) cumAt(keys []int, i int) float64 {
+	if c, ok := s.knots[i]; ok {
+		return c
+	}
+	for j := 1; j < len(keys); j++ {
+		if keys[j] >= i {
+			k1, k2 := keys[j-1], keys[j]
+			c1, c2 := s.knots[k1], s.knots[k2]
+			if k2 == k1 {
+				return c1
+			}
+			return c1 + (c2-c1)*float64(i-k1)/float64(k2-k1)
+		}
+	}
+	if len(keys) > 0 {
+		return s.knots[keys[len(keys)-1]]
+	}
+	return 0
+}
+
+// Invocations returns how many measurements have been recorded.
+func (s *FeedbackScheduler) Invocations() int { return s.invocations }

@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+// measure simulates executing the blocks of a loop whose iteration i
+// costs cost(i), returning per-block times.
+func measure(blocks [][2]int, cost func(int) float64) []float64 {
+	out := make([]float64, len(blocks))
+	for p, b := range blocks {
+		for i := b[0]; i < b[1]; i++ {
+			out[p] += cost(i)
+		}
+	}
+	return out
+}
+
+func TestInitialBlocksCoverAll(t *testing.T) {
+	s := NewFeedbackScheduler(4, 103)
+	blocks := s.Blocks()
+	if len(blocks) != 4 {
+		t.Fatalf("got %d blocks", len(blocks))
+	}
+	prev := 0
+	total := 0
+	for _, b := range blocks {
+		if b[0] != prev {
+			t.Errorf("gap at %d", b[0])
+		}
+		total += b[1] - b[0]
+		prev = b[1]
+	}
+	if total != 103 || prev != 103 {
+		t.Errorf("blocks cover %d iterations ending at %d, want 103", total, prev)
+	}
+}
+
+func TestFeedbackConvergesOnSkewedLoop(t *testing.T) {
+	// A triangular loop: iteration i costs i+1 (classic imbalance for
+	// block scheduling).
+	cost := func(i int) float64 { return float64(i + 1) }
+	s := NewFeedbackScheduler(8, 1000)
+
+	first := Imbalance(measure(s.Blocks(), cost))
+	var last float64
+	for round := 0; round < 5; round++ {
+		times := measure(s.Blocks(), cost)
+		last = Imbalance(times)
+		s.Record(times)
+	}
+	times := measure(s.Blocks(), cost)
+	last = Imbalance(times)
+	if first < 1.5 {
+		t.Fatalf("triangular loop should start imbalanced, got %.2f", first)
+	}
+	if last > 1.1 {
+		t.Errorf("imbalance after feedback %.3f, want <= 1.1 (started at %.2f)", last, first)
+	}
+}
+
+func TestFeedbackHandlesSpike(t *testing.T) {
+	// All cost concentrated in a narrow region.
+	cost := func(i int) float64 {
+		if i >= 500 && i < 520 {
+			return 100
+		}
+		return 1
+	}
+	s := NewFeedbackScheduler(4, 1000)
+	for round := 0; round < 6; round++ {
+		s.Record(measure(s.Blocks(), cost))
+	}
+	if imb := Imbalance(measure(s.Blocks(), cost)); imb > 1.6 {
+		t.Errorf("spike imbalance after feedback = %.2f", imb)
+	}
+}
+
+func TestPredictTimesMatchesDensity(t *testing.T) {
+	cost := func(i int) float64 { return float64(i%5) + 1 }
+	s := NewFeedbackScheduler(4, 400)
+	if s.PredictTimes() != nil {
+		t.Error("no prediction before any measurement")
+	}
+	meas := measure(s.Blocks(), cost)
+	s.Record(meas)
+	pred := s.PredictTimes()
+	var predSum, measSum float64
+	for i := range pred {
+		predSum += pred[i]
+		measSum += meas[i]
+	}
+	if math.Abs(predSum-measSum) > 1e-9 {
+		t.Errorf("predicted total %g != measured total %g", predSum, measSum)
+	}
+}
+
+func TestImbalanceEdgeCases(t *testing.T) {
+	if Imbalance(nil) != 1 {
+		t.Error("empty imbalance should be 1")
+	}
+	if Imbalance([]float64{0, 0}) != 1 {
+		t.Error("all-zero imbalance should be 1")
+	}
+	if got := Imbalance([]float64{1, 1, 1, 5}); math.Abs(got-2.5) > 1e-12 {
+		t.Errorf("Imbalance = %g, want 2.5", got)
+	}
+}
+
+func TestRecordPanicsOnWrongLength(t *testing.T) {
+	s := NewFeedbackScheduler(4, 100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Record([]float64{1, 2})
+}
+
+func TestZeroIterationLoop(t *testing.T) {
+	s := NewFeedbackScheduler(3, 0)
+	s.Record([]float64{0, 0, 0})
+	for _, b := range s.Blocks() {
+		if b[0] != 0 || b[1] != 0 {
+			t.Errorf("empty loop block %v", b)
+		}
+	}
+}
+
+func TestInvocationsCounter(t *testing.T) {
+	s := NewFeedbackScheduler(2, 10)
+	s.Record([]float64{1, 1})
+	s.Record([]float64{1, 1})
+	if s.Invocations() != 2 {
+		t.Errorf("Invocations = %d, want 2", s.Invocations())
+	}
+}

@@ -1,0 +1,190 @@
+// Package simarch defines the modeled CC-NUMA architecture of the paper's
+// Section 6.1 (Table 1): per-node processor, two-level write-back cache
+// hierarchy, a slice of the shared memory with its directory controller,
+// and a DASH-style network with local and 2-hop remote latencies. The
+// directory controller carries the PCLR extensions: a double-precision
+// floating-point add unit clocked at one third of the processor frequency,
+// fully pipelined (one addition every 3 processor cycles, 6-cycle
+// latency), in both a hardwired (Hw) and a programmable FLASH/MAGIC-style
+// (Flex) implementation.
+package simarch
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Controller selects the directory-controller implementation for PCLR.
+type Controller int
+
+const (
+	// Hardwired is the Hw configuration: dedicated hardware performs the
+	// PCLR protocol actions.
+	Hardwired Controller = iota
+	// Programmable is the Flex configuration: a programmable controller
+	// (like the FLASH MAGIC micro-controller) runs protocol handlers in
+	// software, adding per-transaction occupancy.
+	Programmable
+)
+
+// String names the controller configuration as the paper's figures do.
+func (c Controller) String() string {
+	switch c {
+	case Hardwired:
+		return "Hw"
+	case Programmable:
+		return "Flex"
+	default:
+		return fmt.Sprintf("Controller(%d)", int(c))
+	}
+}
+
+// Config is the modeled machine. All latencies are in processor cycles and
+// mirror Table 1.
+type Config struct {
+	// Nodes is the processor/node count (up to 16 in the paper).
+	Nodes int
+
+	// L1Bytes/L1Assoc and L2Bytes/L2Assoc give the cache geometry
+	// (32 KB 2-way and 512 KB 4-way); LineBytes is 64 at both levels.
+	L1Bytes, L1Assoc int
+	L2Bytes, L2Assoc int
+	LineBytes        int
+
+	// L1HitCycles and L2HitCycles are hit latencies (2 and 10).
+	L1HitCycles, L2HitCycles float64
+	// LocalMemCycles is the contention-free round trip to local memory
+	// (104); RemoteMemCycles the 2-hop round trip (297).
+	LocalMemCycles, RemoteMemCycles float64
+
+	// CPI charges non-memory instructions (4-issue dynamic superscalar;
+	// sustained non-memory IPC ~2 on these codes).
+	CPI float64
+
+	// StreamOverlap is the miss overlap factor for sequential sweeps
+	// (8 pending loads / 16 pending stores in Table 1).
+	StreamOverlap float64
+
+	// DirClockDivisor expresses that the directory controller and its FP
+	// unit run at 1/3 of the processor clock.
+	DirClockDivisor float64
+	// FPAddCyclesDir is the FP adder's initiation interval in directory
+	// cycles (fully pipelined: 1); FPAddLatencyDir its latency in
+	// directory cycles (2).
+	FPAddCyclesDir, FPAddLatencyDir float64
+
+	// DirOccupancyCycles is the processor-cycle occupancy of the
+	// hardwired controller per protocol transaction, excluding FP work.
+	DirOccupancyCycles float64
+	// FlexOccupancyFactor multiplies all directory occupancy when the
+	// controller is programmable (software handlers).
+	FlexOccupancyFactor float64
+
+	// MemBankOccupancy is the occupancy of a node's memory bank per line
+	// access (read or write-back), modeling contention at the memory.
+	MemBankOccupancy float64
+}
+
+// DefaultConfig returns the Table 1 machine with n nodes.
+func DefaultConfig(n int) Config {
+	return Config{
+		Nodes:   n,
+		L1Bytes: 32 << 10, L1Assoc: 2,
+		L2Bytes: 512 << 10, L2Assoc: 4,
+		LineBytes:   64,
+		L1HitCycles: 2, L2HitCycles: 10,
+		LocalMemCycles: 104, RemoteMemCycles: 297,
+		CPI:                 0.5,
+		StreamOverlap:       8,
+		DirClockDivisor:     3,
+		FPAddCyclesDir:      1,
+		FPAddLatencyDir:     2,
+		DirOccupancyCycles:  18,
+		FlexOccupancyFactor: 1.8,
+		MemBankOccupancy:    12,
+	}
+}
+
+// LineElems returns how many 8-byte reduction elements fit a cache line.
+func (c Config) LineElems() int { return c.LineBytes / 8 }
+
+// CombineOccupancy returns the processor-cycle occupancy at a directory
+// for combining one displaced reduction line (all LineElems elements
+// through the FP add pipeline, plus the controller's protocol handling).
+func (c Config) CombineOccupancy(ctrl Controller) float64 {
+	// The pipelined adder starts one element every FPAddCyclesDir
+	// directory cycles; the controller adds fixed protocol occupancy.
+	fp := float64(c.LineElems()) * c.FPAddCyclesDir * c.DirClockDivisor
+	occ := c.DirOccupancyCycles + fp
+	if ctrl == Programmable {
+		occ *= c.FlexOccupancyFactor
+	}
+	return occ
+}
+
+// FormatTable1 renders the architectural parameters the way the paper's
+// Table 1 presents them.
+func (c Config) FormatTable1() string {
+	rows := [][]string{
+		{"Processor", fmt.Sprintf("4-issue dynamic (CPI %.2g non-memory), %d nodes", c.CPI, c.Nodes)},
+		{"L1 cache", fmt.Sprintf("%d KB, %d-way, %d B lines, %.0f-cycle hit", c.L1Bytes>>10, c.L1Assoc, c.LineBytes, c.L1HitCycles)},
+		{"L2 cache", fmt.Sprintf("%d KB, %d-way, %d B lines, %.0f-cycle hit", c.L2Bytes>>10, c.L2Assoc, c.LineBytes, c.L2HitCycles)},
+		{"Local memory latency", fmt.Sprintf("%.0f cycles (contention-free round trip)", c.LocalMemCycles)},
+		{"2-hop memory latency", fmt.Sprintf("%.0f cycles (contention-free round trip)", c.RemoteMemCycles)},
+		{"Directory controller", fmt.Sprintf("clocked at 1/%.0f of processor; FP add pipelined, latency %.0f dir cycles", c.DirClockDivisor, c.FPAddLatencyDir)},
+		{"PCLR combine occupancy", fmt.Sprintf("Hw %.0f cycles/line, Flex %.0f cycles/line", c.CombineOccupancy(Hardwired), c.CombineOccupancy(Programmable))},
+	}
+	return stats.FormatTable([]string{"Parameter", "Value"}, rows)
+}
+
+// Validate reports the first configuration error, or nil.
+func (c Config) Validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("simarch: Nodes must be >= 1, got %d", c.Nodes)
+	}
+	if c.LineBytes < 8 || c.LineBytes%8 != 0 {
+		return fmt.Errorf("simarch: LineBytes must be a positive multiple of 8, got %d", c.LineBytes)
+	}
+	if c.L1Bytes < c.LineBytes || c.L2Bytes < c.LineBytes {
+		return fmt.Errorf("simarch: caches must hold at least one line")
+	}
+	if c.DirClockDivisor <= 0 || c.FlexOccupancyFactor < 1 {
+		return fmt.Errorf("simarch: controller timing parameters invalid")
+	}
+	return nil
+}
+
+// Server models a contended resource with an occupancy per request: a
+// directory controller, FP unit or memory bank. Requests arrive at a time
+// and are serviced FIFO; Serve returns the completion time.
+type Server struct {
+	busyUntil float64
+	demand    float64
+	served    int64
+}
+
+// Serve enqueues a request arriving at time t with the given occupancy and
+// returns when it completes.
+func (s *Server) Serve(t, occupancy float64) float64 {
+	start := t
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	s.busyUntil = start + occupancy
+	s.demand += occupancy
+	s.served++
+	return s.busyUntil
+}
+
+// BusyUntil returns the time the server becomes free.
+func (s *Server) BusyUntil() float64 { return s.busyUntil }
+
+// Demand returns the total occupancy served so far.
+func (s *Server) Demand() float64 { return s.demand }
+
+// Served returns the number of requests served.
+func (s *Server) Served() int64 { return s.served }
+
+// Reset clears the server to idle at time 0.
+func (s *Server) Reset() { *s = Server{} }

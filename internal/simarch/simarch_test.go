@@ -1,0 +1,101 @@
+package simarch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultConfigMatchesTable1(t *testing.T) {
+	c := DefaultConfig(16)
+	if c.L1Bytes != 32<<10 || c.L1Assoc != 2 {
+		t.Errorf("L1 geometry %d/%d, Table 1 says 32KB 2-way", c.L1Bytes, c.L1Assoc)
+	}
+	if c.L2Bytes != 512<<10 || c.L2Assoc != 4 {
+		t.Errorf("L2 geometry %d/%d, Table 1 says 512KB 4-way", c.L2Bytes, c.L2Assoc)
+	}
+	if c.LineBytes != 64 {
+		t.Errorf("line size %d, Table 1 says 64B", c.LineBytes)
+	}
+	if c.L1HitCycles != 2 || c.L2HitCycles != 10 {
+		t.Errorf("hit latencies %g/%g, Table 1 says 2/10", c.L1HitCycles, c.L2HitCycles)
+	}
+	if c.LocalMemCycles != 104 || c.RemoteMemCycles != 297 {
+		t.Errorf("memory latencies %g/%g, Table 1 says 104/297", c.LocalMemCycles, c.RemoteMemCycles)
+	}
+	if c.DirClockDivisor != 3 {
+		t.Errorf("directory clock divisor %g, paper says 1/3 of processor", c.DirClockDivisor)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.LineBytes = 60 },
+		func(c *Config) { c.L1Bytes = 8 },
+		func(c *Config) { c.FlexOccupancyFactor = 0.5 },
+	}
+	for i, mutate := range cases {
+		c := DefaultConfig(4)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestControllerString(t *testing.T) {
+	if Hardwired.String() != "Hw" || Programmable.String() != "Flex" {
+		t.Error("controller names must match the paper's figure labels")
+	}
+}
+
+func TestLineElems(t *testing.T) {
+	if got := DefaultConfig(1).LineElems(); got != 8 {
+		t.Errorf("LineElems = %d, want 8 (64B line / 8B doubles)", got)
+	}
+}
+
+func TestCombineOccupancyPipelining(t *testing.T) {
+	c := DefaultConfig(1)
+	hw := c.CombineOccupancy(Hardwired)
+	// The FP pipeline starts one element per directory cycle: 8 elements
+	// x 3 processor cycles, plus the protocol occupancy.
+	want := c.DirOccupancyCycles + 8*3
+	if hw != want {
+		t.Errorf("Hw combine occupancy %g, want %g", hw, want)
+	}
+}
+
+func TestFormatTable1Contents(t *testing.T) {
+	s := DefaultConfig(16).FormatTable1()
+	for _, needle := range []string{"32 KB", "512 KB", "104", "297", "1/3"} {
+		if !strings.Contains(s, needle) {
+			t.Errorf("Table 1 output missing %q:\n%s", needle, s)
+		}
+	}
+}
+
+func TestServerFIFO(t *testing.T) {
+	var s Server
+	if done := s.Serve(10, 5); done != 15 {
+		t.Errorf("first request done at %g, want 15", done)
+	}
+	// Arrives while busy: queues.
+	if done := s.Serve(12, 5); done != 20 {
+		t.Errorf("queued request done at %g, want 20", done)
+	}
+	// Arrives after idle: starts immediately.
+	if done := s.Serve(100, 5); done != 105 {
+		t.Errorf("idle request done at %g, want 105", done)
+	}
+	if s.Demand() != 15 || s.Served() != 3 {
+		t.Errorf("demand/served = %g/%d, want 15/3", s.Demand(), s.Served())
+	}
+	s.Reset()
+	if s.BusyUntil() != 0 || s.Demand() != 0 {
+		t.Error("reset must clear the server")
+	}
+}

@@ -1,0 +1,233 @@
+package spec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// parallelLoop builds a loop with no cross-iteration dependences: each
+// iteration reads and writes its own disjoint elements.
+func parallelLoop(iters int) *Loop {
+	l := NewLoop(iters * 2)
+	for i := 0; i < iters; i++ {
+		l.AddIter(
+			Access{Elem: int32(2 * i), Kind: Read},
+			Access{Elem: int32(2*i + 1), Kind: Write},
+		)
+	}
+	return l
+}
+
+// trackLike builds a partially parallel loop modeled on the paper's TRACK
+// code: most iterations are independent, but a fraction read an element a
+// recent earlier iteration wrote (position-dependent interactions).
+func trackLike(iters int, depFrac float64, seed int64) *Loop {
+	rng := rand.New(rand.NewSource(seed))
+	l := NewLoop(iters + 1)
+	for i := 0; i < iters; i++ {
+		// Independent by default: each iteration updates its own element.
+		accs := []Access{
+			{Elem: int32(i), Kind: Read},
+			{Elem: int32(i), Kind: Write},
+		}
+		if i > 0 && rng.Float64() < depFrac {
+			// Read something a nearby earlier iteration wrote.
+			back := 1 + rng.Intn(minI(i, 16))
+			accs = append(accs, Access{Elem: int32(i - back), Kind: Read})
+		}
+		l.AddIter(accs...)
+	}
+	return l
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func initArray(n int) []float64 {
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = float64(i%13) * 0.125
+	}
+	return a
+}
+
+func assertSame(t *testing.T, got, want []float64, what string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("%s: element %d = %g, want %g", what, i, got[i], want[i])
+		}
+	}
+}
+
+func TestLRPDPassesOnParallelLoop(t *testing.T) {
+	l := parallelLoop(200)
+	init := initArray(l.NumElems)
+	res := l.LRPD(init, 4)
+	if !res.Passed {
+		t.Fatalf("fully parallel loop failed LRPD at iteration %d", res.FirstDependence)
+	}
+	assertSame(t, res.Array, l.RunSequential(init), "LRPD commit")
+}
+
+func TestLRPDDetectsDependence(t *testing.T) {
+	// Iteration 3 reads what iteration 1 writes: a flow dependence.
+	l := NewLoop(8)
+	l.AddIter(Access{Elem: 0, Kind: Write})
+	l.AddIter(Access{Elem: 5, Kind: Write})
+	l.AddIter(Access{Elem: 1, Kind: Write})
+	l.AddIter(Access{Elem: 5, Kind: Read}, Access{Elem: 2, Kind: Write})
+	res := l.LRPD(initArray(8), 2)
+	if res.Passed {
+		t.Fatal("LRPD must detect the cross-iteration flow dependence")
+	}
+	if res.FirstDependence != 3 {
+		t.Errorf("first dependence sink = %d, want 3", res.FirstDependence)
+	}
+}
+
+func TestLRPDVariousProcCounts(t *testing.T) {
+	l := parallelLoop(100)
+	init := initArray(l.NumElems)
+	want := l.RunSequential(init)
+	for _, procs := range []int{1, 2, 3, 8} {
+		res := l.LRPD(init, procs)
+		if !res.Passed {
+			t.Fatalf("procs=%d: spuriously failed", procs)
+		}
+		assertSame(t, res.Array, want, "LRPD")
+	}
+}
+
+func TestRLRPDFullyParallelOnePass(t *testing.T) {
+	l := parallelLoop(300)
+	init := initArray(l.NumElems)
+	got, st := l.RLRPD(init, 8)
+	if st.Passes != 1 {
+		t.Errorf("fully parallel loop took %d passes, want 1", st.Passes)
+	}
+	if st.IterationsExecuted != 300 {
+		t.Errorf("executed %d iterations, want 300 (no re-execution)", st.IterationsExecuted)
+	}
+	assertSame(t, got, l.RunSequential(init), "R-LRPD")
+}
+
+func TestRLRPDPartiallyParallelCorrect(t *testing.T) {
+	for _, depFrac := range []float64{0.01, 0.05, 0.3, 0.9} {
+		l := trackLike(400, depFrac, 42)
+		init := initArray(l.NumElems)
+		got, st := l.RLRPD(init, 8)
+		assertSame(t, got, l.RunSequential(init), "R-LRPD partial")
+		if st.Passes < 1 {
+			t.Errorf("depFrac=%g: %d passes", depFrac, st.Passes)
+		}
+	}
+}
+
+func TestRLRPDSequentialChainWorstCase(t *testing.T) {
+	// Every iteration reads its predecessor's write: fully sequential.
+	l := NewLoop(64)
+	for i := 0; i < 63; i++ {
+		l.AddIter(Access{Elem: int32(i), Kind: Read}, Access{Elem: int32(i + 1), Kind: Write})
+	}
+	init := initArray(64)
+	got, st := l.RLRPD(init, 4)
+	assertSame(t, got, l.RunSequential(init), "sequential chain")
+	if st.Passes < 2 {
+		t.Errorf("a dependence chain should take multiple passes, got %d", st.Passes)
+	}
+}
+
+func TestRLRPDCommitsPrefixMonotonically(t *testing.T) {
+	l := trackLike(500, 0.1, 7)
+	init := initArray(l.NumElems)
+	_, st := l.RLRPD(init, 8)
+	total := 0
+	for _, c := range st.CommittedPerPass {
+		if c <= 0 {
+			t.Fatalf("a pass committed %d iterations", c)
+		}
+		total += c
+	}
+	if total != 500 {
+		t.Errorf("committed %d iterations total, want 500", total)
+	}
+}
+
+func TestRLRPDBeatsSequentialOnMostlyParallel(t *testing.T) {
+	// The paper's headline for TRACK: speedup where speculation
+	// previously failed outright.
+	l := trackLike(2000, 0.02, 3)
+	init := initArray(l.NumElems)
+	// Plain LRPD on the whole loop must fail...
+	if res := l.LRPD(init, 8); res.Passed {
+		t.Skip("random instance happened to be fully parallel")
+	}
+	// ...but R-LRPD extracts most of the parallelism.
+	_, st := l.RLRPD(init, 8)
+	sp := st.SpeedupEstimate(2000, 8)
+	if sp < 2 {
+		t.Errorf("R-LRPD speedup estimate %.2f on a 2%%-dependent loop, want >= 2", sp)
+	}
+	// Re-execution overhead stays bounded.
+	if st.IterationsExecuted > 3*2000 {
+		t.Errorf("executed %d iterations for a 2000-iteration loop", st.IterationsExecuted)
+	}
+}
+
+func TestSpeedupEstimateDegenerate(t *testing.T) {
+	var st RLRPDStats
+	if got := st.SpeedupEstimate(100, 8); got != 1 {
+		t.Errorf("empty stats speedup = %g, want 1", got)
+	}
+}
+
+func TestAddIterPanicsOnBadElem(t *testing.T) {
+	l := NewLoop(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.AddIter(Access{Elem: 9, Kind: Read})
+}
+
+func TestQuickRLRPDAlwaysCorrect(t *testing.T) {
+	// Property: for random small loops of any dependence structure,
+	// R-LRPD's result equals sequential execution.
+	f := func(pat []uint8, procsRaw uint8) bool {
+		procs := int(procsRaw)%6 + 1
+		l := NewLoop(32)
+		for j := 0; j+2 < len(pat); j += 3 {
+			l.AddIter(
+				Access{Elem: int32(pat[j] % 32), Kind: Read},
+				Access{Elem: int32(pat[j+1] % 32), Kind: Read},
+				Access{Elem: int32(pat[j+2] % 32), Kind: Write},
+			)
+		}
+		if l.NumIters() == 0 {
+			return true
+		}
+		init := initArray(32)
+		got, _ := l.RLRPD(init, procs)
+		want := l.RunSequential(init)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

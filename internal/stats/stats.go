@@ -1,0 +1,245 @@
+// Package stats provides small numeric helpers used throughout the
+// SmartApps reproduction: means, histograms, and speedup/time-breakdown
+// bookkeeping that mirrors how the paper reports its results (the paper
+// reports averages across applications using the harmonic mean, and
+// Figure 6 reports per-application execution time broken into Init, Loop
+// and Merge phases).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// HarmonicMean returns the harmonic mean of xs. It returns 0 for an empty
+// slice and panics if any value is not strictly positive, since a harmonic
+// mean of speedups is only meaningful for positive values.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var inv float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: harmonic mean of non-positive value %g", x))
+		}
+		inv += 1 / x
+	}
+	return float64(len(xs)) / inv
+}
+
+// ArithmeticMean returns the arithmetic mean of xs, or 0 for an empty slice.
+func ArithmeticMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeometricMean returns the geometric mean of xs, or 0 for an empty slice.
+// All values must be strictly positive.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("stats: geometric mean of non-positive value %g", x))
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs, or 0 for an empty slice.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Histogram is an integer-valued frequency count keyed by an integer bin.
+// The paper's CH metric ("a histogram which shows the number of elements
+// referenced by a certain number of iterations") is an instance of this.
+type Histogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int)}
+}
+
+// Add increments the count of bin by one.
+func (h *Histogram) Add(bin int) {
+	h.counts[bin]++
+	h.total++
+}
+
+// AddN increments the count of bin by n.
+func (h *Histogram) AddN(bin, n int) {
+	h.counts[bin] += n
+	h.total += n
+}
+
+// Count returns the count recorded for bin.
+func (h *Histogram) Count(bin int) int { return h.counts[bin] }
+
+// Total returns the total number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Bins returns the sorted list of non-empty bins.
+func (h *Histogram) Bins() []int {
+	bins := make([]int, 0, len(h.counts))
+	for b := range h.counts {
+		bins = append(bins, b)
+	}
+	sort.Ints(bins)
+	return bins
+}
+
+// Mean returns the observation-weighted mean bin value.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for b, c := range h.counts {
+		sum += float64(b) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// Quantile returns the smallest bin b such that at least q (0..1) of the
+// observations fall in bins <= b.
+func (h *Histogram) Quantile(q float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	target := int(math.Ceil(q * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	acc := 0
+	for _, b := range h.Bins() {
+		acc += h.counts[b]
+		if acc >= target {
+			return b
+		}
+	}
+	bins := h.Bins()
+	return bins[len(bins)-1]
+}
+
+// Breakdown records execution time split into the three phases the paper
+// uses in Figure 6: initialization of private storage (Init), the parallel
+// loop body (Loop), and merging partial results or flushing caches (Merge).
+type Breakdown struct {
+	Init  float64
+	Loop  float64
+	Merge float64
+}
+
+// Total returns the summed phase time.
+func (b Breakdown) Total() float64 { return b.Init + b.Loop + b.Merge }
+
+// Normalized returns the breakdown scaled so that reference maps to 1.0,
+// matching Figure 6's bars which are normalized to the Sw scheme.
+func (b Breakdown) Normalized(reference float64) Breakdown {
+	if reference == 0 {
+		return Breakdown{}
+	}
+	return Breakdown{Init: b.Init / reference, Loop: b.Loop / reference, Merge: b.Merge / reference}
+}
+
+// Add returns the phase-wise sum of two breakdowns.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{Init: b.Init + o.Init, Loop: b.Loop + o.Loop, Merge: b.Merge + o.Merge}
+}
+
+// Scale returns the breakdown with every phase multiplied by f.
+func (b Breakdown) Scale(f float64) Breakdown {
+	return Breakdown{Init: b.Init * f, Loop: b.Loop * f, Merge: b.Merge * f}
+}
+
+// String renders the breakdown in a compact fixed-point form.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("init=%.3f loop=%.3f merge=%.3f total=%.3f", b.Init, b.Loop, b.Merge, b.Total())
+}
+
+// Speedup returns sequential/parallel, guarding against a zero denominator.
+func Speedup(sequential, parallel float64) float64 {
+	if parallel <= 0 {
+		return 0
+	}
+	return sequential / parallel
+}
+
+// FormatTable renders rows as a fixed-width text table with the given
+// header. It is used by the experiment harness so that `cmd/smartapps`
+// prints tables shaped like the paper's.
+func FormatTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			if pad := widths[i] - len(cell); pad > 0 && i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestHarmonicMeanBasic(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{[]float64{1, 1, 1}, 1},
+		{[]float64{2, 2}, 2},
+		{[]float64{1, 2}, 4.0 / 3.0},
+		{[]float64{4, 4, 4, 4}, 4},
+	}
+	for _, c := range cases {
+		if got := HarmonicMean(c.in); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("HarmonicMean(%v) = %g, want %g", c.in, got, c.want)
+		}
+	}
+}
+
+func TestHarmonicMeanEmpty(t *testing.T) {
+	if got := HarmonicMean(nil); got != 0 {
+		t.Errorf("HarmonicMean(nil) = %g, want 0", got)
+	}
+}
+
+func TestHarmonicMeanPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive input")
+		}
+	}()
+	HarmonicMean([]float64{1, 0})
+}
+
+func TestHarmonicLessOrEqualArithmetic(t *testing.T) {
+	// Property: HM <= GM <= AM for positive values.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, r := range raw {
+			v := math.Abs(r)
+			if v > 1e-6 && v < 1e6 && !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		hm, gm, am := HarmonicMean(xs), GeometricMean(xs), ArithmeticMean(xs)
+		return hm <= gm*(1+1e-9) && gm <= am*(1+1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperFig7Average(t *testing.T) {
+	// The harmonic mean of the five Hw speedups from Figure 6
+	// (4.0, 14.0, 6.1, 9.9, 15.6) should be near the paper's reported
+	// average of 7.6 for the 16-node Hw configuration.
+	hw := []float64{4.0, 14.0, 6.1, 9.9, 15.6}
+	got := HarmonicMean(hw)
+	if got < 7.0 || got > 8.2 {
+		t.Errorf("harmonic mean of paper Hw speedups = %.2f, expected near 7.6", got)
+	}
+	sw := []float64{1.3, 7.3, 3.1, 1.9, 9.1}
+	gotSw := HarmonicMean(sw)
+	if gotSw < 2.3 || gotSw > 3.2 {
+		t.Errorf("harmonic mean of paper Sw speedups = %.2f, expected near 2.7", gotSw)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	if got := GeometricMean([]float64{1, 4}); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("GeometricMean(1,4) = %g, want 2", got)
+	}
+	if got := GeometricMean(nil); got != 0 {
+		t.Errorf("GeometricMean(nil) = %g, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if got := Max(xs); got != 7 {
+		t.Errorf("Max = %g, want 7", got)
+	}
+	if got := Min(xs); got != -1 {
+		t.Errorf("Min = %g, want -1", got)
+	}
+	if Max(nil) != 0 || Min(nil) != 0 {
+		t.Error("Max/Min of empty slice should be 0")
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram()
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	h.AddN(5, 2)
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", h.Total())
+	}
+	if h.Count(1) != 2 || h.Count(3) != 1 || h.Count(5) != 2 {
+		t.Errorf("unexpected counts: %d %d %d", h.Count(1), h.Count(3), h.Count(5))
+	}
+	bins := h.Bins()
+	if len(bins) != 3 || bins[0] != 1 || bins[1] != 3 || bins[2] != 5 {
+		t.Errorf("Bins = %v", bins)
+	}
+	want := (1.0*2 + 3.0*1 + 5.0*2) / 5.0
+	if got := h.Mean(); !almostEqual(got, want, 1e-12) {
+		t.Errorf("Mean = %g, want %g", got, want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Add(i)
+	}
+	if got := h.Quantile(0.5); got != 50 {
+		t.Errorf("Quantile(0.5) = %d, want 50", got)
+	}
+	if got := h.Quantile(1.0); got != 100 {
+		t.Errorf("Quantile(1.0) = %d, want 100", got)
+	}
+	if got := h.Quantile(0.01); got != 1 {
+		t.Errorf("Quantile(0.01) = %d, want 1", got)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("Quantile on empty = %d, want 0", got)
+	}
+	if h.Mean() != 0 {
+		t.Error("Mean on empty should be 0")
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := Breakdown{Init: 1, Loop: 6, Merge: 3}
+	if b.Total() != 10 {
+		t.Fatalf("Total = %g, want 10", b.Total())
+	}
+	n := b.Normalized(10)
+	if !almostEqual(n.Init, 0.1, 1e-12) || !almostEqual(n.Loop, 0.6, 1e-12) || !almostEqual(n.Merge, 0.3, 1e-12) {
+		t.Errorf("Normalized = %+v", n)
+	}
+	if z := b.Normalized(0); z.Total() != 0 {
+		t.Errorf("Normalized(0) should be zero, got %+v", z)
+	}
+	sum := b.Add(Breakdown{Init: 1, Loop: 1, Merge: 1})
+	if sum.Init != 2 || sum.Loop != 7 || sum.Merge != 4 {
+		t.Errorf("Add = %+v", sum)
+	}
+	sc := b.Scale(2)
+	if sc.Total() != 20 {
+		t.Errorf("Scale(2).Total = %g, want 20", sc.Total())
+	}
+	if s := b.String(); !strings.Contains(s, "loop=6.000") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(10, 2); got != 5 {
+		t.Errorf("Speedup(10,2) = %g, want 5", got)
+	}
+	if got := Speedup(10, 0); got != 0 {
+		t.Errorf("Speedup(10,0) = %g, want 0", got)
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable([]string{"a", "bbbb"}, [][]string{{"xx", "y"}, {"z", "wwwww"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d: %q", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "a ") {
+		t.Errorf("header line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "----") {
+		t.Errorf("separator line = %q", lines[1])
+	}
+}
+
+func TestQuickHistogramTotalMatchesAdds(t *testing.T) {
+	f := func(bins []uint8) bool {
+		h := NewHistogram()
+		for _, b := range bins {
+			h.Add(int(b))
+		}
+		sum := 0
+		for _, b := range h.Bins() {
+			sum += h.Count(b)
+		}
+		return sum == len(bins) && h.Total() == len(bins)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

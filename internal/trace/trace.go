@@ -1,0 +1,256 @@
+// Package trace defines the canonical representation of a reduction loop
+// used throughout the SmartApps reproduction.
+//
+// The paper studies loops of the form
+//
+//	for i = 0 .. N-1:
+//	    w[x[i]] += expression
+//
+// where w is the reduction array and x[i] is an input-dependent subscript.
+// A trace.Loop captures exactly the information such a loop exposes at run
+// time: the reduction array size, the per-iteration list of referenced
+// reduction elements, the amount of non-reduction work per iteration, and
+// the reduction operator. All software schemes (package reduction), the
+// pattern characterizer (package pattern), the virtual-time harness
+// (package vtime) and the CC-NUMA simulator (package machine) consume this
+// single representation, which is how the "compiler" stage of a SmartApp
+// hands a recognized reduction to the runtime.
+package trace
+
+import (
+	"fmt"
+	"math"
+)
+
+// Op identifies an associative and commutative reduction operator. The
+// paper's applications use floating-point addition exclusively; the other
+// operators exist because PCLR's directory execution units are specified to
+// support an FP adder and comparator (min/max) plus an integer ALU.
+type Op int
+
+const (
+	// OpAdd is floating-point addition (neutral element 0).
+	OpAdd Op = iota
+	// OpMul is floating-point multiplication (neutral element 1).
+	OpMul
+	// OpMax is floating-point maximum (neutral element -Inf).
+	OpMax
+	// OpMin is floating-point minimum (neutral element +Inf).
+	OpMin
+)
+
+// String returns the operator's conventional name.
+func (op Op) String() string {
+	switch op {
+	case OpAdd:
+		return "add"
+	case OpMul:
+		return "mul"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	default:
+		return fmt.Sprintf("Op(%d)", int(op))
+	}
+}
+
+// Neutral returns the operator's neutral element — the value PCLR's
+// directory controller uses to fill reduction lines on demand.
+func (op Op) Neutral() float64 {
+	switch op {
+	case OpAdd:
+		return 0
+	case OpMul:
+		return 1
+	case OpMax:
+		return math.Inf(-1)
+	case OpMin:
+		return math.Inf(1)
+	default:
+		return 0
+	}
+}
+
+// Apply combines accumulator a with contribution b under the operator.
+func (op Op) Apply(a, b float64) float64 {
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpMul:
+		return a * b
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	default:
+		return a
+	}
+}
+
+// Loop is a reduction loop instance: the unit of work a SmartApp hands to
+// the adaptive reduction runtime. Iterations are stored flattened
+// (offsets into a single refs slice) to keep large traces cache-friendly.
+type Loop struct {
+	// Name identifies the loop (e.g. "Irreg-DO100").
+	Name string
+	// NumElems is the reduction array dimension (number of elements of w).
+	NumElems int
+	// ElemBytes is the size of one reduction element; the paper's loops
+	// reduce into double-precision arrays, so this defaults to 8.
+	ElemBytes int
+	// WorkPerIter is the average number of non-reduction instructions per
+	// iteration (Table 2's "Instruc. per Iter." minus the reduction
+	// operations). The virtual-time harness and the simulator charge this
+	// as computation between reduction accesses.
+	WorkPerIter float64
+	// DataRefsPerIter is the average number of non-reduction data
+	// references per iteration (reads of coordinates, matrix entries,
+	// flux arrays, ...). The CC-NUMA simulator streams these through the
+	// caches, where they compete with reduction lines — the effect behind
+	// Table 2's displaced-lines column.
+	DataRefsPerIter float64
+	// Op is the reduction operator.
+	Op Op
+	// Invocations is how many times the enclosing program executes this
+	// loop with the same access pattern (Table 2's "# of Invocations").
+	// Inspector-based schemes (sel, lw) amortize their inspector cost
+	// over it; a zero value means 1.
+	Invocations int
+
+	offsets []int32
+	refs    []int32
+}
+
+// NewLoop returns an empty loop over numElems reduction elements.
+func NewLoop(name string, numElems int) *Loop {
+	return &Loop{
+		Name:      name,
+		NumElems:  numElems,
+		ElemBytes: 8,
+		Op:        OpAdd,
+		offsets:   []int32{0},
+	}
+}
+
+// AddIter appends one iteration that references the given reduction
+// elements. Indices must be in [0, NumElems).
+func (l *Loop) AddIter(refs ...int32) {
+	for _, r := range refs {
+		if int(r) < 0 || int(r) >= l.NumElems {
+			panic(fmt.Sprintf("trace: ref %d out of range [0,%d)", r, l.NumElems))
+		}
+	}
+	l.refs = append(l.refs, refs...)
+	l.offsets = append(l.offsets, int32(len(l.refs)))
+}
+
+// NumIters returns the number of iterations in the loop.
+func (l *Loop) NumIters() int { return len(l.offsets) - 1 }
+
+// Iter returns the reduction element indices referenced by iteration i.
+// The returned slice aliases internal storage and must not be modified.
+func (l *Loop) Iter(i int) []int32 {
+	return l.refs[l.offsets[i]:l.offsets[i+1]]
+}
+
+// TotalRefs returns the total number of reduction references in the loop
+// (the sum of the CH histogram, in the paper's terminology).
+func (l *Loop) TotalRefs() int { return len(l.refs) }
+
+// ArrayBytes returns the reduction array footprint in bytes.
+func (l *Loop) ArrayBytes() int { return l.NumElems * l.ElemBytes }
+
+// Value is the deterministic contribution of the k-th reduction reference
+// of iteration iter to element idx. Using a pure function instead of stored
+// values keeps multi-million-reference traces compact while still letting
+// every scheme's result be checked against the sequential reference
+// execution bit-for-bit (all schemes apply contributions in element-local
+// order, and the operators used in tests are tolerance-checked for the
+// reassociation the parallel schemes perform).
+func Value(iter, k int, idx int32) float64 {
+	h := uint64(iter)*0x9E3779B97F4A7C15 ^ uint64(k)*0xBF58476D1CE4E5B9 ^ uint64(idx)*0x94D049BB133111EB
+	h ^= h >> 31
+	h *= 0xD6E8FEB86659FD93
+	h ^= h >> 27
+	// Map to (0, 1]: keep contributions positive and well-scaled so that
+	// add/mul/max/min reductions all remain numerically stable.
+	return float64(h>>11)/float64(1<<53) + 1e-9
+}
+
+// RunSequential executes the loop sequentially and returns the reduction
+// array. This is the semantic reference every parallel scheme must match.
+func (l *Loop) RunSequential() []float64 {
+	w := make([]float64, l.NumElems)
+	neutral := l.Op.Neutral()
+	for i := range w {
+		w[i] = neutral
+	}
+	for i := 0; i < l.NumIters(); i++ {
+		for k, idx := range l.Iter(i) {
+			w[idx] = l.Op.Apply(w[idx], Value(i, k, idx))
+		}
+	}
+	return w
+}
+
+// InvocationCount returns Invocations clamped to at least 1.
+func (l *Loop) InvocationCount() int {
+	if l.Invocations < 1 {
+		return 1
+	}
+	return l.Invocations
+}
+
+// TouchedElems returns how many distinct reduction elements the loop
+// references (used by the sparsity and connectivity metrics).
+func (l *Loop) TouchedElems() int {
+	touched := make([]bool, l.NumElems)
+	n := 0
+	for _, r := range l.refs {
+		if !touched[r] {
+			touched[r] = true
+			n++
+		}
+	}
+	return n
+}
+
+// Clone returns a deep copy of the loop.
+func (l *Loop) Clone() *Loop {
+	c := *l
+	c.offsets = append([]int32(nil), l.offsets...)
+	c.refs = append([]int32(nil), l.refs...)
+	return &c
+}
+
+// Validate checks structural invariants and returns an error describing the
+// first violation, or nil.
+func (l *Loop) Validate() error {
+	if l.NumElems <= 0 {
+		return fmt.Errorf("trace: loop %q has non-positive NumElems %d", l.Name, l.NumElems)
+	}
+	if len(l.offsets) == 0 || l.offsets[0] != 0 {
+		return fmt.Errorf("trace: loop %q has malformed offsets", l.Name)
+	}
+	for i := 1; i < len(l.offsets); i++ {
+		if l.offsets[i] < l.offsets[i-1] {
+			return fmt.Errorf("trace: loop %q offsets not monotonic at %d", l.Name, i)
+		}
+	}
+	if int(l.offsets[len(l.offsets)-1]) != len(l.refs) {
+		return fmt.Errorf("trace: loop %q final offset %d != len(refs) %d", l.Name, l.offsets[len(l.offsets)-1], len(l.refs))
+	}
+	for _, r := range l.refs {
+		if int(r) < 0 || int(r) >= l.NumElems {
+			return fmt.Errorf("trace: loop %q ref %d out of range [0,%d)", l.Name, r, l.NumElems)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{OpAdd: "add", OpMul: "mul", OpMax: "max", OpMin: "min", Op(99): "Op(99)"}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", int(op), got, want)
+		}
+	}
+}
+
+func TestOpNeutral(t *testing.T) {
+	if OpAdd.Neutral() != 0 {
+		t.Error("add neutral should be 0")
+	}
+	if OpMul.Neutral() != 1 {
+		t.Error("mul neutral should be 1")
+	}
+	if !math.IsInf(OpMax.Neutral(), -1) {
+		t.Error("max neutral should be -Inf")
+	}
+	if !math.IsInf(OpMin.Neutral(), 1) {
+		t.Error("min neutral should be +Inf")
+	}
+}
+
+func TestOpApplyNeutralIsIdentity(t *testing.T) {
+	// Property: applying the neutral element leaves any value unchanged.
+	ops := []Op{OpAdd, OpMul, OpMax, OpMin}
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		for _, op := range ops {
+			if op.Apply(x, op.Neutral()) != x {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpApplyCommutative(t *testing.T) {
+	ops := []Op{OpAdd, OpMax, OpMin} // mul of arbitrary floats can overflow; add/max/min suffice
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		for _, op := range ops {
+			if op.Apply(a, b) != op.Apply(b, a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoopBuildAndAccess(t *testing.T) {
+	l := NewLoop("t", 10)
+	l.AddIter(0, 1, 2)
+	l.AddIter(5)
+	l.AddIter() // empty iteration is legal
+	l.AddIter(9, 9)
+	if l.NumIters() != 4 {
+		t.Fatalf("NumIters = %d, want 4", l.NumIters())
+	}
+	if l.TotalRefs() != 6 {
+		t.Fatalf("TotalRefs = %d, want 6", l.TotalRefs())
+	}
+	it := l.Iter(0)
+	if len(it) != 3 || it[0] != 0 || it[2] != 2 {
+		t.Errorf("Iter(0) = %v", it)
+	}
+	if len(l.Iter(2)) != 0 {
+		t.Errorf("Iter(2) should be empty, got %v", l.Iter(2))
+	}
+	if got := l.TouchedElems(); got != 5 {
+		t.Errorf("TouchedElems = %d, want 5 (0,1,2,5,9)", got)
+	}
+	if l.ArrayBytes() != 80 {
+		t.Errorf("ArrayBytes = %d, want 80", l.ArrayBytes())
+	}
+	if err := l.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestAddIterPanicsOutOfRange(t *testing.T) {
+	l := NewLoop("t", 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range ref")
+		}
+	}()
+	l.AddIter(4)
+}
+
+func TestRunSequentialAdd(t *testing.T) {
+	l := NewLoop("t", 3)
+	l.AddIter(0, 1)
+	l.AddIter(1, 2)
+	w := l.RunSequential()
+	want0 := Value(0, 0, 0)
+	want1 := Value(0, 1, 1) + Value(1, 0, 1)
+	want2 := Value(1, 1, 2)
+	if math.Abs(w[0]-want0) > 1e-15 || math.Abs(w[1]-want1) > 1e-15 || math.Abs(w[2]-want2) > 1e-15 {
+		t.Errorf("RunSequential = %v, want [%g %g %g]", w, want0, want1, want2)
+	}
+}
+
+func TestRunSequentialMaxMin(t *testing.T) {
+	for _, op := range []Op{OpMax, OpMin} {
+		l := NewLoop("t", 2)
+		l.Op = op
+		l.AddIter(0, 0, 0)
+		w := l.RunSequential()
+		// Element 1 is never touched: must stay at the neutral element.
+		if w[1] != op.Neutral() {
+			t.Errorf("%v: untouched element = %g, want neutral %g", op, w[1], op.Neutral())
+		}
+		// Element 0 must equal the op over the three contributions.
+		want := op.Neutral()
+		for k := 0; k < 3; k++ {
+			want = op.Apply(want, Value(0, k, 0))
+		}
+		if w[0] != want {
+			t.Errorf("%v: w[0] = %g, want %g", op, w[0], want)
+		}
+	}
+}
+
+func TestValueDeterministicAndBounded(t *testing.T) {
+	a := Value(3, 1, 42)
+	b := Value(3, 1, 42)
+	if a != b {
+		t.Error("Value must be deterministic")
+	}
+	f := func(iter, k uint16, idx int16) bool {
+		v := Value(int(iter), int(k), int32(idx))
+		return v > 0 && v <= 1.01
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	l := NewLoop("t", 5)
+	l.AddIter(1, 2)
+	c := l.Clone()
+	c.AddIter(3)
+	if l.NumIters() != 1 {
+		t.Errorf("clone mutation leaked into original: NumIters = %d", l.NumIters())
+	}
+	if c.NumIters() != 2 {
+		t.Errorf("clone NumIters = %d, want 2", c.NumIters())
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	l := NewLoop("t", 5)
+	l.AddIter(1)
+	l.refs[0] = 17 // corrupt beyond NumElems
+	if err := l.Validate(); err == nil {
+		t.Error("Validate should reject out-of-range ref")
+	}
+	l2 := NewLoop("t2", 0)
+	if err := l2.Validate(); err == nil {
+		t.Error("Validate should reject NumElems == 0")
+	}
+}
+
+func TestSequentialTotalMassProperty(t *testing.T) {
+	// Property: for OpAdd, the sum over the result array equals the sum of
+	// all contributions, regardless of the access pattern.
+	f := func(pattern []uint8) bool {
+		n := 16
+		l := NewLoop("p", n)
+		for i, p := range pattern {
+			l.AddIter(int32(int(p) % n))
+			_ = i
+		}
+		w := l.RunSequential()
+		var got, want float64
+		for _, v := range w {
+			got += v
+		}
+		for i := 0; i < l.NumIters(); i++ {
+			for k, idx := range l.Iter(i) {
+				want += Value(i, k, idx)
+			}
+		}
+		return math.Abs(got-want) < 1e-9*(1+math.Abs(want))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

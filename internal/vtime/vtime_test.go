@@ -1,0 +1,310 @@
+package vtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := newCache(1024, 2, 64)
+	if hit, _ := c.access(7); hit {
+		t.Fatal("first access must miss")
+	}
+	if hit, _ := c.access(7); !hit {
+		t.Fatal("second access must hit")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2 sets x 2 ways: lines with the same parity map to the same set.
+	c := newCache(256, 2, 64) // 4 lines total, 2 sets
+	c.access(0)               // set 0
+	c.access(2)               // set 0
+	c.access(4)               // set 0 -> evicts line 0 (LRU)
+	if hit, _ := c.access(2); !hit {
+		t.Error("line 2 should still be cached")
+	}
+	if hit, _ := c.access(0); hit {
+		t.Error("line 0 should have been evicted")
+	}
+}
+
+func TestCacheEvictedLineReported(t *testing.T) {
+	c := newCache(128, 1, 64) // direct-mapped, 2 sets
+	c.access(0)
+	_, ev := c.access(2) // same set as 0
+	if ev != 0 {
+		t.Errorf("evicted = %d, want 0", ev)
+	}
+}
+
+func TestCacheFlushCounts(t *testing.T) {
+	c := newCache(1024, 2, 64)
+	c.access(1)
+	c.access(2)
+	c.access(3)
+	if n := c.flush(); n != 3 {
+		t.Errorf("flush returned %d, want 3", n)
+	}
+	if hit, _ := c.access(1); hit {
+		t.Error("cache should be empty after flush")
+	}
+}
+
+func TestCPUCostLadder(t *testing.T) {
+	cfg := DefaultConfig()
+	m := NewMachine(1, cfg)
+	c := m.CPU(0)
+
+	c.Load(0) // cold: TLB miss, L1 miss, L2 miss
+	if want := cfg.MemCycles + cfg.TLBMissCycles; c.Cycles() != want {
+		t.Errorf("cold load cost %g, want %g", c.Cycles(), want)
+	}
+	before := c.Cycles()
+	c.Load(8) // same line -> L1 hit
+	if got := c.Cycles() - before; got != cfg.L1HitCycles {
+		t.Errorf("L1 hit cost %g, want %g", got, cfg.L1HitCycles)
+	}
+}
+
+func TestCPUL2Hit(t *testing.T) {
+	cfg := DefaultConfig()
+	m := NewMachine(1, cfg)
+	c := m.CPU(0)
+	// Touch enough distinct lines to overflow L1 (32KB/64B = 512 lines)
+	// but stay within L2 (8192 lines); then re-touch the first line.
+	for i := 0; i < 2048; i++ {
+		c.Load(int64(i) * 64)
+	}
+	before := c.Cycles()
+	c.Load(0)
+	if got := c.Cycles() - before; got != cfg.L2HitCycles {
+		t.Errorf("expected L2 hit cost %g, got %g", cfg.L2HitCycles, got)
+	}
+}
+
+func TestComputeAndStall(t *testing.T) {
+	m := NewMachine(1, DefaultConfig())
+	c := m.CPU(0)
+	c.Compute(100) // 100 instructions at CPI 0.5 = 50 cycles
+	if c.Cycles() != 50 {
+		t.Errorf("Compute(100) = %g cycles, want 50", c.Cycles())
+	}
+	c.Stall(7)
+	if c.Cycles() != 57 {
+		t.Errorf("after Stall(7): %g, want 57", c.Cycles())
+	}
+}
+
+func TestParallelAdvancesByMax(t *testing.T) {
+	m := NewMachine(4, DefaultConfig())
+	d := m.Parallel(func(c *CPU) {
+		c.Stall(float64(10 * (c.ID() + 1)))
+	})
+	if d != 40 {
+		t.Errorf("parallel phase duration %g, want 40 (max across CPUs)", d)
+	}
+	if m.Now() != 40 {
+		t.Errorf("Now = %g, want 40", m.Now())
+	}
+}
+
+func TestSerialAdvancesByCPU0(t *testing.T) {
+	m := NewMachine(4, DefaultConfig())
+	d := m.Serial(func(c *CPU) { c.Stall(13) })
+	if d != 13 || m.Now() != 13 {
+		t.Errorf("serial duration %g now %g, want 13", d, m.Now())
+	}
+}
+
+func TestSharingPhaseConcurrentCharge(t *testing.T) {
+	// Accesses to a line written by another CPU in the same phase pay the
+	// expected invalidation fraction o/(o+1) of the coherence penalty on
+	// every access (even would-be hits).
+	cfg := DefaultConfig()
+	m := NewMachine(2, cfg)
+	m.EnableSharingTracking()
+	m.CPU(0).Store(0) // CPU0 dirties line 0 (same implicit phase)
+	r := m.CPU(1)
+	before := r.Cycles()
+	r.Load(0)
+	got := r.Cycles() - before
+	want := cfg.MemCycles + cfg.TLBMissCycles + cfg.CoherencePenalty/2
+	if got != want {
+		t.Errorf("phase-concurrent miss cost %g, want %g", got, want)
+	}
+	before = r.Cycles()
+	r.Load(0) // hits in cache, but the line is still contended this phase
+	if got := r.Cycles() - before; got != cfg.L1HitCycles+cfg.CoherencePenalty/2 {
+		t.Errorf("contended hit cost %g, want %g", got, cfg.L1HitCycles+cfg.CoherencePenalty/2)
+	}
+}
+
+func TestSharingCrossPhaseDirtyMiss(t *testing.T) {
+	// After a phase boundary, a miss to a line another CPU dirtied pays
+	// the full cache-to-cache transfer once, then plain hits.
+	cfg := DefaultConfig()
+	m := NewMachine(2, cfg)
+	m.EnableSharingTracking()
+	m.Parallel(func(c *CPU) {
+		if c.ID() == 0 {
+			c.Store(0)
+		}
+	})
+	// The next phase clears the concurrent writer sets; CPU1's miss pays
+	// the full cache-to-cache transfer once, then plain hits.
+	var missCost, hitCost float64
+	m.Parallel(func(c *CPU) {
+		if c.ID() != 1 {
+			return
+		}
+		before := c.Cycles()
+		c.Load(0)
+		missCost = c.Cycles() - before
+		before = c.Cycles()
+		c.Load(0)
+		hitCost = c.Cycles() - before
+	})
+	if want := cfg.MemCycles + cfg.TLBMissCycles + cfg.CoherencePenalty; missCost != want {
+		t.Errorf("cross-phase dirty miss cost %g, want %g", missCost, want)
+	}
+	if hitCost != cfg.L1HitCycles {
+		t.Errorf("subsequent hit cost %g, want %g", hitCost, cfg.L1HitCycles)
+	}
+}
+
+func TestWriteInvalidatesOtherCaches(t *testing.T) {
+	cfg := DefaultConfig()
+	m := NewMachine(2, cfg)
+	m.EnableSharingTracking()
+	a, b := m.CPU(0), m.CPU(1)
+	a.Load(0) // CPU0 caches line 0
+	m.Parallel(func(c *CPU) {
+		if c.ID() == 1 {
+			c.Store(0) // CPU1 takes ownership; CPU0's copy must die
+		}
+	})
+	var got float64
+	m.Parallel(func(c *CPU) { // fresh phase: no phase-concurrent writers
+		if c.ID() == 0 {
+			before := c.Cycles()
+			c.Load(0)
+			got = c.Cycles() - before
+		}
+	})
+	want := cfg.MemCycles + cfg.CoherencePenalty // miss + transfer from CPU1
+	if got != want {
+		t.Errorf("post-invalidation load cost %g, want %g", got, want)
+	}
+	_, _ = a, b
+}
+
+func TestNoCoherenceChargeWithoutTracking(t *testing.T) {
+	cfg := DefaultConfig()
+	m := NewMachine(2, cfg)
+	m.CPU(0).Store(0)
+	before := m.CPU(1).Cycles()
+	m.CPU(1).Load(0)
+	if got := m.CPU(1).Cycles() - before; got != cfg.MemCycles+cfg.TLBMissCycles {
+		t.Errorf("without tracking, miss cost %g, want %g", got, cfg.MemCycles+cfg.TLBMissCycles)
+	}
+}
+
+func TestFlushCachesChargesAndCounts(t *testing.T) {
+	cfg := DefaultConfig()
+	m := NewMachine(1, cfg)
+	c := m.CPU(0)
+	for i := 0; i < 10; i++ {
+		c.Load(int64(i) * 64)
+	}
+	before := c.Cycles()
+	// 10 lines in L1 and the same 10 in L2 => flush reports 20 entries.
+	n := c.FlushCaches()
+	if n != 20 {
+		t.Errorf("FlushCaches flushed %d entries, want 20", n)
+	}
+	want := float64(n) * cfg.MemCycles / 2
+	if got := c.Cycles() - before; got != want {
+		t.Errorf("flush cost %g, want %g", got, want)
+	}
+}
+
+func TestCountersAccumulate(t *testing.T) {
+	m := NewMachine(1, DefaultConfig())
+	c := m.CPU(0)
+	c.Load(0)
+	c.Store(0)
+	c.Load(64 * 10000)
+	loads, stores, l1m, l2m := c.Counters()
+	if loads != 2 || stores != 1 {
+		t.Errorf("loads/stores = %d/%d, want 2/1", loads, stores)
+	}
+	if l1m != 2 || l2m != 2 {
+		t.Errorf("l1/l2 misses = %d/%d, want 2/2", l1m, l2m)
+	}
+}
+
+func TestPrivateBasesDisjoint(t *testing.T) {
+	f := func(a, b uint8) bool {
+		if a == b {
+			return true
+		}
+		// Regions are ~2^40 bytes apart (modulo the anti-aliasing
+		// stagger); no private heap of realistic size can overlap another.
+		return PrivateBase(int(a)) != PrivateBase(int(b)) &&
+			int64Abs(PrivateBase(int(a))-PrivateBase(int(b))) >= privateRegion/2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func int64Abs(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestSharedAddr(t *testing.T) {
+	if got := SharedAddr(1024, 3); got != 1048 {
+		t.Errorf("SharedAddr(1024,3) = %d, want 1048", got)
+	}
+}
+
+func TestNewMachinePanicsOnBadProcs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMachine(0, DefaultConfig())
+}
+
+func TestZeroConfigGetsDefaults(t *testing.T) {
+	m := NewMachine(1, Config{})
+	if m.Config().MemCycles != DefaultConfig().MemCycles {
+		t.Error("zero config should be replaced by defaults")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() float64 {
+		m := NewMachine(4, DefaultConfig())
+		m.EnableSharingTracking()
+		m.Parallel(func(c *CPU) {
+			for i := 0; i < 1000; i++ {
+				c.Load(int64((i*7+c.ID()*13)%512) * 64)
+				c.Store(int64(i%64) * 64)
+			}
+			c.Compute(5000)
+		})
+		m.Serial(func(c *CPU) { c.FlushCaches() })
+		return m.Now()
+	}
+	a, b := run(), run()
+	if a != b || math.IsNaN(a) {
+		t.Errorf("virtual time must be deterministic: %g vs %g", a, b)
+	}
+}

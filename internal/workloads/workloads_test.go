@@ -1,0 +1,202 @@
+package workloads
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/pattern"
+)
+
+func TestGenerateMeetsTargets(t *testing.T) {
+	spec := PatternSpec{
+		Dim: 50000, SPPercent: 10, CHR: 0.5, MO: 2,
+		Locality: 0.8, Skew: 0.3, Work: 20, Seed: 1,
+	}
+	l := Generate("t", spec, 1)
+	if err := l.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	p := pattern.Characterize(l, 8, 512<<10)
+	if math.Abs(p.CHR-0.5)/0.5 > 0.05 {
+		t.Errorf("CHR = %g, want ~0.5", p.CHR)
+	}
+	// Generated SP can fall slightly short of target when the clustered
+	// draw misses some hot entries; allow 20%.
+	if math.Abs(p.SP-10)/10 > 0.2 {
+		t.Errorf("SP = %g%%, want ~10%%", p.SP)
+	}
+	if p.MO < 1.8 || p.MO > 2.0 {
+		t.Errorf("MO = %g, want ~2", p.MO)
+	}
+	if l.WorkPerIter != 20 {
+		t.Errorf("WorkPerIter = %g, want 20", l.WorkPerIter)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := PatternSpec{Dim: 1000, SPPercent: 20, CHR: 0.3, MO: 2, Seed: 5}
+	a := Generate("a", spec, 1)
+	b := Generate("b", spec, 1)
+	if a.NumIters() != b.NumIters() || a.TotalRefs() != b.TotalRefs() {
+		t.Fatal("same spec+seed must produce identical shape")
+	}
+	for i := 0; i < a.NumIters(); i++ {
+		ra, rb := a.Iter(i), b.Iter(i)
+		for k := range ra {
+			if ra[k] != rb[k] {
+				t.Fatalf("iteration %d differs", i)
+			}
+		}
+	}
+}
+
+func TestGenerateScalePreservesMetrics(t *testing.T) {
+	spec := PatternSpec{Dim: 100000, SPPercent: 5, CHR: 0.4, MO: 2, Locality: 0.7, Seed: 9}
+	full := pattern.Characterize(Generate("f", spec, 1), 8, 512<<10)
+	// Scale the loop by 1/10 and the cache by 1/10: dimensionless metrics
+	// must be preserved.
+	small := pattern.Characterize(Generate("s", spec, 0.1), 8, 51200)
+	if math.Abs(small.CHR-full.CHR)/full.CHR > 0.1 {
+		t.Errorf("scaled CHR %g vs full %g", small.CHR, full.CHR)
+	}
+	if math.Abs(small.SP-full.SP)/full.SP > 0.25 {
+		t.Errorf("scaled SP %g vs full %g", small.SP, full.SP)
+	}
+	if math.Abs(small.DIM-full.DIM)/full.DIM > 0.1 {
+		t.Errorf("scaled DIM %g vs full %g", small.DIM, full.DIM)
+	}
+}
+
+func TestGeneratePanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for scale=0")
+		}
+	}()
+	Generate("x", PatternSpec{Dim: 10, SPPercent: 50, CHR: 0.1, MO: 1}, 0)
+}
+
+func TestFig3RowsComplete(t *testing.T) {
+	rows := Fig3Rows()
+	if len(rows) != 21 {
+		t.Fatalf("Fig3Rows returned %d rows, want 21 (paper table)", len(rows))
+	}
+	apps := map[string]int{}
+	for _, r := range rows {
+		apps[r.App]++
+		if r.PaperRecommend == "" || len(r.PaperOrder) < 3 {
+			t.Errorf("%s/%d: missing paper reference data", r.App, r.Spec.Dim)
+		}
+		// The recommended scheme must appear in the library.
+		valid := map[string]bool{"rep": true, "ll": true, "sel": true, "lw": true, "hash": true}
+		if !valid[r.PaperRecommend] {
+			t.Errorf("%s: invalid recommendation %q", r.App, r.PaperRecommend)
+		}
+		for _, s := range r.PaperOrder {
+			if !valid[s] {
+				t.Errorf("%s: invalid scheme %q in order", r.App, s)
+			}
+		}
+	}
+	want := map[string]int{"Irreg": 4, "Nbf": 4, "Moldyn": 4, "Spark98": 2, "Charmm": 3, "Spice": 4}
+	for app, n := range want {
+		if apps[app] != n {
+			t.Errorf("app %s has %d rows, want %d", app, apps[app], n)
+		}
+	}
+}
+
+func TestFig3RowGeneratesAtSmallScale(t *testing.T) {
+	for _, r := range Fig3Rows() {
+		l := r.Generate(0.02)
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: %v", r.App, err)
+		}
+		if l.NumIters() == 0 {
+			t.Errorf("%s: empty loop at small scale", r.App)
+		}
+	}
+}
+
+func TestFig3SpiceTargetsHashRegime(t *testing.T) {
+	// The Spice rows must land in the hash regime of the measured
+	// profile: SP < 0.5% and MO > 8.
+	for _, r := range Fig3Rows() {
+		if r.App != "Spice" {
+			continue
+		}
+		l := r.Generate(0.25)
+		p := pattern.Characterize(l, 8, 128<<10)
+		if p.SP >= 0.5 {
+			t.Errorf("Spice dim=%d: measured SP %.3f%%, want < 0.5%%", r.Spec.Dim, p.SP)
+		}
+		if p.MO <= 8 {
+			t.Errorf("Spice dim=%d: measured MO %.1f, want > 8", r.Spec.Dim, p.MO)
+		}
+	}
+}
+
+func TestPCLRAppsMatchTable2(t *testing.T) {
+	apps := PCLRApps()
+	if len(apps) != 5 {
+		t.Fatalf("PCLRApps returned %d apps, want 5", len(apps))
+	}
+	// Check the published Table 2 averages reproduce from the entries.
+	var iters, instr, redops, arrayKB float64
+	for _, a := range apps {
+		iters += float64(a.Iters)
+		instr += a.InstrPerIter
+		redops += float64(a.RedOpsPerIter)
+		arrayKB += a.ArrayKB
+	}
+	if avg := iters / 5; math.Abs(avg-61181) > 1 {
+		t.Errorf("average iters = %g, paper says 61181", avg)
+	}
+	if avg := instr / 5; math.Abs(avg-620) > 1 {
+		t.Errorf("average instr/iter = %g, paper says 620", avg)
+	}
+	if avg := redops / 5; math.Abs(avg-59) > 0.5 {
+		t.Errorf("average red ops/iter = %g, paper says 59", avg)
+	}
+	if avg := arrayKB / 5; math.Abs(avg-876.14) > 10 {
+		t.Errorf("average array KB = %g, paper says 871 (rounded)", avg)
+	}
+}
+
+func TestPCLRAppSpecConsistent(t *testing.T) {
+	for _, a := range PCLRApps() {
+		spec := a.Spec()
+		wantRefs := float64(a.Iters * a.RedOpsPerIter)
+		gotRefs := spec.CHR * 16 * float64(spec.Dim)
+		if math.Abs(gotRefs-wantRefs)/wantRefs > 0.01 {
+			t.Errorf("%s: spec encodes %g refs, want %g", a.Name, gotRefs, wantRefs)
+		}
+		if spec.Work != a.InstrPerIter-float64(a.RedOpsPerIter) {
+			t.Errorf("%s: Work = %g", a.Name, spec.Work)
+		}
+	}
+}
+
+func TestPCLRAppGenerateSmallScale(t *testing.T) {
+	for _, a := range PCLRApps() {
+		l := a.Generate(0.01)
+		if err := l.Validate(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+		if l.NumIters() == 0 || l.TotalRefs() == 0 {
+			t.Errorf("%s: degenerate loop at small scale", a.Name)
+		}
+	}
+}
+
+func TestPCLRVmlFitsCaches(t *testing.T) {
+	// Vml's 40KB array must fit a 512KB L2 even at full size — that is
+	// why the paper reports zero displaced lines for it.
+	a := PCLRApps()[2]
+	if a.Name != "Vml" {
+		t.Fatalf("expected Vml at index 2, got %s", a.Name)
+	}
+	if a.Dim()*8 > 512<<10 {
+		t.Errorf("Vml array %d bytes exceeds L2", a.Dim()*8)
+	}
+}
