@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: build test test-short race bench bench-smoke fmt vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -short -race ./...
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then echo "needs gofmt:"; echo "$$unformatted"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the engine throughput benchmarks and records the perf
+# trajectory in BENCH_engine.json (one snapshot per invocation).
+bench:
+	./scripts/bench_engine.sh
+
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+ci: fmt vet build race bench-smoke

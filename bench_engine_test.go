@@ -1,0 +1,122 @@
+// Engine throughput benchmarks: the pooled, decision-cached steady state
+// of the concurrent reduction engine against the cold per-call path (full
+// pattern inspection plus fresh privatization buffers on every job) the
+// seed executed. Run them with
+//
+//	go test -bench Engine -benchmem -run '^$' .
+//
+// or `make bench`, which records the results in BENCH_engine.json.
+package main
+
+import (
+	"testing"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/pattern"
+	"repro/internal/reduction"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+	"repro/internal/workloads"
+)
+
+// benchLoops is the mixed job stream both paths serve: the shared
+// workloads.MixedSet, so benchmarks, engine tests and cmd/reduxserve all
+// exercise the same regimes.
+func benchLoops() []*trace.Loop {
+	return workloads.MixedSet(0.5)
+}
+
+// BenchmarkEngineSteadyState measures the pooled path: decisions served
+// from the signature cache, privatization buffers recycled, results
+// written into a caller-reused destination.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	loops := benchLoops()
+	e := engine.New(engine.Config{Workers: 1, Platform: core.DefaultPlatform(8)})
+	defer e.Close()
+	var dst []float64
+	for _, l := range loops { // warm cache and pools
+		res, err := e.Submit(l)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst = res.Values
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.SubmitInto(loops[i%len(loops)], dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst = res.Values
+	}
+}
+
+// BenchmarkEngineColdPerCall measures the seed's per-call path: every job
+// re-runs sampled pattern inspection, re-decides, and executes via
+// Scheme.Run with cold-allocated privatization buffers.
+func BenchmarkEngineColdPerCall(b *testing.B) {
+	loops := benchLoops()
+	cfg := vtime.DefaultConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := loops[i%len(loops)]
+		prof := pattern.CharacterizeSampled(l, 8, cfg.L2Bytes, 8)
+		rec := adapt.Recommend(prof)
+		if out := adapt.SchemeFor(rec).Run(l, 8); len(out) != l.NumElems {
+			b.Fatal("bad result length")
+		}
+	}
+}
+
+// BenchmarkEngineConcurrentThroughput measures the bounded worker pool
+// under contention: 8 clients share 4 workers.
+func BenchmarkEngineConcurrentThroughput(b *testing.B) {
+	loops := benchLoops()
+	e := engine.New(engine.Config{Workers: 4, Platform: core.DefaultPlatform(8)})
+	defer e.Close()
+	for _, l := range loops {
+		if _, err := e.Submit(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.SetParallelism(2) // 2 x GOMAXPROCS submitting goroutines
+	b.RunParallel(func(pb *testing.PB) {
+		var dst []float64
+		i := 0
+		for pb.Next() {
+			res, err := e.SubmitInto(loops[i%len(loops)], dst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst = res.Values
+			i++
+		}
+	})
+}
+
+// BenchmarkSchemeRunColdVsPooled isolates the buffer pool's effect on a
+// single scheme execution, without the engine or decision layers.
+func BenchmarkSchemeRunColdVsPooled(b *testing.B) {
+	l := benchLoops()[0]
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			reduction.Rep{}.Run(l, 8)
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		ex := &reduction.Exec{Pool: reduction.NewBufferPool()}
+		dst := reduction.Rep{}.RunInto(l, 8, ex, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst = reduction.Rep{}.RunInto(l, 8, ex, dst)
+		}
+	})
+}

@@ -1,0 +1,163 @@
+// Command reduxserve hammers the concurrent adaptive reduction engine with
+// a mixed stream of dense, sparse, clustered and skewed workloads — the
+// production-service shape of the paper's runtime: many clients, one
+// long-lived engine, decisions and buffers amortized across jobs.
+//
+// It reports throughput, the decision cache's hit rate, the scheme mix the
+// adaptive selector chose, measured load imbalance, and the allocation
+// footprint per job; run with -cold to feel what the pooling and caching
+// buy (every job then re-inspects and allocates from scratch).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/workloads"
+)
+
+func main() {
+	workers := flag.Int("workers", 4, "concurrent jobs in the engine's pool")
+	procs := flag.Int("procs", 8, "goroutines per reduction execution")
+	jobs := flag.Int("jobs", 400, "total jobs to submit")
+	clients := flag.Int("clients", 8, "concurrent submitting goroutines")
+	scale := flag.Float64("scale", 0.5, "workload size multiplier")
+	cold := flag.Bool("cold", false, "disable buffer pooling and feedback scheduling (per-job cold path)")
+	verify := flag.Bool("verify", true, "check a sample of results against the sequential reference")
+	flag.Parse()
+
+	switch {
+	case *procs < 1 || *procs > 64:
+		fmt.Fprintf(os.Stderr, "reduxserve: -procs must be in [1,64], got %d\n", *procs)
+		os.Exit(2)
+	case *scale <= 0:
+		fmt.Fprintf(os.Stderr, "reduxserve: -scale must be positive, got %g\n", *scale)
+		os.Exit(2)
+	case *jobs < 1 || *clients < 1 || *workers < 1:
+		fmt.Fprintf(os.Stderr, "reduxserve: -jobs, -clients and -workers must be at least 1\n")
+		os.Exit(2)
+	}
+
+	loops := workloads.MixedSet(*scale)
+	refs := make([][]float64, len(loops))
+	if *verify {
+		for i, l := range loops {
+			refs[i] = l.RunSequential()
+		}
+	}
+
+	e := engine.New(engine.Config{
+		Workers:         *workers,
+		Platform:        core.DefaultPlatform(*procs),
+		DisablePool:     *cold,
+		DisableFeedback: *cold,
+	})
+	defer e.Close()
+
+	fmt.Printf("engine: %d workers x %d procs, %d jobs from %d clients over %d patterns (cold=%v)\n",
+		*workers, *procs, *jobs, *clients, len(loops), *cold)
+
+	// Warm the cache and pools with one pass so the measured phase is the
+	// steady state a long-lived service runs in.
+	for _, l := range loops {
+		if _, err := e.Submit(l); err != nil {
+			fmt.Fprintln(os.Stderr, "warmup:", err)
+			os.Exit(1)
+		}
+	}
+
+	var before runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	var submitted atomic.Int64
+	var failures atomic.Int64
+	var imbalanceSum atomic.Int64 // milli-units, summed over measured jobs
+	var imbalanceN atomic.Int64
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var dst []float64
+			for {
+				n := int(submitted.Add(1)) - 1
+				if n >= *jobs {
+					return
+				}
+				i := n % len(loops)
+				res, err := e.SubmitInto(loops[i], dst)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "submit:", err)
+					failures.Add(1)
+					return
+				}
+				dst = res.Values
+				if res.Imbalance > 0 {
+					imbalanceSum.Add(int64(res.Imbalance * 1000))
+					imbalanceN.Add(1)
+				}
+				if *verify && n < 4**clients && !matches(res.Values, refs[i]) {
+					fmt.Fprintf(os.Stderr, "verify: %s diverged from sequential reference\n", loops[i].Name)
+					failures.Add(1)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
+	if n := failures.Load(); n > 0 {
+		fmt.Fprintf(os.Stderr, "%d clients failed\n", n)
+		os.Exit(1)
+	}
+
+	s := e.Stats()
+	fmt.Printf("\n%d jobs in %v  (%.0f jobs/s)\n", *jobs, elapsed.Round(time.Millisecond),
+		float64(*jobs)/elapsed.Seconds())
+	fmt.Printf("decision cache: %d entries, %d hits / %d misses (%.1f%% hit rate)\n",
+		s.CacheEntries, s.CacheHits, s.CacheMisses,
+		100*float64(s.CacheHits)/float64(s.CacheHits+s.CacheMisses))
+	fmt.Printf("alloc: %.1f KB/job (%d bytes total during measured phase)\n",
+		float64(after.TotalAlloc-before.TotalAlloc)/1024/float64(*jobs),
+		after.TotalAlloc-before.TotalAlloc)
+	if n := imbalanceN.Load(); n > 0 {
+		fmt.Printf("mean measured imbalance: %.2fx over %d feedback-scheduled jobs\n",
+			float64(imbalanceSum.Load())/1000/float64(n), n)
+	}
+	fmt.Println("scheme mix:")
+	names := make([]string, 0, len(s.Schemes))
+	for name := range s.Schemes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-6s %d jobs\n", name, s.Schemes[name])
+	}
+}
+
+func matches(got, want []float64) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			return false
+		}
+	}
+	return true
+}

@@ -193,6 +193,10 @@ type Runtime struct {
 	current   reduction.Scheme
 	predicted float64
 	history   []Decision
+	// exec recycles privatization buffers across invocations, the
+	// "run-time tuning" adaptation level applied to memory: a loop body
+	// invoked K times allocates its private arrays once, not K times.
+	exec *reduction.Exec
 }
 
 // NewRuntime builds a runtime for the platform.
@@ -209,6 +213,7 @@ func NewRuntime(p Platform) *Runtime {
 		Evaluator:    DefaultEvaluator(),
 		SampleStride: 8,
 		predictor:    Predictor{Procs: p.Procs, Cfg: cfg},
+		exec:         &reduction.Exec{Pool: reduction.NewBufferPool()},
 	}
 }
 
@@ -266,7 +271,7 @@ func (r *Runtime) Execute(l *trace.Loop) Outcome {
 	} else {
 		scheme = r.current
 	}
-	result = scheme.Run(l, r.Platform.Procs)
+	result = scheme.RunInto(l, r.Platform.Procs, r.exec, nil)
 
 	// Monitor: measure in virtual time and judge the deviation.
 	if !conf.UseHardware && r.predicted > 0 {

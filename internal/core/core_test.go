@@ -51,6 +51,9 @@ func TestRuntimeKeepsSchemeOnStablePattern(t *testing.T) {
 }
 
 func TestRuntimeReselectsOnPhaseChange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full adaptive pipeline over a phase change (~13s under -race); run without -short")
+	}
 	r := NewRuntime(DefaultPlatform(8))
 	dense := loopWith(denseSpec(), "phase")
 	r.Execute(dense)

@@ -1,0 +1,369 @@
+// Package engine implements a long-lived concurrent reduction service on
+// top of the SmartApps adaptive pipeline. Where package core models one
+// application adapting its own reduction loop, the engine is the
+// production-service shape of the same idea: many clients Submit reduction
+// jobs, a bounded worker pool executes them, and the adaptive machinery is
+// amortized across jobs the way the paper amortizes it across invocations:
+//
+//   - pattern characterization (package pattern) runs once per distinct
+//     access-pattern signature; a decision cache keyed by trace.Fingerprint
+//     lets repeated workloads skip re-inspection entirely,
+//   - scheme selection (package adapt + core.Configurer) is cached with
+//     the characterization,
+//   - privatization buffers are recycled through a shared
+//     reduction.BufferPool, so steady-state jobs allocate ~nothing,
+//   - per-pattern sched.FeedbackSchedulers re-cut iteration blocks from
+//     measured per-processor times, feeding the partition-agnostic schemes
+//     (rep, ll, hash) a load-balanced schedule on their next execution.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/reduction"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Workers is the number of jobs executed concurrently (the bounded
+	// pool). Defaults to 4.
+	Workers int
+	// Platform is the machine the engine serves on: its Procs is the
+	// goroutine fan-out per job, and its PCLR fields route supported loops
+	// to the hardware path exactly as core.Configurer does. A zero
+	// platform defaults to the software-only 8-processor machine.
+	Platform core.Platform
+	// SampleStride is the inspector sampling stride for pattern
+	// characterization (default 8, matching core.Runtime).
+	SampleStride int
+	// QueueDepth is the submission queue length (default 2*Workers).
+	QueueDepth int
+	// MaxCacheEntries bounds the decision cache (default 1024); beyond it
+	// an arbitrary entry is evicted.
+	MaxCacheEntries int
+	// DisablePool turns off buffer recycling, so every job allocates its
+	// privatization buffers cold. It exists to measure what the pool buys.
+	DisablePool bool
+	// DisableFeedback turns off feedback-guided block scheduling.
+	DisableFeedback bool
+}
+
+// Result is the outcome of one reduction job.
+type Result struct {
+	// Values is the reduction array. When SubmitInto was given a dst with
+	// sufficient capacity, Values aliases it.
+	Values []float64
+	// Scheme is the executed implementation: a paper abbreviation, or
+	// "pclr-<controller>" on the hardware path.
+	Scheme string
+	// Why is the selection rationale recorded in the decision cache.
+	Why string
+	// CacheHit reports whether the job reused a cached decision instead
+	// of re-running pattern inspection.
+	CacheHit bool
+	// Elapsed is the job's wall-clock execution time (excluding queueing).
+	Elapsed time.Duration
+	// Imbalance is max/mean of the per-processor accumulation times
+	// (1.0 = perfectly balanced, 0 when not measured).
+	Imbalance float64
+}
+
+// Stats is a snapshot of the engine's counters.
+type Stats struct {
+	Jobs, CacheHits, CacheMisses uint64
+	// CacheEntries is the number of distinct pattern signatures cached.
+	CacheEntries int
+	// Schemes counts executed jobs per scheme name.
+	Schemes map[string]uint64
+}
+
+// cacheEntry is one memoized adaptive decision.
+type cacheEntry struct {
+	once    sync.Once
+	profile *pattern.Profile
+	conf    core.Configuration
+	scheme  reduction.Scheme
+	name    string
+	// feedback reports whether the scheme honors Exec.IterBounds, i.e.
+	// whether the entry's scheduler can steer it.
+	feedback bool
+
+	mu      sync.Mutex
+	fb      *sched.FeedbackScheduler
+	fbIters int
+	// gen bumps whenever the schedule changes (a Record or a scheduler
+	// swap); a measurement only applies to the boundaries it was taken
+	// under, so jobs record only when gen is still the one they read.
+	gen uint64
+}
+
+type job struct {
+	loop *trace.Loop
+	dst  []float64
+	done chan Result
+}
+
+// Engine is a concurrent adaptive reduction service. Create with New,
+// submit with Submit/SubmitInto from any number of goroutines, and Close
+// when done.
+type Engine struct {
+	cfg  Config
+	pool *reduction.BufferPool
+	jobs chan *job
+	wg   sync.WaitGroup
+
+	closeMu sync.RWMutex
+	closed  bool
+
+	cacheMu sync.Mutex
+	cache   map[uint64]*cacheEntry
+
+	jobsDone    atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+
+	schemeMu     sync.Mutex
+	schemeCounts map[string]uint64
+}
+
+// New starts an engine with cfg's worker pool running.
+func New(cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Platform.Procs == 0 {
+		cfg.Platform = core.DefaultPlatform(8)
+	}
+	if cfg.Platform.Procs > 64 {
+		panic("engine: platform exceeds the 64-processor model limit")
+	}
+	if cfg.SampleStride <= 0 {
+		cfg.SampleStride = 8
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 2 * cfg.Workers
+	}
+	if cfg.MaxCacheEntries <= 0 {
+		cfg.MaxCacheEntries = 1024
+	}
+	e := &Engine{
+		cfg:          cfg,
+		jobs:         make(chan *job, cfg.QueueDepth),
+		cache:        make(map[uint64]*cacheEntry),
+		schemeCounts: make(map[string]uint64),
+	}
+	if !cfg.DisablePool {
+		e.pool = reduction.NewBufferPool()
+	}
+	e.wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go e.worker()
+	}
+	return e
+}
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Submit runs one reduction job and blocks until its result is ready.
+// It is safe to call from many goroutines; the worker pool bounds how many
+// jobs execute at once.
+func (e *Engine) Submit(l *trace.Loop) (Result, error) {
+	return e.SubmitInto(l, nil)
+}
+
+// SubmitInto is Submit with a caller-provided destination array: when dst
+// has capacity for the result it is reused, making steady-state submission
+// allocation-free end to end.
+func (e *Engine) SubmitInto(l *trace.Loop, dst []float64) (Result, error) {
+	if l == nil {
+		return Result{}, errors.New("engine: nil loop")
+	}
+	if l.NumElems <= 0 {
+		return Result{}, fmt.Errorf("engine: loop %q has non-positive NumElems", l.Name)
+	}
+	j := &job{loop: l, dst: dst, done: make(chan Result, 1)}
+	e.closeMu.RLock()
+	if e.closed {
+		e.closeMu.RUnlock()
+		return Result{}, ErrClosed
+	}
+	e.jobs <- j
+	e.closeMu.RUnlock()
+	return <-j.done, nil
+}
+
+// Close drains the queue, stops the workers and waits for them. Submit
+// calls racing with Close either complete or return ErrClosed.
+func (e *Engine) Close() {
+	e.closeMu.Lock()
+	if e.closed {
+		e.closeMu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.jobs)
+	e.closeMu.Unlock()
+	e.wg.Wait()
+}
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{
+		Jobs:        e.jobsDone.Load(),
+		CacheHits:   e.cacheHits.Load(),
+		CacheMisses: e.cacheMisses.Load(),
+		Schemes:     make(map[string]uint64),
+	}
+	e.cacheMu.Lock()
+	s.CacheEntries = len(e.cache)
+	e.cacheMu.Unlock()
+	e.schemeMu.Lock()
+	for k, v := range e.schemeCounts {
+		s.Schemes[k] = v
+	}
+	e.schemeMu.Unlock()
+	return s
+}
+
+// workerCtx is one worker's reusable per-job scratch: the pooled
+// execution context, the block-time measurement array and the feedback
+// bounds snapshot.
+type workerCtx struct {
+	ex     *reduction.Exec
+	times  []float64
+	bounds []int
+}
+
+// worker owns one reusable execution context and serves jobs until the
+// queue closes.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	w := &workerCtx{
+		ex:    &reduction.Exec{Pool: e.pool},
+		times: make([]float64, e.cfg.Platform.Procs),
+	}
+	for j := range e.jobs {
+		j.done <- e.runJob(w, j)
+	}
+}
+
+// feedbackSchemes are the partition-agnostic schemes that honor
+// Exec.IterBounds; sel and lw fix their partitions in their inspectors.
+var feedbackSchemes = map[string]bool{"rep": true, "ll": true, "hash": true}
+
+// lookup returns the decision-cache entry for the loop's signature,
+// characterizing and deciding on first sight. The boolean reports a hit.
+func (e *Engine) lookup(l *trace.Loop) (*cacheEntry, bool) {
+	sig := l.Fingerprint()
+	e.cacheMu.Lock()
+	entry, ok := e.cache[sig]
+	if !ok {
+		if len(e.cache) >= e.cfg.MaxCacheEntries {
+			for k := range e.cache {
+				delete(e.cache, k)
+				break
+			}
+		}
+		entry = &cacheEntry{}
+		e.cache[sig] = entry
+	}
+	e.cacheMu.Unlock()
+
+	miss := false
+	entry.once.Do(func() {
+		miss = true
+		prof := pattern.CharacterizeSampled(l, e.cfg.Platform.Procs, e.cfg.Platform.Cfg.L2Bytes, e.cfg.SampleStride)
+		rec := adapt.Recommend(prof)
+		conf := core.Configurer{Platform: e.cfg.Platform}.Configure(l, rec)
+		entry.profile = prof
+		entry.conf = conf
+		if conf.UseHardware {
+			// The directory hardware performs the combine; any correct
+			// executor produces the loop's semantics (cf. core.Runtime).
+			entry.scheme = reduction.Rep{}
+			entry.name = "pclr-" + conf.Hardware.Controller.String()
+			entry.feedback = true
+		} else {
+			entry.scheme = adapt.SchemeFor(adapt.Recommendation{Scheme: conf.Scheme})
+			entry.name = conf.Scheme
+			entry.feedback = feedbackSchemes[conf.Scheme]
+		}
+	})
+	return entry, !miss
+}
+
+// runJob executes one job through the cached adaptive path.
+func (e *Engine) runJob(w *workerCtx, j *job) Result {
+	l := j.loop
+	entry, hit := e.lookup(l)
+	if hit {
+		e.cacheHits.Add(1)
+	} else {
+		e.cacheMisses.Add(1)
+	}
+
+	procs := e.cfg.Platform.Procs
+	useFeedback := entry.feedback && !e.cfg.DisableFeedback && l.NumIters() > 0
+
+	// Install the entry's current feedback boundaries. The scheduler is
+	// created before the first run so the job executes the exact
+	// partition its measurement will be attributed to.
+	w.ex.IterBounds = nil
+	w.ex.BlockTimes = nil
+	var genSeen uint64
+	if useFeedback {
+		entry.mu.Lock()
+		if entry.fb == nil || entry.fbIters != l.NumIters() {
+			entry.fb = sched.NewFeedbackScheduler(procs, l.NumIters())
+			entry.fbIters = l.NumIters()
+			entry.gen++
+		}
+		w.bounds = entry.fb.BoundsInto(w.bounds)
+		genSeen = entry.gen
+		entry.mu.Unlock()
+		w.ex.IterBounds = w.bounds
+		w.ex.BlockTimes = w.times
+	}
+
+	start := time.Now()
+	out := entry.scheme.RunInto(l, procs, w.ex, j.dst)
+	elapsed := time.Since(start)
+
+	res := Result{
+		Values:   out,
+		Scheme:   entry.name,
+		Why:      entry.conf.Why,
+		CacheHit: hit,
+		Elapsed:  elapsed,
+	}
+
+	// Feed the measured per-block times back into the entry's scheduler.
+	// A measurement only applies to the boundaries it was taken under, so
+	// it is dropped when a concurrent job already moved them (the
+	// generation changed).
+	if useFeedback {
+		res.Imbalance = sched.Imbalance(w.times)
+		entry.mu.Lock()
+		if entry.gen == genSeen && entry.fbIters == l.NumIters() {
+			entry.fb.Record(w.times)
+			entry.gen++
+		}
+		entry.mu.Unlock()
+	}
+
+	e.jobsDone.Add(1)
+	e.schemeMu.Lock()
+	e.schemeCounts[entry.name]++
+	e.schemeMu.Unlock()
+	return res
+}

@@ -1,0 +1,227 @@
+package engine
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/simarch"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// mixedLoops returns the shared mixed workload stream (small scale, three
+// regimes are enough for the tests) plus their sequential references.
+func mixedLoops() ([]*trace.Loop, [][]float64) {
+	loops := workloads.MixedSet(0.2)[:3]
+	refs := make([][]float64, len(loops))
+	for i, l := range loops {
+		refs[i] = l.RunSequential()
+	}
+	return loops, refs
+}
+
+func assertMatches(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: result length %d, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		diff := math.Abs(got[i] - want[i])
+		tol := 1e-9 * (1 + math.Abs(want[i]))
+		if diff > tol {
+			t.Fatalf("%s: element %d = %g, want %g (diff %g)", name, i, got[i], want[i], diff)
+		}
+	}
+}
+
+func TestEngineMatchesSequential(t *testing.T) {
+	loops, refs := mixedLoops()
+	e := New(Config{Workers: 2})
+	defer e.Close()
+	for i, l := range loops {
+		for rep := 0; rep < 3; rep++ {
+			res, err := e.Submit(l)
+			if err != nil {
+				t.Fatalf("%s: %v", l.Name, err)
+			}
+			if res.Scheme == "" {
+				t.Fatalf("%s: empty scheme name", l.Name)
+			}
+			assertMatches(t, l.Name, res.Values, refs[i])
+		}
+	}
+}
+
+// TestEngineConcurrentSubmit hammers the engine from many goroutines (run
+// under -race in CI) and checks every result against the sequential
+// reference.
+func TestEngineConcurrentSubmit(t *testing.T) {
+	loops, refs := mixedLoops()
+	e := New(Config{Workers: 4, Platform: core.DefaultPlatform(4)})
+	defer e.Close()
+
+	const goroutines = 8
+	const perGoroutine = 6
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines*perGoroutine)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dst := make([]float64, 0)
+			for n := 0; n < perGoroutine; n++ {
+				i := (g + n) % len(loops)
+				res, err := e.SubmitInto(loops[i], dst)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				dst = res.Values
+				want := refs[i]
+				for j := range want {
+					if math.Abs(res.Values[j]-want[j]) > 1e-9*(1+math.Abs(want[j])) {
+						errs <- loops[i].Name + ": result mismatch"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+
+	s := e.Stats()
+	if s.Jobs != goroutines*perGoroutine {
+		t.Errorf("jobs = %d, want %d", s.Jobs, goroutines*perGoroutine)
+	}
+	// Three distinct patterns: at most 3 misses (the once-guard serializes
+	// concurrent first sights of the same signature), the rest hits.
+	if s.CacheMisses > uint64(len(loops)) {
+		t.Errorf("cache misses = %d, want <= %d", s.CacheMisses, len(loops))
+	}
+	if s.CacheHits+s.CacheMisses != s.Jobs {
+		t.Errorf("hits %d + misses %d != jobs %d", s.CacheHits, s.CacheMisses, s.Jobs)
+	}
+}
+
+func TestEngineDecisionCacheHitsOnRepeatedPattern(t *testing.T) {
+	loops, _ := mixedLoops()
+	l := loops[0]
+	e := New(Config{Workers: 2})
+	defer e.Close()
+
+	for n := 0; n < 5; n++ {
+		res, err := e.Submit(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantHit := n > 0; res.CacheHit != wantHit {
+			t.Errorf("submission %d: CacheHit = %v, want %v", n, res.CacheHit, wantHit)
+		}
+	}
+	s := e.Stats()
+	if s.CacheMisses != 1 || s.CacheHits != 4 {
+		t.Errorf("misses/hits = %d/%d, want 1/4", s.CacheMisses, s.CacheHits)
+	}
+	if s.CacheEntries != 1 {
+		t.Errorf("cache entries = %d, want 1", s.CacheEntries)
+	}
+	if len(s.Schemes) != 1 {
+		t.Errorf("scheme counts = %v, want a single scheme", s.Schemes)
+	}
+
+	// A structurally different loop must miss.
+	res, err := e.Submit(loops[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Error("distinct pattern reported a cache hit")
+	}
+}
+
+func TestEngineFeedbackSchedulingKeepsResultsCorrect(t *testing.T) {
+	// A skewed loop exercises the feedback re-cut path: repeated
+	// submissions move the iteration boundaries, and results must stay
+	// exact throughout.
+	l := workloads.Generate("skewed", workloads.PatternSpec{
+		Dim: 3000, SPPercent: 50, CHR: 0.9, MO: 2, Locality: 0.2, Skew: 2, Work: 5, Seed: 21,
+	}, 1)
+	want := l.RunSequential()
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	sawImbalance := false
+	for n := 0; n < 8; n++ {
+		res, err := e.Submit(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertMatches(t, "skewed", res.Values, want)
+		if res.Imbalance > 0 {
+			sawImbalance = true
+		}
+	}
+	if !sawImbalance {
+		t.Error("no submission reported a measured imbalance; feedback path never ran")
+	}
+}
+
+func TestEngineHardwarePlatform(t *testing.T) {
+	loops, refs := mixedLoops()
+	p := core.DefaultPlatform(4)
+	p.PCLR = true
+	p.PCLRController = simarch.Hardwired
+	e := New(Config{Workers: 2, Platform: p})
+	defer e.Close()
+	res, err := e.Submit(loops[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != "pclr-Hw" && res.Scheme != "pclr-hw" {
+		t.Logf("hardware scheme name: %s", res.Scheme)
+		if len(res.Scheme) < 5 || res.Scheme[:5] != "pclr-" {
+			t.Errorf("scheme = %q, want pclr-*", res.Scheme)
+		}
+	}
+	assertMatches(t, "hardware", res.Values, refs[0])
+}
+
+func TestEngineSubmitAfterClose(t *testing.T) {
+	e := New(Config{Workers: 1})
+	e.Close()
+	e.Close() // idempotent
+	loops, _ := mixedLoops()
+	if _, err := e.Submit(loops[0]); err != ErrClosed {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestEngineRejectsInvalidLoops(t *testing.T) {
+	e := New(Config{Workers: 1})
+	defer e.Close()
+	if _, err := e.Submit(nil); err == nil {
+		t.Error("nil loop accepted")
+	}
+	bad := &trace.Loop{Name: "bad"}
+	if _, err := e.Submit(bad); err == nil {
+		t.Error("zero-element loop accepted")
+	}
+}
+
+func TestEngineDisabledPoolStillCorrect(t *testing.T) {
+	loops, refs := mixedLoops()
+	e := New(Config{Workers: 2, DisablePool: true, DisableFeedback: true})
+	defer e.Close()
+	for i, l := range loops {
+		res, err := e.Submit(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertMatches(t, l.Name, res.Values, refs[i])
+	}
+}

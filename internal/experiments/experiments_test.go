@@ -8,6 +8,9 @@ import (
 func tinyFig3() Fig3Scale { return Fig3Scale{Dense: 0.04, Sparse: 0.3, Procs: 8} }
 
 func TestFig3RecommendationsAllMatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates all 21 Figure 3 rows (~13s); run without -short")
+	}
 	res := RunFig3(tinyFig3())
 	s := Summarize(res)
 	if s.Rows != 21 {
@@ -29,6 +32,9 @@ func TestFig3RecommendationsAllMatch(t *testing.T) {
 }
 
 func TestFig3FormatContainsSummary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates all 21 Figure 3 rows (~13s); run without -short")
+	}
 	out := FormatFig3(RunFig3(tinyFig3()))
 	if !strings.Contains(out, "recommendation-matches-paper=21/21") {
 		t.Errorf("summary line missing or wrong:\n%s", out[len(out)-200:])
@@ -64,6 +70,9 @@ func TestPCLRAppsOrderingInvariant(t *testing.T) {
 }
 
 func TestFig7Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates all 5 apps at 3 machine sizes (~24s under -race); run without -short")
+	}
 	pts := RunFig7(0.05)
 	if len(pts) != 3 || pts[0].Procs != 4 || pts[2].Procs != 16 {
 		t.Fatalf("unexpected points: %+v", pts)

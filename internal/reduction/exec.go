@@ -1,0 +1,230 @@
+package reduction
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+)
+
+// BufferPool recycles the privatization buffers the schemes allocate per
+// execution (private replicated arrays, link/flag arrays, remap tables,
+// hash-table storage). Buffers are binned by power-of-two capacity class so
+// a steady stream of similarly sized loops reuses the same storage instead
+// of re-allocating P full arrays per job — the paper's "run-time tuning"
+// level of adaptation applied to memory: once a loop shape has been served,
+// serving it again costs no allocation.
+//
+// A BufferPool is safe for concurrent use by multiple goroutines. The nil
+// *BufferPool is valid and falls back to plain allocation, so scheme code
+// can call it unconditionally.
+type BufferPool struct {
+	f64 [maxSizeClass]sync.Pool
+	i32 [maxSizeClass]sync.Pool
+}
+
+// maxSizeClass bounds capacity classes at 2^40 elements, far beyond any
+// loop this repository models.
+const maxSizeClass = 41
+
+// NewBufferPool returns an empty pool.
+func NewBufferPool() *BufferPool { return &BufferPool{} }
+
+// sizeClass returns the bin whose capacity 2^class is the smallest power of
+// two holding n elements.
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// Float64 returns a slice of length n with arbitrary contents, drawn from
+// the pool when a buffer of the right class is available. Callers must
+// initialize every element they read.
+func (bp *BufferPool) Float64(n int) []float64 {
+	if bp != nil {
+		c := sizeClass(n)
+		if v := bp.f64[c].Get(); v != nil {
+			return (*v.(*[]float64))[:n]
+		}
+		return make([]float64, n, 1<<c)
+	}
+	return make([]float64, n)
+}
+
+// PutFloat64 returns a buffer to the pool. The slice must not be used
+// after the call.
+func (bp *BufferPool) PutFloat64(s []float64) {
+	if bp == nil || cap(s) == 0 || cap(s) != 1<<sizeClass(cap(s)) {
+		return
+	}
+	s = s[:cap(s)]
+	bp.f64[sizeClass(cap(s))].Put(&s)
+}
+
+// Int32 is Float64's counterpart for index/flag/link arrays.
+func (bp *BufferPool) Int32(n int) []int32 {
+	if bp != nil {
+		c := sizeClass(n)
+		if v := bp.i32[c].Get(); v != nil {
+			return (*v.(*[]int32))[:n]
+		}
+		return make([]int32, n, 1<<c)
+	}
+	return make([]int32, n)
+}
+
+// PutInt32 returns an index buffer to the pool.
+func (bp *BufferPool) PutInt32(s []int32) {
+	if bp == nil || cap(s) == 0 || cap(s) != 1<<sizeClass(cap(s)) {
+		return
+	}
+	s = s[:cap(s)]
+	bp.i32[sizeClass(cap(s))].Put(&s)
+}
+
+// Exec is a reusable execution context for running schemes without
+// per-call allocation: Scheme.RunInto threads it through the privatization,
+// accumulation and merge phases. An Exec must be used by one job at a time
+// (its scratch state is not concurrency-safe); the BufferPool it references
+// may be shared between many Execs.
+//
+// The zero Exec and the nil *Exec are both valid and behave like the
+// classic Run path (fresh allocations, static block schedule, no timing).
+type Exec struct {
+	// Pool supplies recycled privatization buffers; nil allocates fresh.
+	Pool *BufferPool
+	// IterBounds optionally overrides the static block partition of the
+	// iteration space with procs+1 ascending offsets (IterBounds[0] == 0,
+	// IterBounds[procs] == NumIters), e.g. boundaries produced by
+	// sched.FeedbackScheduler. The partition-agnostic schemes (rep, ll,
+	// hash) honor it; sel and lw derive their own partitions from inspector
+	// results and ignore it.
+	IterBounds []int
+	// BlockTimes, when it has at least procs entries, receives the
+	// wall-clock nanoseconds each processor spent in the accumulation
+	// phase — the measurement sched.FeedbackScheduler feeds on.
+	BlockTimes []float64
+
+	// scratch: per-processor slice headers reused across jobs.
+	f64Slots  [][]float64
+	i32Slots  [][]int32
+	hashSlots []hashTable
+}
+
+// iterBlock returns processor p's iteration range: the custom feedback
+// boundaries when installed and consistent with this loop, else the static
+// block partition.
+func (ex *Exec) iterBlock(n, procs, p int) (lo, hi int) {
+	if ex != nil && len(ex.IterBounds) == procs+1 && ex.IterBounds[procs] == n && ex.IterBounds[0] == 0 {
+		return ex.IterBounds[p], ex.IterBounds[p+1]
+	}
+	return blockBounds(n, procs, p)
+}
+
+// pool returns the context's buffer pool (nil-safe).
+func (ex *Exec) pool() *BufferPool {
+	if ex == nil {
+		return nil
+	}
+	return ex.Pool
+}
+
+// float64Slots returns a reused [][]float64 of length procs for private
+// per-processor buffers.
+func (ex *Exec) float64Slots(procs int) [][]float64 {
+	if ex == nil {
+		return make([][]float64, procs)
+	}
+	if cap(ex.f64Slots) < procs {
+		ex.f64Slots = make([][]float64, procs)
+	}
+	s := ex.f64Slots[:procs]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
+// int32Slots returns a reused [][]int32 of length procs.
+func (ex *Exec) int32Slots(procs int) [][]int32 {
+	if ex == nil {
+		return make([][]int32, procs)
+	}
+	if cap(ex.i32Slots) < procs {
+		ex.i32Slots = make([][]int32, procs)
+	}
+	s := ex.i32Slots[:procs]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
+// hashTableSlots returns a reused []hashTable of length procs.
+func (ex *Exec) hashTableSlots(procs int) []hashTable {
+	if ex == nil {
+		return make([]hashTable, procs)
+	}
+	if cap(ex.hashSlots) < procs {
+		ex.hashSlots = make([]hashTable, procs)
+	}
+	s := ex.hashSlots[:procs]
+	for i := range s {
+		s[i] = hashTable{}
+	}
+	return s
+}
+
+// timedBody wraps body so that processor p's wall-clock time lands in
+// BlockTimes[p] when the caller asked for measurements.
+func (ex *Exec) timedBody(procs int, body func(p int)) func(p int) {
+	if ex == nil || len(ex.BlockTimes) < procs {
+		return body
+	}
+	times := ex.BlockTimes
+	return func(p int) {
+		start := time.Now()
+		body(p)
+		times[p] = float64(time.Since(start).Nanoseconds())
+	}
+}
+
+// ensureOut returns out resized to n when its capacity suffices, else a
+// fresh zeroed array; the boolean reports the fresh case. Every scheme
+// writes all n elements, so recycled contents never leak into results.
+func ensureOut(out []float64, n int) ([]float64, bool) {
+	if cap(out) >= n {
+		return out[:n], false
+	}
+	return make([]float64, n), true
+}
+
+// initNeutral prepares a buffer as an accumulator: a recycled buffer (or
+// a non-zero neutral element) needs the explicit sweep, while a freshly
+// allocated one is already zero — the cold path skips the redundant pass.
+func initNeutral(s []float64, neutral float64, fresh bool) {
+	if !fresh || neutral != 0 {
+		fill(s, neutral)
+	}
+}
+
+// fill sets every element of s to v. The v == 0 case compiles to a memclr.
+func fill(s []float64, v float64) {
+	if v == 0 {
+		for i := range s {
+			s[i] = 0
+		}
+		return
+	}
+	for i := range s {
+		s[i] = v
+	}
+}
+
+// fillInt32 sets every element of s to v.
+func fillInt32(s []int32, v int32) {
+	for i := range s {
+		s[i] = v
+	}
+}

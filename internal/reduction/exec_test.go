@@ -1,0 +1,145 @@
+package reduction
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func assertSameResult(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d, want %d", name, len(got), len(want))
+	}
+	for i := range want {
+		diff := math.Abs(got[i] - want[i])
+		if diff > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("%s: element %d = %g, want %g", name, i, got[i], want[i])
+		}
+	}
+}
+
+// TestRunIntoMatchesRunWithPooledReuse runs every scheme repeatedly through
+// one Exec so the second and third executions consume recycled buffers
+// (including buffers recycled from *other* schemes and differently sized
+// loops), and checks each result against the cold Run path.
+func TestRunIntoMatchesRunWithPooledReuse(t *testing.T) {
+	loops := []*trace.Loop{
+		randomLoop(500, 2000, 3, 1),
+		clusteredLoop(900, 1500, 2),
+		randomLoop(64, 100, 1, 3),
+	}
+	ex := &Exec{Pool: NewBufferPool()}
+	for round := 0; round < 3; round++ {
+		for _, s := range All() {
+			for _, l := range loops {
+				want := s.Run(l, 4)
+				got := s.RunInto(l, 4, ex, nil)
+				assertSameResult(t, s.Name(), got, want)
+			}
+		}
+	}
+}
+
+// TestRunIntoReusesDst verifies results land in a caller-provided array of
+// sufficient capacity, with stale contents fully overwritten.
+func TestRunIntoReusesDst(t *testing.T) {
+	l := clusteredLoop(300, 800, 5)
+	want := l.RunSequential()
+	ex := &Exec{Pool: NewBufferPool()}
+	dst := make([]float64, 512)
+	for i := range dst {
+		dst[i] = math.NaN() // poison: any unwritten element fails the check
+	}
+	for _, s := range All() {
+		got := s.RunInto(l, 4, ex, dst)
+		if &got[0] != &dst[0] {
+			t.Errorf("%s: result does not alias dst", s.Name())
+		}
+		assertSameResult(t, s.Name(), got, want)
+		for i := range dst[:l.NumElems] {
+			dst[i] = math.NaN()
+		}
+	}
+}
+
+// TestRunIntoHonorsIterBounds gives the partition-agnostic schemes a
+// deliberately skewed custom iteration partition; results must not change.
+func TestRunIntoHonorsIterBounds(t *testing.T) {
+	l := randomLoop(400, 1000, 2, 9)
+	want := l.RunSequential()
+	bounds := []int{0, 10, 500, 980, 1000} // 4 procs, very uneven
+	for _, s := range All() {
+		ex := &Exec{Pool: NewBufferPool(), IterBounds: bounds}
+		got := s.RunInto(l, 4, ex, nil)
+		assertSameResult(t, s.Name()+"+bounds", got, want)
+	}
+}
+
+// TestHashSurvivesSkewedIterBounds regresses the table-overflow hazard: a
+// feedback schedule may hand one processor nearly every iteration, so its
+// table must be sized for the block it actually executes — a table sized
+// from the per-processor average would fill up and probe forever.
+func TestHashSurvivesSkewedIterBounds(t *testing.T) {
+	l := randomLoop(5000, 4000, 2, 31) // ~4800 distinct keys
+	want := l.RunSequential()
+	// All 4000 iterations land on the last of 4 processors.
+	ex := &Exec{IterBounds: []int{0, 0, 0, 0, 4000}}
+	got := Hash{}.RunInto(l, 4, ex, nil)
+	assertSameResult(t, "hash+skew", got, want)
+}
+
+// TestRunIntoRecordsBlockTimes checks the accumulation-phase timer fires
+// for every processor.
+func TestRunIntoRecordsBlockTimes(t *testing.T) {
+	l := randomLoop(400, 4000, 3, 17)
+	for _, s := range All() {
+		times := []float64{-1, -1, -1, -1}
+		ex := &Exec{BlockTimes: times}
+		s.RunInto(l, 4, ex, nil)
+		for p, v := range times {
+			if v < 0 {
+				t.Errorf("%s: proc %d time not recorded", s.Name(), p)
+			}
+		}
+	}
+}
+
+func TestBufferPoolRoundTrip(t *testing.T) {
+	bp := NewBufferPool()
+	f := bp.Float64(100)
+	if len(f) != 100 || cap(f) != 128 {
+		t.Fatalf("Float64(100): len=%d cap=%d, want 100/128", len(f), cap(f))
+	}
+	f[0] = 42
+	bp.PutFloat64(f)
+	g := bp.Float64(90)
+	if len(g) != 90 || cap(g) != 128 {
+		t.Fatalf("recycled Float64(90): len=%d cap=%d, want 90/128", len(g), cap(g))
+	}
+
+	i := bp.Int32(1)
+	if len(i) != 1 || cap(i) != 1 {
+		t.Fatalf("Int32(1): len=%d cap=%d, want 1/1", len(i), cap(i))
+	}
+	bp.PutInt32(i)
+
+	// Nil pool degenerates to plain allocation and ignores returns.
+	var nilPool *BufferPool
+	n := nilPool.Float64(10)
+	if len(n) != 10 {
+		t.Fatalf("nil pool Float64(10): len=%d", len(n))
+	}
+	nilPool.PutFloat64(n)
+	nilPool.PutInt32(nilPool.Int32(3))
+}
+
+func TestSizeClass(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := sizeClass(n); got != want {
+			t.Errorf("sizeClass(%d) = %d, want %d", n, got, want)
+		}
+	}
+}

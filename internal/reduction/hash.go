@@ -32,15 +32,30 @@ type hashTable struct {
 }
 
 func newHashTable(capacityHint int) *hashTable {
+	var t hashTable
+	t.init(capacityHint, nil)
+	return &t
+}
+
+// init sizes the table for capacityHint keys, drawing storage from pool
+// (nil-safe) so a recycled table costs only the key-slot reset sweep.
+func (t *hashTable) init(capacityHint int, pool *BufferPool) {
 	size := 16
 	for size < capacityHint*2 {
 		size <<= 1
 	}
-	t := &hashTable{keys: make([]int32, size), vals: make([]float64, size), mask: int32(size - 1)}
-	for i := range t.keys {
-		t.keys[i] = -1
-	}
-	return t
+	t.keys = pool.Int32(size)
+	t.vals = pool.Float64(size)
+	t.mask = int32(size - 1)
+	t.n = 0
+	fillInt32(t.keys, -1)
+}
+
+// release returns the table's storage to the pool.
+func (t *hashTable) release(pool *BufferPool) {
+	pool.PutInt32(t.keys)
+	pool.PutFloat64(t.vals)
+	t.keys, t.vals = nil, nil
 }
 
 func hashKey(k int32) int32 {
@@ -77,36 +92,44 @@ func (t *hashTable) update(key int32, v float64, op trace.Op) (probes int, inser
 }
 
 // Run executes the loop with per-processor hash tables.
-func (Hash) Run(l *trace.Loop, procs int) []float64 {
+func (h Hash) Run(l *trace.Loop, procs int) []float64 {
+	return h.RunInto(l, procs, nil, nil)
+}
+
+// RunInto executes the loop with per-processor hash tables whose key and
+// value arrays come from the context's pool.
+func (Hash) RunInto(l *trace.Loop, procs int, ex *Exec, out []float64) []float64 {
 	checkProcs(procs)
 	neutral := l.Op.Neutral()
-	tables := make([]*hashTable, procs)
+	pool := ex.pool()
+	tables := ex.hashTableSlots(procs)
 
-	// Size hint: distinct elements per processor is at most the total
-	// distinct count; a block's share of refs bounds it more tightly.
-	hint := l.TotalRefs()/procs + 16
-
-	parallelFor(procs, func(p int) {
-		t := newHashTable(hint)
-		lo, hi := blockBounds(l.NumIters(), procs, p)
+	parallelFor(procs, ex.timedBody(procs, func(p int) {
+		t := &tables[p]
+		lo, hi := ex.iterBlock(l.NumIters(), procs, p)
+		// Size for this block's actual reference count: the block's
+		// distinct keys cannot exceed it, so the open-addressing table
+		// always keeps a free slot and probing terminates — even when a
+		// feedback schedule hands this processor a far larger share of
+		// the references than the static partition would.
+		t.init(l.RefsInRange(lo, hi)+1, pool)
 		for i := lo; i < hi; i++ {
 			for k, idx := range l.Iter(i) {
 				t.update(idx, trace.Value(i, k, idx), l.Op)
 			}
 		}
-		tables[p] = t
-	})
+	}))
 
-	out := make([]float64, l.NumElems)
-	for i := range out {
-		out[i] = neutral
-	}
-	for _, t := range tables {
+	out, fresh := ensureOut(out, l.NumElems)
+	initNeutral(out, neutral, fresh)
+	for p := range tables {
+		t := &tables[p]
 		for i, key := range t.keys {
 			if key >= 0 {
 				out[key] = l.Op.Apply(out[key], t.vals[i])
 			}
 		}
+		t.release(pool)
 	}
 	return out
 }

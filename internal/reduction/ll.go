@@ -23,39 +23,40 @@ type LinkedList struct{}
 func (LinkedList) Name() string { return "ll" }
 
 // Run executes the loop with lazily-initialized replicated buffers.
-func (LinkedList) Run(l *trace.Loop, procs int) []float64 {
+func (s LinkedList) Run(l *trace.Loop, procs int) []float64 {
+	return s.RunInto(l, procs, nil, nil)
+}
+
+// RunInto executes the loop with lazily-initialized replicated buffers
+// whose value and link arrays come from the context's pool.
+func (LinkedList) RunInto(l *trace.Loop, procs int, ex *Exec, out []float64) []float64 {
 	checkProcs(procs)
 	neutral := l.Op.Neutral()
+	pool := ex.pool()
 
-	type buffer struct {
-		vals []float64
-		next []int32 // link to previously touched element; -2 = untouched
-		head int32
-	}
-	bufs := make([]buffer, procs)
+	vals := ex.float64Slots(procs)
+	nexts := ex.int32Slots(procs)
+	heads := pool.Int32(procs)
+	defer pool.PutInt32(heads)
 
-	parallelFor(procs, func(p int) {
-		b := buffer{
-			vals: make([]float64, l.NumElems),
-			next: make([]int32, l.NumElems),
-			head: -1,
-		}
-		for i := range b.next {
-			b.next[i] = -2
-		}
-		lo, hi := blockBounds(l.NumIters(), procs, p)
+	parallelFor(procs, ex.timedBody(procs, func(p int) {
+		v := pool.Float64(l.NumElems)
+		next := pool.Int32(l.NumElems)
+		fillInt32(next, -2) // -2 = untouched
+		head := int32(-1)
+		lo, hi := ex.iterBlock(l.NumIters(), procs, p)
 		for i := lo; i < hi; i++ {
 			for k, idx := range l.Iter(i) {
-				if b.next[idx] == -2 {
-					b.vals[idx] = neutral
-					b.next[idx] = b.head
-					b.head = idx
+				if next[idx] == -2 {
+					v[idx] = neutral
+					next[idx] = head
+					head = idx
 				}
-				b.vals[idx] = l.Op.Apply(b.vals[idx], trace.Value(i, k, idx))
+				v[idx] = l.Op.Apply(v[idx], trace.Value(i, k, idx))
 			}
 		}
-		bufs[p] = b
-	})
+		vals[p], nexts[p], heads[p] = v, next, head
+	}))
 
 	// Merge: walk each processor's touched list. Serialized per processor
 	// list but applied concurrently over disjoint output partitions would
@@ -64,15 +65,17 @@ func (LinkedList) Run(l *trace.Loop, procs int) []float64 {
 	// pattern is sparse — that is ll's use case). To stay deterministic
 	// and race-free we merge sequentially here; Simulate charges the
 	// parallel cost model described in the paper.
-	out := make([]float64, l.NumElems)
-	for i := range out {
-		out[i] = neutral
+	out, fresh := ensureOut(out, l.NumElems)
+	initNeutral(out, neutral, fresh)
+	for p := 0; p < procs; p++ {
+		v, next := vals[p], nexts[p]
+		for e := heads[p]; e >= 0; e = next[e] {
+			out[e] = l.Op.Apply(out[e], v[e])
+		}
 	}
 	for p := 0; p < procs; p++ {
-		b := bufs[p]
-		for e := b.head; e >= 0; e = b.next[e] {
-			out[e] = l.Op.Apply(out[e], b.vals[e])
-		}
+		pool.PutFloat64(vals[p])
+		pool.PutInt32(nexts[p])
 	}
 	return out
 }

@@ -27,9 +27,23 @@ type LocalWrite struct{}
 func (LocalWrite) Name() string { return "lw" }
 
 // inspect builds, for each processor, the list of iterations it must
-// execute (those touching at least one element it owns).
-func (LocalWrite) inspect(l *trace.Loop, procs int) [][]int32 {
-	iterLists := make([][]int32, procs)
+// execute (those touching at least one element it owns). With an Exec the
+// per-owner lists are appended into pooled backing arrays sized for the
+// worst case (every iteration replicated to every owner), so repeated
+// inspections of same-shaped loops allocate nothing.
+func (LocalWrite) inspect(l *trace.Loop, procs int, ex *Exec) [][]int32 {
+	pool := ex.pool()
+	iterLists := ex.int32Slots(procs)
+	if pool != nil {
+		// Pre-size from the pool for the worst case (every iteration
+		// replicated to every owner) so appends never reallocate; the
+		// storage is recycled, so the width is paid once. Without a pool
+		// the lists grow on demand, allocating only the actual
+		// replicated count (Simulate and ReplicationFactor callers).
+		for p := range iterLists {
+			iterLists[p] = pool.Int32(l.NumIters())[:0]
+		}
+	}
 	var ownersSeen [64]bool // procs <= 64 in every configuration we model
 	for i := 0; i < l.NumIters(); i++ {
 		for j := range ownersSeen[:procs] {
@@ -48,18 +62,25 @@ func (LocalWrite) inspect(l *trace.Loop, procs int) [][]int32 {
 
 // Run executes the loop under owner-computes with iteration replication.
 func (lw LocalWrite) Run(l *trace.Loop, procs int) []float64 {
+	return lw.RunInto(l, procs, nil, nil)
+}
+
+// RunInto executes the loop under owner-computes with iteration
+// replication; the inspector's per-owner iteration lists come from the
+// context's pool. The element partition fixes which processor executes
+// what, so lw ignores the context's feedback iteration bounds.
+func (lw LocalWrite) RunInto(l *trace.Loop, procs int, ex *Exec, out []float64) []float64 {
 	checkProcs(procs)
 	if procs > 64 {
 		panic("reduction: LocalWrite supports at most 64 processors")
 	}
 	neutral := l.Op.Neutral()
-	iterLists := lw.inspect(l, procs)
+	pool := ex.pool()
+	iterLists := lw.inspect(l, procs, ex)
 
-	out := make([]float64, l.NumElems)
-	for i := range out {
-		out[i] = neutral
-	}
-	parallelFor(procs, func(p int) {
+	out, fresh := ensureOut(out, l.NumElems)
+	initNeutral(out, neutral, fresh)
+	parallelFor(procs, ex.timedBody(procs, func(p int) {
 		elemLo, elemHi := blockBounds(l.NumElems, procs, p)
 		for _, i := range iterLists[p] {
 			for k, idx := range l.Iter(int(i)) {
@@ -68,7 +89,10 @@ func (lw LocalWrite) Run(l *trace.Loop, procs int) []float64 {
 				}
 			}
 		}
-	})
+	}))
+	for p := range iterLists {
+		pool.PutInt32(iterLists[p])
+	}
 	return out
 }
 
@@ -77,7 +101,7 @@ func (lw LocalWrite) Run(l *trace.Loop, procs int) []float64 {
 // loop execution as Loop, and no Merge.
 func (lw LocalWrite) Simulate(l *trace.Loop, m *vtime.Machine) stats.Breakdown {
 	procs := m.Procs()
-	iterLists := lw.inspect(l, procs)
+	iterLists := lw.inspect(l, procs, nil)
 	refStart := refOffsets(l, procs)
 	var b stats.Breakdown
 
@@ -145,7 +169,7 @@ func (lw LocalWrite) ReplicationFactor(l *trace.Loop, procs int) float64 {
 	if l.NumIters() == 0 {
 		return 0
 	}
-	lists := lw.inspect(l, procs)
+	lists := lw.inspect(l, procs, nil)
 	total := 0
 	for _, lst := range lists {
 		total += len(lst)

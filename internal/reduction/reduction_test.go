@@ -255,7 +255,7 @@ func TestSelectiveClassify(t *testing.T) {
 	l.AddIter(1)
 	l.AddIter(0, 3)
 	l.AddIter(3)
-	remap, n := Selective{}.classify(l, 2)
+	remap, n := Selective{}.classify(l, 2, nil)
 	if n != 1 {
 		t.Fatalf("numConflict = %d, want 1", n)
 	}

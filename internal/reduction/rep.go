@@ -24,30 +24,34 @@ type Rep struct{}
 func (Rep) Name() string { return "rep" }
 
 // Run executes the loop with replicated private arrays on procs goroutines.
-func (Rep) Run(l *trace.Loop, procs int) []float64 {
+func (r Rep) Run(l *trace.Loop, procs int) []float64 {
+	return r.RunInto(l, procs, nil, nil)
+}
+
+// RunInto executes the loop with replicated private arrays drawn from the
+// context's buffer pool; steady-state repeated executions allocate nothing.
+func (Rep) RunInto(l *trace.Loop, procs int, ex *Exec, out []float64) []float64 {
 	checkProcs(procs)
 	neutral := l.Op.Neutral()
-	priv := make([][]float64, procs)
+	pool := ex.pool()
+	priv := ex.float64Slots(procs)
 
 	// Init + Loop: each processor fills its private copy.
-	parallelFor(procs, func(p int) {
-		w := make([]float64, l.NumElems)
-		if neutral != 0 {
-			for i := range w {
-				w[i] = neutral
-			}
-		}
-		lo, hi := blockBounds(l.NumIters(), procs, p)
+	parallelFor(procs, ex.timedBody(procs, func(p int) {
+		w := pool.Float64(l.NumElems)
+		initNeutral(w, neutral, pool == nil)
+		lo, hi := ex.iterBlock(l.NumIters(), procs, p)
 		for i := lo; i < hi; i++ {
 			for k, idx := range l.Iter(i) {
 				w[idx] = l.Op.Apply(w[idx], trace.Value(i, k, idx))
 			}
 		}
 		priv[p] = w
-	})
+	}))
 
-	// Merge: processors cooperatively combine element ranges.
-	out := make([]float64, l.NumElems)
+	// Merge: processors cooperatively combine element ranges (writing
+	// every element, so out needs no initialization).
+	out, _ = ensureOut(out, l.NumElems)
 	parallelFor(procs, func(p int) {
 		lo, hi := blockBounds(l.NumElems, procs, p)
 		for e := lo; e < hi; e++ {
@@ -58,6 +62,9 @@ func (Rep) Run(l *trace.Loop, procs int) []float64 {
 			out[e] = acc
 		}
 	})
+	for p := range priv {
+		pool.PutFloat64(priv[p])
+	}
 	return out
 }
 

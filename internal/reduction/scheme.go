@@ -35,8 +35,14 @@ type Scheme interface {
 	// Name returns the paper's abbreviation: rep, ll, sel, lw or hash.
 	Name() string
 	// Run executes the loop in parallel on procs goroutines and returns
-	// the reduction array.
+	// the reduction array. It is RunInto with a fresh context: every
+	// privatization buffer is allocated cold.
 	Run(l *trace.Loop, procs int) []float64
+	// RunInto executes the loop in parallel on procs goroutines using the
+	// execution context's pooled buffers, feedback schedule and phase
+	// timers, writing the reduction array into out when its capacity
+	// suffices. ex and out may both be nil, which degenerates to Run.
+	RunInto(l *trace.Loop, procs int, ex *Exec, out []float64) []float64
 	// Simulate replays the scheme's work on the virtual machine and
 	// returns the phase breakdown in cycles. The machine's clock advances.
 	Simulate(l *trace.Loop, m *vtime.Machine) stats.Breakdown

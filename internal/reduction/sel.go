@@ -24,13 +24,13 @@ func (Selective) Name() string { return "sel" }
 
 // classify runs the inspector: it returns the remap table (element ->
 // compact index, -1 if exclusive) and the number of conflicting elements.
-func (Selective) classify(l *trace.Loop, procs int) (remap []int32, numConflict int) {
+// The remap table is drawn from pool (nil-safe); the caller owns it.
+func (Selective) classify(l *trace.Loop, procs int, pool *BufferPool) (remap []int32, numConflict int) {
 	// toucher[e] = first processor seen touching e, or -2 if none,
 	// -1 if touched by more than one processor.
-	toucher := make([]int32, l.NumElems)
-	for i := range toucher {
-		toucher[i] = -2
-	}
+	toucher := pool.Int32(l.NumElems)
+	defer pool.PutInt32(toucher)
+	fillInt32(toucher, -2)
 	for p := 0; p < procs; p++ {
 		lo, hi := blockBounds(l.NumIters(), procs, p)
 		for i := lo; i < hi; i++ {
@@ -45,7 +45,7 @@ func (Selective) classify(l *trace.Loop, procs int) (remap []int32, numConflict 
 			}
 		}
 	}
-	remap = make([]int32, l.NumElems)
+	remap = pool.Int32(l.NumElems)
 	for e := range remap {
 		if toucher[e] == -1 {
 			remap[e] = int32(numConflict)
@@ -59,23 +59,27 @@ func (Selective) classify(l *trace.Loop, procs int) (remap []int32, numConflict 
 
 // Run executes the loop with selective privatization.
 func (s Selective) Run(l *trace.Loop, procs int) []float64 {
+	return s.RunInto(l, procs, nil, nil)
+}
+
+// RunInto executes the loop with selective privatization; the inspector's
+// remap table and the compact conflicting-set arrays come from the
+// context's pool. The inspector classifies against the static block
+// partition, so sel ignores the context's feedback iteration bounds.
+func (s Selective) RunInto(l *trace.Loop, procs int, ex *Exec, out []float64) []float64 {
 	checkProcs(procs)
 	neutral := l.Op.Neutral()
-	remap, numConflict := s.classify(l, procs)
+	pool := ex.pool()
+	remap, numConflict := s.classify(l, procs, pool)
+	defer pool.PutInt32(remap)
 
-	out := make([]float64, l.NumElems)
-	for i := range out {
-		out[i] = neutral
-	}
-	priv := make([][]float64, procs)
+	out, fresh := ensureOut(out, l.NumElems)
+	initNeutral(out, neutral, fresh)
+	priv := ex.float64Slots(procs)
 
-	parallelFor(procs, func(p int) {
-		compact := make([]float64, numConflict)
-		if neutral != 0 {
-			for i := range compact {
-				compact[i] = neutral
-			}
-		}
+	parallelFor(procs, ex.timedBody(procs, func(p int) {
+		compact := pool.Float64(numConflict)
+		initNeutral(compact, neutral, pool == nil)
 		lo, hi := blockBounds(l.NumIters(), procs, p)
 		for i := lo; i < hi; i++ {
 			for k, idx := range l.Iter(i) {
@@ -89,12 +93,12 @@ func (s Selective) Run(l *trace.Loop, procs int) []float64 {
 			}
 		}
 		priv[p] = compact
-	})
+	}))
 
 	// Merge only the conflicting elements, parallel over element ranges.
 	if numConflict > 0 {
 		// Invert the remap for the conflicting set.
-		conflictElems := make([]int32, numConflict)
+		conflictElems := pool.Int32(numConflict)
 		for e, c := range remap {
 			if c >= 0 {
 				conflictElems[c] = int32(e)
@@ -111,6 +115,10 @@ func (s Selective) Run(l *trace.Loop, procs int) []float64 {
 				out[e] = acc
 			}
 		})
+		pool.PutInt32(conflictElems)
+	}
+	for p := range priv {
+		pool.PutFloat64(priv[p])
 	}
 	return out
 }
@@ -120,7 +128,7 @@ func (s Selective) Run(l *trace.Loop, procs int) []float64 {
 // conflicting-subset combine as Merge.
 func (s Selective) Simulate(l *trace.Loop, m *vtime.Machine) stats.Breakdown {
 	procs := m.Procs()
-	remap, numConflict := s.classify(l, procs)
+	remap, numConflict := s.classify(l, procs, nil)
 	refStart := refOffsets(l, procs)
 	var b stats.Breakdown
 

@@ -54,6 +54,14 @@ func (s *FeedbackScheduler) Blocks() [][2]int {
 	return out
 }
 
+// BoundsInto copies the current boundaries (procs+1 ascending iteration
+// offsets; block p is [bounds[p], bounds[p+1])) into dst, reusing its
+// capacity. Callers on hot paths keep one dst per worker so reading the
+// schedule allocates nothing.
+func (s *FeedbackScheduler) BoundsInto(dst []int) []int {
+	return append(dst[:0], s.bounds...)
+}
+
 // Record feeds the measured execution time of each block from the last
 // invocation and recomputes the boundaries for the next one.
 func (s *FeedbackScheduler) Record(times []float64) {

@@ -17,6 +17,27 @@ func measure(blocks [][2]int, cost func(int) float64) []float64 {
 	return out
 }
 
+func TestBoundsIntoMatchesBlocks(t *testing.T) {
+	s := NewFeedbackScheduler(4, 103)
+	s.Record([]float64{1, 5, 2, 9})
+	var scratch []int
+	scratch = s.BoundsInto(scratch)
+	blocks := s.Blocks()
+	if len(scratch) != 5 {
+		t.Fatalf("bounds length = %d, want 5", len(scratch))
+	}
+	for p, b := range blocks {
+		if scratch[p] != b[0] || scratch[p+1] != b[1] {
+			t.Fatalf("bounds %v disagree with blocks %v", scratch, blocks)
+		}
+	}
+	// Reuse must not allocate a new backing array.
+	again := s.BoundsInto(scratch)
+	if &again[0] != &scratch[0] {
+		t.Error("BoundsInto reallocated despite sufficient capacity")
+	}
+}
+
 func TestInitialBlocksCoverAll(t *testing.T) {
 	s := NewFeedbackScheduler(4, 103)
 	blocks := s.Blocks()

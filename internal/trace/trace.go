@@ -164,6 +164,13 @@ func (l *Loop) Iter(i int) []int32 {
 // (the sum of the CH histogram, in the paper's terminology).
 func (l *Loop) TotalRefs() int { return len(l.refs) }
 
+// RefsInRange returns the number of reduction references made by
+// iterations [lo, hi). It is O(1): schedulers use it to bound the storage
+// a block of iterations can touch.
+func (l *Loop) RefsInRange(lo, hi int) int {
+	return int(l.offsets[hi] - l.offsets[lo])
+}
+
 // ArrayBytes returns the reduction array footprint in bytes.
 func (l *Loop) ArrayBytes() int { return l.NumElems * l.ElemBytes }
 
@@ -220,6 +227,43 @@ func (l *Loop) TouchedElems() int {
 		}
 	}
 	return n
+}
+
+// Fingerprint returns a 64-bit structural signature of the loop's access
+// pattern: the dimensions, operator and a strided sample of the subscript
+// stream and iteration shape. Two loops with the same fingerprint almost
+// surely have the same pattern regime, which is what the adaptive engine's
+// decision cache keys on — the paper's "re-characterize only when the
+// pattern changed" rule turned into a hash lookup. It reads O(samples)
+// references regardless of trace size.
+func (l *Loop) Fingerprint() uint64 {
+	const samples = 256
+	h := uint64(14695981039346656037) // FNV offset basis
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+		h ^= h >> 29
+	}
+	mix(uint64(l.NumElems))
+	mix(uint64(l.ElemBytes))
+	mix(uint64(len(l.refs)))
+	mix(uint64(len(l.offsets)))
+	mix(uint64(l.Op))
+	stride := len(l.refs) / samples
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < len(l.refs); i += stride {
+		mix(uint64(uint32(l.refs[i])) | uint64(i)<<32)
+	}
+	offStride := (len(l.offsets) - 1) / samples
+	if offStride < 1 {
+		offStride = 1
+	}
+	for i := 0; i < len(l.offsets); i += offStride {
+		mix(uint64(uint32(l.offsets[i])))
+	}
+	return h
 }
 
 // Clone returns a deep copy of the loop.

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Runs the engine throughput benchmarks and writes BENCH_engine.json so the
+# repository's performance trajectory is recorded run over run.
+set -eu
+
+cd "$(dirname "$0")/.."
+out=BENCH_engine.json
+
+raw=$(go test -bench 'Engine|Scheme' -benchmem -run '^$' -benchtime 1s . )
+echo "$raw"
+
+echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version | awk '{print $3}')" '
+BEGIN { n = 0 }
+/^Benchmark/ {
+    name = $1; sub(/^Benchmark/, "", name); sub(/-[0-9]+$/, "", name)
+    iters[n] = $2; ns[n] = $3; bytes[n] = $5; allocs[n] = $7; names[n] = name
+    n++
+}
+END {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", date, gover
+    for (i = 0; i < n; i++) {
+        printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            names[i], iters[i], ns[i], bytes[i], allocs[i], (i < n-1 ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' > "$out"
+
+echo "wrote $out"
