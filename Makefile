@@ -21,10 +21,13 @@ fmt:
 vet:
 	$(GO) vet ./...
 
-# bench runs the engine throughput benchmarks and records the perf
-# trajectory in BENCH_engine.json (one snapshot per invocation).
+# bench runs the engine throughput benchmarks, records the perf
+# trajectory in BENCH_engine.json (one snapshot per invocation), and gates
+# the new numbers against the committed baseline (>25% ns/op regression
+# fails; tune with BENCH_TOLERANCE_PCT).
 bench:
 	./scripts/bench_engine.sh
+	./scripts/bench_compare.sh
 
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

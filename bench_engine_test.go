@@ -9,6 +9,8 @@
 package main
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/adapt"
@@ -33,7 +35,10 @@ func benchLoops() []*trace.Loop {
 // written into a caller-reused destination.
 func BenchmarkEngineSteadyState(b *testing.B) {
 	loops := benchLoops()
-	e := engine.New(engine.Config{Workers: 1, Platform: core.DefaultPlatform(8)})
+	e, err := engine.New(engine.Config{Workers: 1, Platform: core.DefaultPlatform(8)})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer e.Close()
 	var dst []float64
 	for _, l := range loops { // warm cache and pools
@@ -76,7 +81,10 @@ func BenchmarkEngineColdPerCall(b *testing.B) {
 // under contention: 8 clients share 4 workers.
 func BenchmarkEngineConcurrentThroughput(b *testing.B) {
 	loops := benchLoops()
-	e := engine.New(engine.Config{Workers: 4, Platform: core.DefaultPlatform(8)})
+	e, err := engine.New(engine.Config{Workers: 4, Platform: core.DefaultPlatform(8)})
+	if err != nil {
+		b.Fatal(err)
+	}
 	defer e.Close()
 	for _, l := range loops {
 		if _, err := e.Submit(l); err != nil {
@@ -98,6 +106,68 @@ func BenchmarkEngineConcurrentThroughput(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// BenchmarkEngineZipf32Clients measures the sharded engine under the
+// Zipf-skewed hot-key stream with 32 concurrent clients — the production
+// traffic shape where a few patterns dominate. "coalesced" is the batched
+// path (same-pattern jobs queued together fuse into one execution);
+// "perjob" disables fusion, which is PR 1's per-job execution path over
+// the same sharded engine. The ratio of the two is what batch coalescing
+// buys; both are recorded in BENCH_engine.json by make bench.
+func BenchmarkEngineZipf32Clients(b *testing.B) {
+	for _, mode := range []struct {
+		name            string
+		disableCoalesce bool
+	}{
+		{"coalesced", false},
+		{"perjob", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			loops := workloads.HotKeySet(16, 0.5)
+			stream := workloads.ZipfStream(loops, 4096, 1.4, 1)
+			e, err := engine.New(engine.Config{
+				Workers:         4,
+				Platform:        core.DefaultPlatform(8),
+				QueueDepth:      16,
+				DisableCoalesce: mode.disableCoalesce,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			for _, l := range loops { // warm cache and pools
+				if _, err := e.Submit(l); err != nil {
+					b.Fatal(err)
+				}
+			}
+			const clients = 32
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var dst []float64
+					for {
+						n := int(next.Add(1)) - 1
+						if n >= b.N {
+							return
+						}
+						res, err := e.SubmitInto(stream[n%len(stream)], dst)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						dst = res.Values
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
 }
 
 // BenchmarkSchemeRunColdVsPooled isolates the buffer pool's effect on a

@@ -1,12 +1,16 @@
 // Command reduxserve hammers the concurrent adaptive reduction engine with
-// a mixed stream of dense, sparse, clustered and skewed workloads — the
-// production-service shape of the paper's runtime: many clients, one
-// long-lived engine, decisions and buffers amortized across jobs.
+// a stream of reduction jobs — the production-service shape of the paper's
+// runtime: many clients, one long-lived engine, decisions, schedules and
+// buffers amortized across jobs, and same-pattern jobs fused into batches.
 //
-// It reports throughput, the decision cache's hit rate, the scheme mix the
-// adaptive selector chose, measured load imbalance, and the allocation
-// footprint per job; run with -cold to feel what the pooling and caching
-// buy (every job then re-inspects and allocates from scratch).
+// Two workload shapes are built in: the mixed regime stream (default,
+// round-robin over six patterns) and a Zipf-skewed hot-key stream (-zipf)
+// in which a few patterns dominate the traffic the way production services
+// see repeats of a few hot requests — the regime where batch coalescing
+// pays. It reports throughput, per-job latency percentiles, the batch
+// occupancy histogram, the decision cache's hit/eviction counters, the
+// scheme mix, measured load imbalance, and the allocation footprint per
+// job; run with -cold or -nocoalesce to feel what each layer buys.
 package main
 
 import (
@@ -22,16 +26,22 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
 func main() {
-	workers := flag.Int("workers", 4, "concurrent jobs in the engine's pool")
+	workers := flag.Int("workers", 4, "concurrent batches in the engine's pool")
 	procs := flag.Int("procs", 8, "goroutines per reduction execution")
 	jobs := flag.Int("jobs", 400, "total jobs to submit")
 	clients := flag.Int("clients", 8, "concurrent submitting goroutines")
 	scale := flag.Float64("scale", 0.5, "workload size multiplier")
+	zipf := flag.Bool("zipf", false, "serve the Zipf-skewed hot-key stream instead of the mixed round-robin")
+	patterns := flag.Int("patterns", 24, "distinct patterns in the -zipf population")
+	zipfS := flag.Float64("zipf-s", 1.4, "Zipf exponent for -zipf (must be > 1)")
 	cold := flag.Bool("cold", false, "disable buffer pooling and feedback scheduling (per-job cold path)")
+	nocoalesce := flag.Bool("nocoalesce", false, "disable batch coalescing (per-job execution path)")
+	queue := flag.Int("queue", 0, "submission queue depth in batches (0 = 2*workers)")
 	verify := flag.Bool("verify", true, "check a sample of results against the sequential reference")
 	flag.Parse()
 
@@ -45,35 +55,65 @@ func main() {
 	case *jobs < 1 || *clients < 1 || *workers < 1:
 		fmt.Fprintf(os.Stderr, "reduxserve: -jobs, -clients and -workers must be at least 1\n")
 		os.Exit(2)
+	case *zipf && (*patterns < 1 || *zipfS <= 1):
+		fmt.Fprintf(os.Stderr, "reduxserve: -zipf needs -patterns >= 1 and -zipf-s > 1\n")
+		os.Exit(2)
 	}
 
-	loops := workloads.MixedSet(*scale)
-	refs := make([][]float64, len(loops))
+	// Build the pattern population and the job stream over it.
+	var loops []*trace.Loop
+	var stream []*trace.Loop
+	if *zipf {
+		loops = workloads.HotKeySet(*patterns, *scale)
+		stream = workloads.ZipfStream(loops, *jobs, *zipfS, 1)
+	} else {
+		loops = workloads.MixedSet(*scale)
+		stream = make([]*trace.Loop, *jobs)
+		for i := range stream {
+			stream[i] = loops[i%len(loops)]
+		}
+	}
+	refs := make(map[*trace.Loop][]float64, len(loops))
 	if *verify {
-		for i, l := range loops {
-			refs[i] = l.RunSequential()
+		for _, l := range loops {
+			refs[l] = l.RunSequential()
 		}
 	}
 
-	e := engine.New(engine.Config{
+	e, err := engine.New(engine.Config{
 		Workers:         *workers,
 		Platform:        core.DefaultPlatform(*procs),
+		QueueDepth:      *queue,
 		DisablePool:     *cold,
 		DisableFeedback: *cold,
+		DisableCoalesce: *nocoalesce,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reduxserve:", err)
+		os.Exit(2)
+	}
 	defer e.Close()
 
-	fmt.Printf("engine: %d workers x %d procs, %d jobs from %d clients over %d patterns (cold=%v)\n",
-		*workers, *procs, *jobs, *clients, len(loops), *cold)
+	mode := "mixed"
+	if *zipf {
+		mode = fmt.Sprintf("zipf(s=%g, %d patterns)", *zipfS, *patterns)
+	}
+	fmt.Printf("engine: %d workers x %d procs, %d jobs from %d clients, %s stream (cold=%v, coalesce=%v)\n",
+		*workers, *procs, *jobs, *clients, mode, *cold, !*nocoalesce)
 
-	// Warm the cache and pools with one pass so the measured phase is the
-	// steady state a long-lived service runs in.
+	// Warm the cache and pools with one pass over the pattern population
+	// so the measured phase is the steady state a long-lived service runs
+	// in.
 	for _, l := range loops {
 		if _, err := e.Submit(l); err != nil {
 			fmt.Fprintln(os.Stderr, "warmup:", err)
 			os.Exit(1)
 		}
 	}
+
+	// Snapshot counters after warmup so every reported figure covers the
+	// measured phase only (the warmup pass is all misses and singletons).
+	warm := e.Stats()
 
 	var before runtime.MemStats
 	runtime.GC()
@@ -83,6 +123,7 @@ func main() {
 	var failures atomic.Int64
 	var imbalanceSum atomic.Int64 // milli-units, summed over measured jobs
 	var imbalanceN atomic.Int64
+	latencies := make([][]time.Duration, *clients)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
@@ -90,29 +131,33 @@ func main() {
 		go func(c int) {
 			defer wg.Done()
 			var dst []float64
+			lat := make([]time.Duration, 0, *jobs / *clients + 1)
 			for {
 				n := int(submitted.Add(1)) - 1
 				if n >= *jobs {
-					return
+					break
 				}
-				i := n % len(loops)
-				res, err := e.SubmitInto(loops[i], dst)
+				l := stream[n]
+				t0 := time.Now()
+				res, err := e.SubmitInto(l, dst)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "submit:", err)
 					failures.Add(1)
-					return
+					break
 				}
+				lat = append(lat, time.Since(t0))
 				dst = res.Values
 				if res.Imbalance > 0 {
 					imbalanceSum.Add(int64(res.Imbalance * 1000))
 					imbalanceN.Add(1)
 				}
-				if *verify && n < 4**clients && !matches(res.Values, refs[i]) {
-					fmt.Fprintf(os.Stderr, "verify: %s diverged from sequential reference\n", loops[i].Name)
+				if *verify && n < 4**clients && !matches(res.Values, refs[l]) {
+					fmt.Fprintf(os.Stderr, "verify: %s diverged from sequential reference\n", l.Name)
 					failures.Add(1)
-					return
+					break
 				}
 			}
+			latencies[c] = lat
 		}(c)
 	}
 	wg.Wait()
@@ -126,11 +171,34 @@ func main() {
 		os.Exit(1)
 	}
 
-	s := e.Stats()
+	s := statsDelta(e.Stats(), warm)
 	fmt.Printf("\n%d jobs in %v  (%.0f jobs/s)\n", *jobs, elapsed.Round(time.Millisecond),
 		float64(*jobs)/elapsed.Seconds())
-	fmt.Printf("decision cache: %d entries, %d hits / %d misses (%.1f%% hit rate)\n",
-		s.CacheEntries, s.CacheHits, s.CacheMisses,
+
+	all := make([]time.Duration, 0, *jobs)
+	for _, lat := range latencies {
+		all = append(all, lat...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) > 0 {
+		fmt.Printf("job latency: p50 %v  p95 %v  p99 %v  max %v\n",
+			percentile(all, 50).Round(time.Microsecond),
+			percentile(all, 95).Round(time.Microsecond),
+			percentile(all, 99).Round(time.Microsecond),
+			all[len(all)-1].Round(time.Microsecond))
+	}
+
+	fmt.Printf("batches: %d executed for %d jobs (%.2f jobs/batch, %d coalesced)\n",
+		s.Batches, s.Jobs, float64(s.Jobs)/float64(s.Batches), s.Coalesced)
+	fmt.Print("batch occupancy:")
+	for size, count := range s.BatchOccupancy {
+		if count > 0 {
+			fmt.Printf("  %dx:%d", size, count)
+		}
+	}
+	fmt.Println()
+	fmt.Printf("decision cache: %d entries (%d evictions), %d hits / %d misses (%.1f%% hit rate)\n",
+		s.CacheEntries, s.CacheEvictions, s.CacheHits, s.CacheMisses,
 		100*float64(s.CacheHits)/float64(s.CacheHits+s.CacheMisses))
 	fmt.Printf("alloc: %.1f KB/job (%d bytes total during measured phase)\n",
 		float64(after.TotalAlloc-before.TotalAlloc)/1024/float64(*jobs),
@@ -148,6 +216,50 @@ func main() {
 	for _, name := range names {
 		fmt.Printf("  %-6s %d jobs\n", name, s.Schemes[name])
 	}
+}
+
+// statsDelta returns the counters accumulated since the warm snapshot.
+// CacheEntries stays absolute (it is a residency count, not a counter).
+func statsDelta(now, warm engine.Stats) engine.Stats {
+	d := engine.Stats{
+		Jobs:           now.Jobs - warm.Jobs,
+		CacheHits:      now.CacheHits - warm.CacheHits,
+		CacheMisses:    now.CacheMisses - warm.CacheMisses,
+		Batches:        now.Batches - warm.Batches,
+		Coalesced:      now.Coalesced - warm.Coalesced,
+		CacheEntries:   now.CacheEntries,
+		CacheEvictions: now.CacheEvictions - warm.CacheEvictions,
+		Schemes:        make(map[string]uint64),
+		BatchOccupancy: make([]uint64, len(now.BatchOccupancy)),
+	}
+	for k, v := range now.Schemes {
+		if v -= warm.Schemes[k]; v > 0 {
+			d.Schemes[k] = v
+		}
+	}
+	for k, v := range now.BatchOccupancy {
+		if k < len(warm.BatchOccupancy) {
+			v -= warm.BatchOccupancy[k]
+		}
+		d.BatchOccupancy[k] = v
+	}
+	return d
+}
+
+// percentile returns the p-th percentile of sorted latencies
+// (nearest-rank).
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
 }
 
 func matches(got, want []float64) bool {

@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// job is one submitted reduction with its result channel.
+type job struct {
+	loop *trace.Loop
+	dst  []float64
+	done chan Result
+}
+
+// batch is the engine's unit of execution: one or more jobs over the same
+// loop, fused so that pattern lookup, feedback-schedule installation,
+// privatization and accumulation are paid once for all members. jobs[0] is
+// the leader whose execution produces the result; the other members
+// receive it through the reduction.Exec batch fan-out.
+type batch struct {
+	fp uint64
+
+	mu     sync.Mutex
+	sealed bool
+	jobs   []*job
+}
+
+// tryJoin appends j to the batch if it is still open, has room, and its
+// leader submitted the identical loop. Fingerprint equality alone is not
+// enough to share a result (the fingerprint samples the trace), so fusion
+// requires pointer-identical loops; same-fingerprint jobs over distinct
+// loop objects still share the cached decision, just not the execution.
+func (b *batch) tryJoin(j *job, maxBatch int) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.sealed || len(b.jobs) >= maxBatch || b.jobs[0].loop != j.loop {
+		return false
+	}
+	b.jobs = append(b.jobs, j)
+	return true
+}
+
+// seal closes the batch to joiners and returns its members.
+func (b *batch) seal() []*job {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sealed = true
+	return b.jobs
+}
+
+// coalescer tracks open batches by fingerprint so same-pattern jobs fuse.
+// The coalescing window is a batch's queue residency: a batch accepts
+// joiners from the moment it is registered until a worker dequeues and
+// seals it. Under backlog (the regime where fusion pays) batches fill up;
+// an idle engine executes singletons with no added latency. The map is
+// sharded like the decision cache so registration never takes a global
+// lock.
+type coalescer struct {
+	maxBatch int
+	shards   []coalesceShard
+	mask     uint64
+}
+
+type coalesceShard struct {
+	mu      sync.Mutex
+	pending map[uint64]*batch
+}
+
+func newCoalescer(shardCount, maxBatch int) *coalescer {
+	c := &coalescer{
+		maxBatch: maxBatch,
+		shards:   make([]coalesceShard, shardCount),
+		mask:     uint64(shardCount - 1),
+	}
+	for i := range c.shards {
+		c.shards[i].pending = make(map[uint64]*batch)
+	}
+	return c
+}
+
+// add fuses j into the open batch for fp when one exists, else registers a
+// new batch. The boolean reports the new-batch case, where the caller must
+// enqueue the returned batch; a fused join costs no queue slot.
+func (c *coalescer) add(fp uint64, j *job) (*batch, bool) {
+	s := &c.shards[fp&c.mask]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.pending[fp]; ok && b.tryJoin(j, c.maxBatch) {
+		return b, false
+	}
+	b := &batch{fp: fp, jobs: []*job{j}}
+	s.pending[fp] = b
+	return b, true
+}
+
+// remove unregisters b if it is still the open batch for fp. Workers call
+// it after sealing, so a later same-fingerprint job starts a fresh batch
+// instead of joining one already executing.
+func (c *coalescer) remove(fp uint64, b *batch) {
+	s := &c.shards[fp&c.mask]
+	s.mu.Lock()
+	if s.pending[fp] == b {
+		delete(s.pending, fp)
+	}
+	s.mu.Unlock()
+}
+
+// runBatch executes one sealed batch through the cached adaptive path:
+// decision lookup, feedback-schedule installation, one scheme execution
+// with the members' destinations fanned out, one measurement fed back.
+func (e *Engine) runBatch(w *workerCtx, b *batch) {
+	jobs := b.seal()
+	if e.co != nil {
+		e.co.remove(b.fp, b)
+	}
+	l := jobs[0].loop
+	entry, hit := e.lookup(l, b.fp)
+
+	procs := e.cfg.Platform.Procs
+	useFeedback := entry.feedback && !e.cfg.DisableFeedback && l.NumIters() > 0
+
+	// Install the entry's current feedback boundaries. The scheduler is
+	// created before the first run so the batch executes the exact
+	// partition its measurement will be attributed to.
+	w.ex.IterBounds = nil
+	w.ex.BlockTimes = nil
+	var genSeen uint64
+	if useFeedback {
+		entry.mu.Lock()
+		if entry.fb == nil || entry.fbIters != l.NumIters() {
+			entry.fb = sched.NewFeedbackScheduler(procs, l.NumIters())
+			entry.fbIters = l.NumIters()
+			entry.gen++
+		}
+		w.bounds = entry.fb.BoundsInto(w.bounds)
+		genSeen = entry.gen
+		entry.mu.Unlock()
+		w.ex.IterBounds = w.bounds
+		w.ex.BlockTimes = w.times
+	}
+
+	// Size every member's destination; the scheme writes them all in one
+	// execution. A caller-provided dst with sufficient capacity is reused,
+	// so batched SubmitInto results alias the caller's array exactly like
+	// unbatched ones.
+	w.outs = w.outs[:0]
+	for _, j := range jobs[1:] {
+		w.outs = append(w.outs, sizeDst(j.dst, l.NumElems))
+	}
+	w.ex.BatchOut = w.outs
+
+	start := time.Now()
+	out := entry.scheme.RunInto(l, procs, w.ex, jobs[0].dst)
+	elapsed := time.Since(start)
+	w.ex.BatchOut = nil
+
+	res := Result{
+		Scheme:    entry.name,
+		Why:       entry.conf.Why,
+		CacheHit:  hit,
+		Elapsed:   elapsed,
+		BatchSize: len(jobs),
+	}
+
+	// Feed the measured per-block times back into the entry's scheduler.
+	// A measurement only applies to the boundaries it was taken under, so
+	// it is dropped when a concurrent batch already moved them (the
+	// generation changed).
+	if useFeedback {
+		res.Imbalance = sched.Imbalance(w.times)
+		entry.mu.Lock()
+		if entry.gen == genSeen && entry.fbIters == l.NumIters() {
+			entry.fb.Record(w.times)
+			entry.gen++
+		}
+		entry.mu.Unlock()
+	}
+
+	w.stats.record(entry.name, len(jobs), hit)
+
+	for i, j := range jobs {
+		r := res
+		if i == 0 {
+			r.Values = out
+		} else {
+			// Members fused into another job's execution reused its cached
+			// decision by construction.
+			r.Values = w.outs[i-1]
+			r.CacheHit = true
+		}
+		j.done <- r
+	}
+	// Drop references to member destinations so the scratch slice does not
+	// pin client arrays until the next batch.
+	for i := range w.outs {
+		w.outs[i] = nil
+	}
+}
+
+// sizeDst returns dst resized to n when its capacity suffices, else a
+// fresh array. Every element is written by the batch fan-out, so no
+// zeroing is needed.
+func sizeDst(dst []float64, n int) []float64 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]float64, n)
+}

@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/adapt"
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/reduction"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// cacheEntry is one memoized adaptive decision.
+type cacheEntry struct {
+	once    sync.Once
+	profile *pattern.Profile
+	conf    core.Configuration
+	scheme  reduction.Scheme
+	name    string
+	// feedback reports whether the scheme honors Exec.IterBounds, i.e.
+	// whether the entry's scheduler can steer it.
+	feedback bool
+
+	// ref is the CLOCK referenced bit: set on every hit, cleared by the
+	// eviction hand as it sweeps. Guarded by the owning shard's mutex.
+	ref bool
+
+	mu      sync.Mutex
+	fb      *sched.FeedbackScheduler
+	fbIters int
+	// gen bumps whenever the schedule changes (a Record or a scheduler
+	// swap); a measurement only applies to the boundaries it was taken
+	// under, so jobs record only when gen is still the one they read.
+	gen uint64
+}
+
+// decisionCache is the sharded decision cache: fingerprints map to shards
+// by their low bits, each shard owns its own mutex, entry map and CLOCK
+// eviction ring, so concurrent lookups of distinct patterns never contend
+// on a global lock.
+type decisionCache struct {
+	shards []cacheShard
+	mask   uint64
+}
+
+// cacheShard is one lock domain of the decision cache. Eviction is CLOCK
+// (second chance): resident fingerprints sit on a ring; a hit sets the
+// entry's referenced bit; when the shard is full the hand sweeps the ring,
+// clearing referenced bits until it finds an unreferenced victim. Hot
+// entries survive indefinitely; an entry is evicted only after a full
+// hand revolution without a hit — an LRU approximation with O(1) hits.
+type cacheShard struct {
+	mu        sync.Mutex
+	entries   map[uint64]*cacheEntry
+	ring      []uint64 // resident fingerprints in insertion order
+	hand      int
+	cap       int
+	evictions uint64
+}
+
+// newDecisionCache builds shardCount shards (a power of two) splitting
+// maxEntries between them.
+func newDecisionCache(shardCount, maxEntries int) *decisionCache {
+	perShard := (maxEntries + shardCount - 1) / shardCount
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &decisionCache{
+		shards: make([]cacheShard, shardCount),
+		mask:   uint64(shardCount - 1),
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[uint64]*cacheEntry)
+		c.shards[i].ring = make([]uint64, 0, perShard)
+		c.shards[i].cap = perShard
+	}
+	return c
+}
+
+// get returns the entry for fp, creating (and, at capacity, evicting) as
+// needed. The boolean reports whether the entry already existed.
+func (c *decisionCache) get(fp uint64) (*cacheEntry, bool) {
+	return c.shards[fp&c.mask].get(fp)
+}
+
+func (s *cacheShard) get(fp uint64) (*cacheEntry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[fp]; ok {
+		e.ref = true
+		return e, true
+	}
+	e := &cacheEntry{}
+	if len(s.ring) < s.cap {
+		s.ring = append(s.ring, fp)
+	} else {
+		// CLOCK sweep: give referenced entries a second chance, evict the
+		// first unreferenced one. Terminates within two revolutions.
+		for {
+			victim := s.entries[s.ring[s.hand]]
+			if victim.ref {
+				victim.ref = false
+				s.hand = (s.hand + 1) % len(s.ring)
+				continue
+			}
+			delete(s.entries, s.ring[s.hand])
+			s.evictions++
+			s.ring[s.hand] = fp
+			s.hand = (s.hand + 1) % len(s.ring)
+			break
+		}
+	}
+	s.entries[fp] = e
+	return e, false
+}
+
+// len returns the shard's resident entry count.
+func (s *cacheShard) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// counters returns the shard's entry count and eviction total.
+func (c *decisionCache) counters() (entries int, evictions uint64) {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		entries += len(s.entries)
+		evictions += s.evictions
+		s.mu.Unlock()
+	}
+	return entries, evictions
+}
+
+// feedbackSchemes are the partition-agnostic schemes that honor
+// Exec.IterBounds; sel and lw fix their partitions in their inspectors.
+var feedbackSchemes = map[string]bool{"rep": true, "ll": true, "hash": true}
+
+// lookup returns the decision-cache entry for the loop's fingerprint,
+// characterizing and deciding on first sight. The boolean reports a hit.
+func (e *Engine) lookup(l *trace.Loop, fp uint64) (*cacheEntry, bool) {
+	entry, ok := e.cache.get(fp)
+	miss := false
+	entry.once.Do(func() {
+		miss = true
+		prof := pattern.CharacterizeSampled(l, e.cfg.Platform.Procs, e.cfg.Platform.Cfg.L2Bytes, e.cfg.SampleStride)
+		rec := adapt.Recommend(prof)
+		conf := core.Configurer{Platform: e.cfg.Platform}.Configure(l, rec)
+		entry.profile = prof
+		entry.conf = conf
+		if conf.UseHardware {
+			// The directory hardware performs the combine; any correct
+			// executor produces the loop's semantics (cf. core.Runtime).
+			entry.scheme = reduction.Rep{}
+			entry.name = "pclr-" + conf.Hardware.Controller.String()
+			entry.feedback = true
+		} else {
+			entry.scheme = adapt.SchemeFor(adapt.Recommendation{Scheme: conf.Scheme})
+			entry.name = conf.Scheme
+			entry.feedback = feedbackSchemes[conf.Scheme]
+		}
+	})
+	return entry, ok && !miss
+}

@@ -1,40 +1,44 @@
 // Package engine implements a long-lived concurrent reduction service on
 // top of the SmartApps adaptive pipeline. Where package core models one
 // application adapting its own reduction loop, the engine is the
-// production-service shape of the same idea: many clients Submit reduction
+// production-service shape of the same idea: many clients submit reduction
 // jobs, a bounded worker pool executes them, and the adaptive machinery is
 // amortized across jobs the way the paper amortizes it across invocations:
 //
 //   - pattern characterization (package pattern) runs once per distinct
-//     access-pattern signature; a decision cache keyed by trace.Fingerprint
-//     lets repeated workloads skip re-inspection entirely,
-//   - scheme selection (package adapt + core.Configurer) is cached with
-//     the characterization,
+//     access-pattern signature; a sharded decision cache keyed by
+//     trace.Fingerprint — per-shard mutexes, CLOCK eviction — lets
+//     repeated workloads skip re-inspection without a global lock,
+//   - same-pattern jobs submitted while a batch waits in the queue are
+//     coalesced: one execution pays inspection, scheme lookup, feedback
+//     scheduling, privatization and accumulation for every fused member
+//     (reduction.Exec.BatchOut), whose marginal cost is one result write,
+//   - SubmitAsync returns a Handle so clients can pipeline submissions;
+//     Submit is SubmitAsync + Wait,
 //   - privatization buffers are recycled through a shared
 //     reduction.BufferPool, so steady-state jobs allocate ~nothing,
 //   - per-pattern sched.FeedbackSchedulers re-cut iteration blocks from
 //     measured per-processor times, feeding the partition-agnostic schemes
-//     (rep, ll, hash) a load-balanced schedule on their next execution.
+//     (rep, ll, hash) a load-balanced schedule on their next execution,
+//   - counters are sharded per worker and aggregated by Stats(), so the
+//     hot path never takes a global statistics lock.
 package engine
 
 import (
 	"errors"
 	"fmt"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"repro/internal/adapt"
 	"repro/internal/core"
-	"repro/internal/pattern"
 	"repro/internal/reduction"
-	"repro/internal/sched"
 	"repro/internal/trace"
+
+	"sync"
 )
 
 // Config parameterizes an Engine.
 type Config struct {
-	// Workers is the number of jobs executed concurrently (the bounded
+	// Workers is the number of batches executed concurrently (the bounded
 	// pool). Defaults to 4.
 	Workers int
 	// Platform is the machine the engine serves on: its Procs is the
@@ -45,11 +49,21 @@ type Config struct {
 	// SampleStride is the inspector sampling stride for pattern
 	// characterization (default 8, matching core.Runtime).
 	SampleStride int
-	// QueueDepth is the submission queue length (default 2*Workers).
+	// QueueDepth is the submission queue length in batches (default
+	// 2*Workers). Jobs fusing into a queued batch consume no queue slot.
 	QueueDepth int
-	// MaxCacheEntries bounds the decision cache (default 1024); beyond it
-	// an arbitrary entry is evicted.
+	// MaxCacheEntries bounds the decision cache across all shards
+	// (default 1024); beyond it the owning shard evicts by CLOCK.
 	MaxCacheEntries int
+	// CacheShards is the number of decision-cache and coalescer lock
+	// shards, rounded up to a power of two (default 16).
+	CacheShards int
+	// MaxBatch caps how many same-pattern jobs fuse into one execution
+	// (default 32).
+	MaxBatch int
+	// DisableCoalesce turns off batch fusion, so every job executes
+	// individually (the per-job path, kept measurable).
+	DisableCoalesce bool
 	// DisablePool turns off buffer recycling, so every job allocates its
 	// privatization buffers cold. It exists to measure what the pool buys.
 	DisablePool bool
@@ -60,7 +74,7 @@ type Config struct {
 // Result is the outcome of one reduction job.
 type Result struct {
 	// Values is the reduction array. When SubmitInto was given a dst with
-	// sufficient capacity, Values aliases it.
+	// sufficient capacity, Values aliases it — on the batched path too.
 	Values []float64
 	// Scheme is the executed implementation: a paper abbreviation, or
 	// "pclr-<controller>" on the hardware path.
@@ -70,105 +84,125 @@ type Result struct {
 	// CacheHit reports whether the job reused a cached decision instead
 	// of re-running pattern inspection.
 	CacheHit bool
-	// Elapsed is the job's wall-clock execution time (excluding queueing).
+	// BatchSize is how many jobs were fused into the execution that
+	// produced this result (1 = unfused).
+	BatchSize int
+	// Elapsed is the wall-clock execution time of the job's batch
+	// (excluding queueing).
 	Elapsed time.Duration
 	// Imbalance is max/mean of the per-processor accumulation times
 	// (1.0 = perfectly balanced, 0 when not measured).
 	Imbalance float64
 }
 
-// Stats is a snapshot of the engine's counters.
-type Stats struct {
-	Jobs, CacheHits, CacheMisses uint64
-	// CacheEntries is the number of distinct pattern signatures cached.
-	CacheEntries int
-	// Schemes counts executed jobs per scheme name.
-	Schemes map[string]uint64
+// Handle is a pending submission. It belongs to a single waiter.
+type Handle struct {
+	done     chan Result
+	res      Result
+	received bool
 }
 
-// cacheEntry is one memoized adaptive decision.
-type cacheEntry struct {
-	once    sync.Once
-	profile *pattern.Profile
-	conf    core.Configuration
-	scheme  reduction.Scheme
-	name    string
-	// feedback reports whether the scheme honors Exec.IterBounds, i.e.
-	// whether the entry's scheduler can steer it.
-	feedback bool
-
-	mu      sync.Mutex
-	fb      *sched.FeedbackScheduler
-	fbIters int
-	// gen bumps whenever the schedule changes (a Record or a scheduler
-	// swap); a measurement only applies to the boundaries it was taken
-	// under, so jobs record only when gen is still the one they read.
-	gen uint64
-}
-
-type job struct {
-	loop *trace.Loop
-	dst  []float64
-	done chan Result
+// Wait blocks until the job completes and returns its result. Jobs
+// accepted before Close always complete (Close drains the queue), so Wait
+// never fails. It may be called repeatedly.
+func (h *Handle) Wait() Result {
+	if !h.received {
+		h.res = <-h.done
+		h.received = true
+	}
+	return h.res
 }
 
 // Engine is a concurrent adaptive reduction service. Create with New,
-// submit with Submit/SubmitInto from any number of goroutines, and Close
-// when done.
+// submit with Submit/SubmitInto/SubmitAsync from any number of goroutines,
+// and Close when done.
 type Engine struct {
 	cfg  Config
 	pool *reduction.BufferPool
-	jobs chan *job
+	jobs chan *batch
 	wg   sync.WaitGroup
 
 	closeMu sync.RWMutex
 	closed  bool
 
-	cacheMu sync.Mutex
-	cache   map[uint64]*cacheEntry
+	cache *decisionCache
+	co    *coalescer // nil when coalescing is disabled
 
-	jobsDone    atomic.Uint64
-	cacheHits   atomic.Uint64
-	cacheMisses atomic.Uint64
-
-	schemeMu     sync.Mutex
-	schemeCounts map[string]uint64
+	statShards []statShard
 }
 
-// New starts an engine with cfg's worker pool running.
-func New(cfg Config) *Engine {
-	if cfg.Workers <= 0 {
+// New starts an engine with cfg's worker pool running. It returns an
+// error when the configuration is invalid: a platform beyond the
+// 64-processor model limit, or negative Workers, QueueDepth,
+// MaxCacheEntries, CacheShards, MaxBatch or SampleStride (zero always
+// means "use the default").
+func New(cfg Config) (*Engine, error) {
+	switch {
+	case cfg.Workers < 0:
+		return nil, fmt.Errorf("engine: negative Workers %d", cfg.Workers)
+	case cfg.Platform.Procs < 0:
+		return nil, fmt.Errorf("engine: negative Platform.Procs %d", cfg.Platform.Procs)
+	case cfg.Platform.Procs > 64:
+		return nil, fmt.Errorf("engine: platform with %d processors exceeds the 64-processor model limit", cfg.Platform.Procs)
+	case cfg.SampleStride < 0:
+		return nil, fmt.Errorf("engine: negative SampleStride %d", cfg.SampleStride)
+	case cfg.QueueDepth < 0:
+		return nil, fmt.Errorf("engine: negative QueueDepth %d", cfg.QueueDepth)
+	case cfg.MaxCacheEntries < 0:
+		return nil, fmt.Errorf("engine: negative MaxCacheEntries %d", cfg.MaxCacheEntries)
+	case cfg.CacheShards < 0:
+		return nil, fmt.Errorf("engine: negative CacheShards %d", cfg.CacheShards)
+	case cfg.MaxBatch < 0:
+		return nil, fmt.Errorf("engine: negative MaxBatch %d", cfg.MaxBatch)
+	}
+	if cfg.Workers == 0 {
 		cfg.Workers = 4
 	}
 	if cfg.Platform.Procs == 0 {
 		cfg.Platform = core.DefaultPlatform(8)
 	}
-	if cfg.Platform.Procs > 64 {
-		panic("engine: platform exceeds the 64-processor model limit")
-	}
-	if cfg.SampleStride <= 0 {
+	if cfg.SampleStride == 0 {
 		cfg.SampleStride = 8
 	}
-	if cfg.QueueDepth <= 0 {
+	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = 2 * cfg.Workers
 	}
-	if cfg.MaxCacheEntries <= 0 {
+	if cfg.MaxCacheEntries == 0 {
 		cfg.MaxCacheEntries = 1024
 	}
+	if cfg.CacheShards == 0 {
+		cfg.CacheShards = 16
+	}
+	cfg.CacheShards = ceilPow2(cfg.CacheShards)
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 32
+	}
 	e := &Engine{
-		cfg:          cfg,
-		jobs:         make(chan *job, cfg.QueueDepth),
-		cache:        make(map[uint64]*cacheEntry),
-		schemeCounts: make(map[string]uint64),
+		cfg:        cfg,
+		jobs:       make(chan *batch, cfg.QueueDepth),
+		cache:      newDecisionCache(cfg.CacheShards, cfg.MaxCacheEntries),
+		statShards: newStatShards(cfg.Workers, cfg.MaxBatch),
+	}
+	if !cfg.DisableCoalesce && cfg.MaxBatch > 1 {
+		e.co = newCoalescer(cfg.CacheShards, cfg.MaxBatch)
 	}
 	if !cfg.DisablePool {
 		e.pool = reduction.NewBufferPool()
 	}
 	e.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
-		go e.worker()
+		go e.worker(w)
 	}
-	return e
+	return e, nil
+}
+
+// ceilPow2 rounds n up to the next power of two.
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
 }
 
 // ErrClosed is returned by Submit after Close.
@@ -176,7 +210,7 @@ var ErrClosed = errors.New("engine: closed")
 
 // Submit runs one reduction job and blocks until its result is ready.
 // It is safe to call from many goroutines; the worker pool bounds how many
-// jobs execute at once.
+// batches execute at once.
 func (e *Engine) Submit(l *trace.Loop) (Result, error) {
 	return e.SubmitInto(l, nil)
 }
@@ -185,21 +219,48 @@ func (e *Engine) Submit(l *trace.Loop) (Result, error) {
 // has capacity for the result it is reused, making steady-state submission
 // allocation-free end to end.
 func (e *Engine) SubmitInto(l *trace.Loop, dst []float64) (Result, error) {
+	h, err := e.SubmitAsyncInto(l, dst)
+	if err != nil {
+		return Result{}, err
+	}
+	return h.Wait(), nil
+}
+
+// SubmitAsync enqueues one reduction job and returns a Handle without
+// waiting for execution, so a client can pipeline many submissions before
+// waiting. Jobs submitted while a same-pattern batch is queued fuse into
+// it without consuming a queue slot; a job needing a fresh batch blocks
+// while the queue is at QueueDepth (backpressure), until a worker frees a
+// slot.
+func (e *Engine) SubmitAsync(l *trace.Loop) (*Handle, error) {
+	return e.SubmitAsyncInto(l, nil)
+}
+
+// SubmitAsyncInto is SubmitAsync with a caller-provided destination array.
+// The destination must not be read or reused until Wait returns.
+func (e *Engine) SubmitAsyncInto(l *trace.Loop, dst []float64) (*Handle, error) {
 	if l == nil {
-		return Result{}, errors.New("engine: nil loop")
+		return nil, errors.New("engine: nil loop")
 	}
 	if l.NumElems <= 0 {
-		return Result{}, fmt.Errorf("engine: loop %q has non-positive NumElems", l.Name)
+		return nil, fmt.Errorf("engine: loop %q has non-positive NumElems", l.Name)
 	}
 	j := &job{loop: l, dst: dst, done: make(chan Result, 1)}
+	fp := l.Fingerprint()
 	e.closeMu.RLock()
+	defer e.closeMu.RUnlock()
 	if e.closed {
-		e.closeMu.RUnlock()
-		return Result{}, ErrClosed
+		return nil, ErrClosed
 	}
-	e.jobs <- j
-	e.closeMu.RUnlock()
-	return <-j.done, nil
+	if e.co == nil {
+		e.jobs <- &batch{fp: fp, jobs: []*job{j}}
+	} else if b, isNew := e.co.add(fp, j); isNew {
+		// The batch stays open to joiners while this send waits for a
+		// queue slot and until a worker seals it — that queue residency is
+		// the coalescing window.
+		e.jobs <- b
+	}
+	return &Handle{done: j.done}, nil
 }
 
 // Close drains the queue, stops the workers and waits for them. Submit
@@ -216,154 +277,27 @@ func (e *Engine) Close() {
 	e.wg.Wait()
 }
 
-// Stats snapshots the engine's counters.
-func (e *Engine) Stats() Stats {
-	s := Stats{
-		Jobs:        e.jobsDone.Load(),
-		CacheHits:   e.cacheHits.Load(),
-		CacheMisses: e.cacheMisses.Load(),
-		Schemes:     make(map[string]uint64),
-	}
-	e.cacheMu.Lock()
-	s.CacheEntries = len(e.cache)
-	e.cacheMu.Unlock()
-	e.schemeMu.Lock()
-	for k, v := range e.schemeCounts {
-		s.Schemes[k] = v
-	}
-	e.schemeMu.Unlock()
-	return s
-}
-
-// workerCtx is one worker's reusable per-job scratch: the pooled
-// execution context, the block-time measurement array and the feedback
-// bounds snapshot.
+// workerCtx is one worker's reusable per-batch scratch: the pooled
+// execution context, the block-time measurement array, the feedback bounds
+// snapshot, the fused-destination slice and the worker's stat shard.
 type workerCtx struct {
 	ex     *reduction.Exec
 	times  []float64
 	bounds []int
+	outs   [][]float64
+	stats  *statShard
 }
 
-// worker owns one reusable execution context and serves jobs until the
-// queue closes.
-func (e *Engine) worker() {
+// worker owns one reusable execution context and one stat shard, and
+// serves batches until the queue closes.
+func (e *Engine) worker(id int) {
 	defer e.wg.Done()
 	w := &workerCtx{
 		ex:    &reduction.Exec{Pool: e.pool},
 		times: make([]float64, e.cfg.Platform.Procs),
+		stats: &e.statShards[id],
 	}
-	for j := range e.jobs {
-		j.done <- e.runJob(w, j)
+	for b := range e.jobs {
+		e.runBatch(w, b)
 	}
-}
-
-// feedbackSchemes are the partition-agnostic schemes that honor
-// Exec.IterBounds; sel and lw fix their partitions in their inspectors.
-var feedbackSchemes = map[string]bool{"rep": true, "ll": true, "hash": true}
-
-// lookup returns the decision-cache entry for the loop's signature,
-// characterizing and deciding on first sight. The boolean reports a hit.
-func (e *Engine) lookup(l *trace.Loop) (*cacheEntry, bool) {
-	sig := l.Fingerprint()
-	e.cacheMu.Lock()
-	entry, ok := e.cache[sig]
-	if !ok {
-		if len(e.cache) >= e.cfg.MaxCacheEntries {
-			for k := range e.cache {
-				delete(e.cache, k)
-				break
-			}
-		}
-		entry = &cacheEntry{}
-		e.cache[sig] = entry
-	}
-	e.cacheMu.Unlock()
-
-	miss := false
-	entry.once.Do(func() {
-		miss = true
-		prof := pattern.CharacterizeSampled(l, e.cfg.Platform.Procs, e.cfg.Platform.Cfg.L2Bytes, e.cfg.SampleStride)
-		rec := adapt.Recommend(prof)
-		conf := core.Configurer{Platform: e.cfg.Platform}.Configure(l, rec)
-		entry.profile = prof
-		entry.conf = conf
-		if conf.UseHardware {
-			// The directory hardware performs the combine; any correct
-			// executor produces the loop's semantics (cf. core.Runtime).
-			entry.scheme = reduction.Rep{}
-			entry.name = "pclr-" + conf.Hardware.Controller.String()
-			entry.feedback = true
-		} else {
-			entry.scheme = adapt.SchemeFor(adapt.Recommendation{Scheme: conf.Scheme})
-			entry.name = conf.Scheme
-			entry.feedback = feedbackSchemes[conf.Scheme]
-		}
-	})
-	return entry, !miss
-}
-
-// runJob executes one job through the cached adaptive path.
-func (e *Engine) runJob(w *workerCtx, j *job) Result {
-	l := j.loop
-	entry, hit := e.lookup(l)
-	if hit {
-		e.cacheHits.Add(1)
-	} else {
-		e.cacheMisses.Add(1)
-	}
-
-	procs := e.cfg.Platform.Procs
-	useFeedback := entry.feedback && !e.cfg.DisableFeedback && l.NumIters() > 0
-
-	// Install the entry's current feedback boundaries. The scheduler is
-	// created before the first run so the job executes the exact
-	// partition its measurement will be attributed to.
-	w.ex.IterBounds = nil
-	w.ex.BlockTimes = nil
-	var genSeen uint64
-	if useFeedback {
-		entry.mu.Lock()
-		if entry.fb == nil || entry.fbIters != l.NumIters() {
-			entry.fb = sched.NewFeedbackScheduler(procs, l.NumIters())
-			entry.fbIters = l.NumIters()
-			entry.gen++
-		}
-		w.bounds = entry.fb.BoundsInto(w.bounds)
-		genSeen = entry.gen
-		entry.mu.Unlock()
-		w.ex.IterBounds = w.bounds
-		w.ex.BlockTimes = w.times
-	}
-
-	start := time.Now()
-	out := entry.scheme.RunInto(l, procs, w.ex, j.dst)
-	elapsed := time.Since(start)
-
-	res := Result{
-		Values:   out,
-		Scheme:   entry.name,
-		Why:      entry.conf.Why,
-		CacheHit: hit,
-		Elapsed:  elapsed,
-	}
-
-	// Feed the measured per-block times back into the entry's scheduler.
-	// A measurement only applies to the boundaries it was taken under, so
-	// it is dropped when a concurrent job already moved them (the
-	// generation changed).
-	if useFeedback {
-		res.Imbalance = sched.Imbalance(w.times)
-		entry.mu.Lock()
-		if entry.gen == genSeen && entry.fbIters == l.NumIters() {
-			entry.fb.Record(w.times)
-			entry.gen++
-		}
-		entry.mu.Unlock()
-	}
-
-	e.jobsDone.Add(1)
-	e.schemeMu.Lock()
-	e.schemeCounts[entry.name]++
-	e.schemeMu.Unlock()
-	return res
 }

@@ -11,6 +11,16 @@ import (
 	"repro/internal/workloads"
 )
 
+// mustNew builds an engine or fails the test.
+func mustNew(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
 // mixedLoops returns the shared mixed workload stream (small scale, three
 // regimes are enough for the tests) plus their sequential references.
 func mixedLoops() ([]*trace.Loop, [][]float64) {
@@ -38,7 +48,7 @@ func assertMatches(t *testing.T, name string, got, want []float64) {
 
 func TestEngineMatchesSequential(t *testing.T) {
 	loops, refs := mixedLoops()
-	e := New(Config{Workers: 2})
+	e := mustNew(t, Config{Workers: 2})
 	defer e.Close()
 	for i, l := range loops {
 		for rep := 0; rep < 3; rep++ {
@@ -59,7 +69,7 @@ func TestEngineMatchesSequential(t *testing.T) {
 // reference.
 func TestEngineConcurrentSubmit(t *testing.T) {
 	loops, refs := mixedLoops()
-	e := New(Config{Workers: 4, Platform: core.DefaultPlatform(4)})
+	e := mustNew(t, Config{Workers: 4, Platform: core.DefaultPlatform(4)})
 	defer e.Close()
 
 	const goroutines = 8
@@ -112,7 +122,7 @@ func TestEngineConcurrentSubmit(t *testing.T) {
 func TestEngineDecisionCacheHitsOnRepeatedPattern(t *testing.T) {
 	loops, _ := mixedLoops()
 	l := loops[0]
-	e := New(Config{Workers: 2})
+	e := mustNew(t, Config{Workers: 2})
 	defer e.Close()
 
 	for n := 0; n < 5; n++ {
@@ -153,7 +163,7 @@ func TestEngineFeedbackSchedulingKeepsResultsCorrect(t *testing.T) {
 		Dim: 3000, SPPercent: 50, CHR: 0.9, MO: 2, Locality: 0.2, Skew: 2, Work: 5, Seed: 21,
 	}, 1)
 	want := l.RunSequential()
-	e := New(Config{Workers: 1})
+	e := mustNew(t, Config{Workers: 1})
 	defer e.Close()
 	sawImbalance := false
 	for n := 0; n < 8; n++ {
@@ -176,7 +186,7 @@ func TestEngineHardwarePlatform(t *testing.T) {
 	p := core.DefaultPlatform(4)
 	p.PCLR = true
 	p.PCLRController = simarch.Hardwired
-	e := New(Config{Workers: 2, Platform: p})
+	e := mustNew(t, Config{Workers: 2, Platform: p})
 	defer e.Close()
 	res, err := e.Submit(loops[0])
 	if err != nil {
@@ -192,7 +202,7 @@ func TestEngineHardwarePlatform(t *testing.T) {
 }
 
 func TestEngineSubmitAfterClose(t *testing.T) {
-	e := New(Config{Workers: 1})
+	e := mustNew(t, Config{Workers: 1})
 	e.Close()
 	e.Close() // idempotent
 	loops, _ := mixedLoops()
@@ -202,7 +212,7 @@ func TestEngineSubmitAfterClose(t *testing.T) {
 }
 
 func TestEngineRejectsInvalidLoops(t *testing.T) {
-	e := New(Config{Workers: 1})
+	e := mustNew(t, Config{Workers: 1})
 	defer e.Close()
 	if _, err := e.Submit(nil); err == nil {
 		t.Error("nil loop accepted")
@@ -215,7 +225,7 @@ func TestEngineRejectsInvalidLoops(t *testing.T) {
 
 func TestEngineDisabledPoolStillCorrect(t *testing.T) {
 	loops, refs := mixedLoops()
-	e := New(Config{Workers: 2, DisablePool: true, DisableFeedback: true})
+	e := mustNew(t, Config{Workers: 2, DisablePool: true, DisableFeedback: true})
 	defer e.Close()
 	for i, l := range loops {
 		res, err := e.Submit(l)

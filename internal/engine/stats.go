@@ -1,0 +1,96 @@
+package engine
+
+import "sync"
+
+// Stats is a snapshot of the engine's counters, aggregated over the
+// per-worker shards.
+type Stats struct {
+	Jobs, CacheHits, CacheMisses uint64
+	// Batches is the number of executions; Coalesced counts jobs that rode
+	// another job's execution (so Jobs - Batches == Coalesced).
+	Batches, Coalesced uint64
+	// CacheEntries is the number of distinct pattern signatures cached;
+	// CacheEvictions counts CLOCK victims across all shards.
+	CacheEntries   int
+	CacheEvictions uint64
+	// Schemes counts executed jobs per scheme name.
+	Schemes map[string]uint64
+	// BatchOccupancy[k] is the number of executed batches that fused
+	// exactly k jobs (index 0 is unused; the last bucket also absorbs any
+	// larger size).
+	BatchOccupancy []uint64
+}
+
+// statShard is one worker's private counters. Every worker owns exactly
+// one shard and is its only writer, so the per-batch update never contends
+// with other workers — this replaces the global scheme-counter mutex the
+// single-queue engine serialized every job through. Stats() takes each
+// shard's mutex briefly to read a consistent snapshot.
+type statShard struct {
+	mu        sync.Mutex
+	jobs      uint64
+	hits      uint64
+	misses    uint64
+	batches   uint64
+	coalesced uint64
+	schemes   map[string]uint64
+	occ       []uint64
+}
+
+func newStatShards(workers, maxBatch int) []statShard {
+	shards := make([]statShard, workers)
+	for i := range shards {
+		shards[i].schemes = make(map[string]uint64)
+		shards[i].occ = make([]uint64, maxBatch+1)
+	}
+	return shards
+}
+
+// record accounts one executed batch of size n under the given scheme.
+// The leader's lookup outcome is hit; fused members always reuse the
+// decision, so they count as hits.
+func (s *statShard) record(scheme string, n int, hit bool) {
+	s.mu.Lock()
+	s.jobs += uint64(n)
+	s.batches++
+	s.coalesced += uint64(n - 1)
+	if hit {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	s.hits += uint64(n - 1)
+	s.schemes[scheme] += uint64(n)
+	bucket := n
+	if bucket >= len(s.occ) {
+		bucket = len(s.occ) - 1
+	}
+	s.occ[bucket]++
+	s.mu.Unlock()
+}
+
+// Stats snapshots the engine's counters.
+func (e *Engine) Stats() Stats {
+	s := Stats{Schemes: make(map[string]uint64)}
+	for i := range e.statShards {
+		sh := &e.statShards[i]
+		sh.mu.Lock()
+		s.Jobs += sh.jobs
+		s.CacheHits += sh.hits
+		s.CacheMisses += sh.misses
+		s.Batches += sh.batches
+		s.Coalesced += sh.coalesced
+		for k, v := range sh.schemes {
+			s.Schemes[k] += v
+		}
+		if s.BatchOccupancy == nil {
+			s.BatchOccupancy = make([]uint64, len(sh.occ))
+		}
+		for k, v := range sh.occ {
+			s.BatchOccupancy[k] += v
+		}
+		sh.mu.Unlock()
+	}
+	s.CacheEntries, s.CacheEvictions = e.cache.counters()
+	return s
+}

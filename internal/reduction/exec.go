@@ -105,6 +105,15 @@ type Exec struct {
 	// wall-clock nanoseconds each processor spent in the accumulation
 	// phase — the measurement sched.FeedbackScheduler feeds on.
 	BlockTimes []float64
+	// BatchOut is the engine's batch-fusion path: additional destination
+	// arrays (each of length NumElems) that receive the reduction result
+	// alongside the primary out. A batch of jobs over the same loop pays
+	// privatization, accumulation and merge once; each fused member's
+	// marginal cost is only its result write. Schemes with a full merge
+	// sweep (rep) write every member inside the sweep while the combined
+	// value is still in a register; the others fan the finished result out
+	// with one copy per member.
+	BatchOut [][]float64
 
 	// scratch: per-processor slice headers reused across jobs.
 	f64Slots  [][]float64
@@ -174,6 +183,26 @@ func (ex *Exec) hashTableSlots(procs int) []hashTable {
 		s[i] = hashTable{}
 	}
 	return s
+}
+
+// batchTargets returns the fused batch destinations (nil-safe).
+func (ex *Exec) batchTargets() [][]float64 {
+	if ex == nil {
+		return nil
+	}
+	return ex.BatchOut
+}
+
+// fanOut copies the finished result into every batch destination — the
+// per-member cost of batch fusion for schemes whose result is not produced
+// by a single final sweep.
+func (ex *Exec) fanOut(out []float64) {
+	if ex == nil {
+		return
+	}
+	for _, dst := range ex.BatchOut {
+		copy(dst, out)
+	}
 }
 
 // timedBody wraps body so that processor p's wall-clock time lands in

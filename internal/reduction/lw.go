@@ -93,6 +93,7 @@ func (lw LocalWrite) RunInto(l *trace.Loop, procs int, ex *Exec, out []float64) 
 	for p := range iterLists {
 		pool.PutInt32(iterLists[p])
 	}
+	ex.fanOut(out)
 	return out
 }
 

@@ -50,8 +50,11 @@ func (Rep) RunInto(l *trace.Loop, procs int, ex *Exec, out []float64) []float64 
 	}))
 
 	// Merge: processors cooperatively combine element ranges (writing
-	// every element, so out needs no initialization).
+	// every element, so out needs no initialization). Fused batch members
+	// are written in the same sweep, while the combined value is still in
+	// a register.
 	out, _ = ensureOut(out, l.NumElems)
+	targets := ex.batchTargets()
 	parallelFor(procs, func(p int) {
 		lo, hi := blockBounds(l.NumElems, procs, p)
 		for e := lo; e < hi; e++ {
@@ -60,6 +63,9 @@ func (Rep) RunInto(l *trace.Loop, procs int, ex *Exec, out []float64) []float64 
 				acc = l.Op.Apply(acc, priv[q][e])
 			}
 			out[e] = acc
+			for _, t := range targets {
+				t[e] = acc
+			}
 		}
 	})
 	for p := range priv {

@@ -1,0 +1,67 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestHotKeySetDistinctFingerprints(t *testing.T) {
+	loops := HotKeySet(12, 0.25)
+	if len(loops) != 12 {
+		t.Fatalf("len = %d, want 12", len(loops))
+	}
+	seen := make(map[uint64]string)
+	for _, l := range loops {
+		if err := l.Validate(); err != nil {
+			t.Fatalf("%s: %v", l.Name, err)
+		}
+		fp := l.Fingerprint()
+		if prev, ok := seen[fp]; ok {
+			t.Errorf("%s and %s share fingerprint %x", prev, l.Name, fp)
+		}
+		seen[fp] = l.Name
+	}
+}
+
+func TestZipfStreamIsHotKeySkewed(t *testing.T) {
+	loops := HotKeySet(8, 0.25)
+	stream := ZipfStream(loops, 2000, 1.4, 42)
+	if len(stream) != 2000 {
+		t.Fatalf("stream length = %d", len(stream))
+	}
+	counts := make(map[*trace.Loop]int)
+	for _, l := range stream {
+		counts[l]++
+	}
+	for l := range counts {
+		found := false
+		for _, m := range loops {
+			if l == m {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("stream contains a loop outside the pattern set: %s", l.Name)
+		}
+	}
+	// Zipf rank 0 must dominate: the hottest pattern carries more traffic
+	// than any other and a substantial share of the whole stream.
+	hot := counts[loops[0]]
+	for i, l := range loops[1:] {
+		if counts[l] > hot {
+			t.Errorf("rank %d (%d jobs) hotter than rank 0 (%d jobs)", i+1, counts[l], hot)
+		}
+	}
+	if hot < len(stream)/4 {
+		t.Errorf("rank 0 carries %d of %d jobs; expected a dominant hot key", hot, len(stream))
+	}
+	// Same seed, same stream.
+	again := ZipfStream(loops, 2000, 1.4, 42)
+	for i := range stream {
+		if stream[i] != again[i] {
+			t.Fatalf("stream not deterministic at %d", i)
+		}
+	}
+}

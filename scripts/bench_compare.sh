@@ -1,0 +1,89 @@
+#!/bin/sh
+# Compares a candidate BENCH_engine.json against a baseline and fails when
+# any benchmark's ns_per_op regressed by more than BENCH_TOLERANCE_PCT
+# (default 25). Benchmarks present in only one file are reported but not
+# gated, so adding or renaming benchmarks never breaks the gate.
+#
+# usage: bench_compare.sh [baseline.json [candidate.json]]
+#
+# With no baseline argument the committed HEAD version of BENCH_engine.json
+# is used; if HEAD has none the comparison is skipped (first run).
+#
+# Absolute ns/op is only comparable on the machine that recorded the
+# baseline. On different hardware (CI runners), set
+# BENCH_NORMALIZE=<benchmark name> to divide every ns_per_op by that
+# benchmark's ns_per_op from the same file before comparing: machine speed
+# cancels to first order and the gate checks *relative* regressions (e.g.
+# the engine getting slower relative to the cold per-call path).
+set -eu
+
+cd "$(dirname "$0")/.."
+tol="${BENCH_TOLERANCE_PCT:-25}"
+norm="${BENCH_NORMALIZE:-}"
+cand="${2:-BENCH_engine.json}"
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+if [ "${1:-}" ]; then
+    base="$1"
+else
+    base="$tmpdir/baseline.json"
+    if ! git show HEAD:BENCH_engine.json > "$base" 2>/dev/null; then
+        echo "bench_compare: no committed baseline (HEAD:BENCH_engine.json); skipping"
+        exit 0
+    fi
+fi
+
+[ -f "$cand" ] || { echo "bench_compare: candidate $cand not found" >&2; exit 2; }
+
+# Extract "name ns_per_op" pairs from the one-benchmark-per-line JSON that
+# bench_engine.sh writes, optionally normalized to the reference
+# benchmark's ns_per_op from the same file.
+extract() {
+    awk -F'"' -v norm="$norm" '
+    /"name":/ {
+        name = $4
+        if (match($0, /"ns_per_op": *[0-9]+/)) {
+            v = substr($0, RSTART, RLENGTH)
+            gsub(/[^0-9]/, "", v)
+            names[++n] = name; vals[n] = v
+            if (name == norm) ref = v
+        }
+    }
+    END {
+        if (norm != "" && ref + 0 <= 0) {
+            printf "bench_compare: normalization benchmark %s not in %s\n", norm, FILENAME > "/dev/stderr"
+            exit 2
+        }
+        for (i = 1; i <= n; i++)
+            print names[i], (norm == "" ? vals[i] : vals[i] / ref)
+    }' "$1"
+}
+
+extract "$base" > "$tmpdir/base"
+extract "$cand" > "$tmpdir/cand"
+
+unit="ns/op"
+[ -n "$norm" ] && unit="x $norm"
+
+awk -v tol="$tol" -v unit="$unit" '
+NR == FNR { base[$1] = $2; next }
+{
+    seen[$1] = 1
+    if (!($1 in base)) { printf "NEW        %-45s %12.6g %s\n", $1, $2, unit; next }
+    if (base[$1] <= 0) next
+    pct = ($2 / base[$1] - 1) * 100
+    flag = "ok"
+    if (pct > tol) { flag = "REGRESSED"; bad++ }
+    printf "%-10s %-45s %12.6g -> %12.6g %s  (%+.1f%%)\n", flag, $1, base[$1], $2, unit, pct
+}
+END {
+    for (n in base) if (!(n in seen)) printf "DROPPED    %-45s\n", n
+    if (bad) {
+        printf "bench_compare: %d benchmark(s) regressed more than %d%%\n", bad, tol
+        exit 1
+    }
+}' "$tmpdir/base" "$tmpdir/cand"
+
+echo "bench_compare: throughput within ${tol}% of baseline (${unit})"
