@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race bench bench-smoke fmt vet ci
+.PHONY: build test test-short race bench bench-smoke fmt vet ci serve loadtest fuzz
 
 build:
 	$(GO) build ./...
@@ -32,4 +32,20 @@ bench:
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
-ci: fmt vet build race bench-smoke
+# serve runs the reduxd network server in the foreground (ctrl-C drains
+# gracefully and prints lifetime stats).
+serve:
+	$(GO) run ./cmd/reduxd
+
+# loadtest boots reduxd on loopback, streams 2000 Zipf jobs through the
+# pooled client (reduxserve -remote -json) and checks the report: all
+# jobs verified, batch coalescing engaged across the network hop.
+loadtest:
+	./scripts/loadtest.sh
+
+# fuzz runs the wire-protocol decoder fuzz target for 10s: corrupt or
+# truncated frames must error, never panic.
+fuzz:
+	$(GO) test -run '^FuzzDecodeFrame$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime 10s ./internal/wire
+
+ci: fmt vet build race bench-smoke fuzz loadtest

@@ -9,15 +9,19 @@
 package main
 
 import (
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/adapt"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/pattern"
 	"repro/internal/reduction"
+	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/vtime"
 	"repro/internal/workloads"
@@ -189,4 +193,80 @@ func BenchmarkSchemeRunColdVsPooled(b *testing.B) {
 			dst = reduction.Rep{}.RunInto(l, 8, ex, dst)
 		}
 	})
+}
+
+// BenchmarkRemoteZipf is BenchmarkEngineZipf32Clients across the network:
+// a reduxd server on loopback, a pooled client, and 32 concurrent
+// submitters streaming the Zipf hot-key workload through the wire
+// protocol. The "jobs/batch" metric is the measured batch-fusion
+// occupancy — it must stay above 1, proving the decode → intern →
+// SubmitAsync path preserves hot-key coalescing across the hop (the
+// acceptance bar for the network subsystem). ns/op here includes
+// encoding, loopback TCP, decoding and interning on top of execution.
+func BenchmarkRemoteZipf(b *testing.B) {
+	loops := workloads.HotKeySet(16, 0.5)
+	stream := workloads.ZipfStream(loops, 4096, 1.4, 1)
+	eng, err := engine.New(engine.Config{
+		Workers:    4,
+		Platform:   core.DefaultPlatform(8),
+		QueueDepth: 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer eng.Close()
+	srv := server.New(eng, server.Config{MaxInflightGlobal: 4096})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer func() {
+		if err := srv.Shutdown(10 * time.Second); err != nil {
+			b.Error(err)
+		}
+		<-serveDone
+	}()
+	cl, err := client.Dial(ln.Addr().String(), client.Config{Conns: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	for _, l := range loops { // warm cache, pools and intern table
+		if _, err := cl.Submit(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+	warm := eng.Stats()
+	const clients = 32
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var dst []float64
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= b.N {
+					return
+				}
+				res, err := cl.SubmitInto(stream[n%len(stream)], dst)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				dst = res.Values
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	s := eng.Stats()
+	if batches := s.Batches - warm.Batches; batches > 0 {
+		b.ReportMetric(float64(s.Jobs-warm.Jobs)/float64(batches), "jobs/batch")
+	}
 }

@@ -1,0 +1,115 @@
+// Command reduxd is the reduction daemon: one long-lived adaptive engine
+// behind a TCP front end speaking the wire protocol (docs/PROTOCOL.md).
+// Many clients connect, pipeline reduction jobs, and share the engine's
+// decision cache, feedback schedules, buffer pools and batch fusion — the
+// paper's runtime turned into a network service.
+//
+//	reduxd -addr 127.0.0.1:9070 -workers 4 -procs 8
+//
+// The bound address is printed as "reduxd: listening on <addr>" once the
+// listener is up (use -addr 127.0.0.1:0 to let the kernel pick a port;
+// scripts/loadtest.sh scrapes this line). SIGINT/SIGTERM drain
+// gracefully: listeners close, in-flight jobs finish and flush, the
+// engine closes, and a final stats summary is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9070", "TCP listen address (port 0 picks a free port)")
+	workers := flag.Int("workers", 4, "concurrent batches in the engine's pool")
+	procs := flag.Int("procs", 8, "goroutines per reduction execution")
+	queue := flag.Int("queue", 0, "submission queue depth in batches (0 = 2*workers)")
+	maxBatch := flag.Int("max-batch", 0, "max jobs fused per execution (0 = default 32)")
+	nocoalesce := flag.Bool("nocoalesce", false, "disable batch coalescing")
+	cold := flag.Bool("cold", false, "disable buffer pooling and feedback scheduling")
+	maxInflight := flag.Int("max-inflight", 64, "in-flight job budget per connection (beyond it: BUSY)")
+	maxGlobal := flag.Int("max-global", 1024, "in-flight job budget across all connections")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
+	flag.Parse()
+
+	if *procs < 1 || *procs > 64 {
+		fmt.Fprintf(os.Stderr, "reduxd: -procs must be in [1,64], got %d\n", *procs)
+		os.Exit(2)
+	}
+
+	eng, err := engine.New(engine.Config{
+		Workers:         *workers,
+		Platform:        core.DefaultPlatform(*procs),
+		QueueDepth:      *queue,
+		MaxBatch:        *maxBatch,
+		DisableCoalesce: *nocoalesce,
+		DisablePool:     *cold,
+		DisableFeedback: *cold,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reduxd:", err)
+		os.Exit(2)
+	}
+
+	srv := server.New(eng, server.Config{
+		MaxInflightPerConn: *maxInflight,
+		MaxInflightGlobal:  *maxGlobal,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reduxd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("reduxd: listening on %s (%d workers x %d procs, %d in-flight/conn, %d global)\n",
+		ln.Addr(), *workers, *procs, *maxInflight, *maxGlobal)
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("reduxd: %v, draining\n", sig)
+	case err := <-serveDone:
+		fmt.Fprintln(os.Stderr, "reduxd: serve:", err)
+		eng.Close()
+		os.Exit(1)
+	}
+
+	if err := srv.Shutdown(*drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "reduxd:", err)
+	}
+	<-serveDone
+	eng.Close()
+	report(eng.Stats(), srv.Stats())
+}
+
+// report prints the lifetime counters on shutdown.
+func report(s engine.Stats, ss server.Stats) {
+	fmt.Printf("reduxd: served %d jobs in %d batches (%d coalesced), cache %d hits / %d misses, %d evictions\n",
+		s.Jobs, s.Batches, s.Coalesced, s.CacheHits, s.CacheMisses, s.CacheEvictions)
+	fmt.Printf("reduxd: admission: %d busy rejections; intern: %d hits, %d resident loops\n",
+		ss.Busy, ss.InternHits, ss.InternedLoops)
+	if len(s.Schemes) > 0 {
+		names := make([]string, 0, len(s.Schemes))
+		for name := range s.Schemes {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Print("reduxd: scheme mix:")
+		for _, name := range names {
+			fmt.Printf(" %s:%d", name, s.Schemes[name])
+		}
+		fmt.Println()
+	}
+}

@@ -11,9 +11,19 @@
 // occupancy histogram, the decision cache's hit/eviction counters, the
 // scheme mix, measured load imbalance, and the allocation footprint per
 // job; run with -cold or -nocoalesce to feel what each layer buys.
+//
+// By default the engine runs in-process. With -remote addr the same
+// streams drive a reduxd server over the network instead (cmd/reduxd),
+// exercising the wire protocol, the server's admission control and the
+// loop interning that lets batch fusion engage across the hop; engine
+// counters then come from the server via STATS frames. With -json the
+// final report is machine-readable JSON on stdout (scripts/loadtest.sh
+// and the CI smoke test parse it).
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
@@ -24,15 +34,71 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
+// backend abstracts where jobs execute: the in-process engine or a remote
+// reduxd. Both expose the engine-shaped submit call and a counters
+// snapshot, so the streaming and reporting code is identical.
+type backend interface {
+	SubmitInto(l *trace.Loop, dst []float64) (engine.Result, error)
+	Stats() (engine.Stats, error)
+	Close()
+}
+
+type localBackend struct{ e *engine.Engine }
+
+func (b localBackend) SubmitInto(l *trace.Loop, dst []float64) (engine.Result, error) {
+	return b.e.SubmitInto(l, dst)
+}
+func (b localBackend) Stats() (engine.Stats, error) { return b.e.Stats(), nil }
+func (b localBackend) Close()                       { b.e.Close() }
+
+type remoteBackend struct{ c *client.Client }
+
+func (b remoteBackend) SubmitInto(l *trace.Loop, dst []float64) (engine.Result, error) {
+	return b.c.SubmitInto(l, dst)
+}
+func (b remoteBackend) Stats() (engine.Stats, error) { return b.c.Stats() }
+func (b remoteBackend) Close()                       { b.c.Close() }
+
+// report is the run summary, printable as text or JSON.
+type report struct {
+	Mode         string            `json:"mode"`
+	Remote       string            `json:"remote,omitempty"`
+	Workers      int               `json:"workers,omitempty"`
+	Procs        int               `json:"procs,omitempty"`
+	Clients      int               `json:"clients"`
+	Jobs         int               `json:"jobs"`
+	Failures     int64             `json:"failures"`
+	Verified     bool              `json:"verified"`
+	ElapsedNs    int64             `json:"elapsed_ns"`
+	JobsPerSec   float64           `json:"jobs_per_sec"`
+	LatP50Ns     int64             `json:"latency_p50_ns"`
+	LatP95Ns     int64             `json:"latency_p95_ns"`
+	LatP99Ns     int64             `json:"latency_p99_ns"`
+	LatMaxNs     int64             `json:"latency_max_ns"`
+	Batches      uint64            `json:"batches"`
+	Coalesced    uint64            `json:"coalesced"`
+	JobsPerBatch float64           `json:"jobs_per_batch"`
+	Occupancy    []uint64          `json:"batch_occupancy"`
+	CacheHits    uint64            `json:"cache_hits"`
+	CacheMisses  uint64            `json:"cache_misses"`
+	CacheEntries int               `json:"cache_entries"`
+	CacheEvicts  uint64            `json:"cache_evictions"`
+	AllocPerJob  float64           `json:"client_alloc_bytes_per_job"`
+	Imbalance    float64           `json:"mean_imbalance"`
+	ImbalanceN   int64             `json:"imbalance_jobs"`
+	Schemes      map[string]uint64 `json:"schemes"`
+}
+
 func main() {
-	workers := flag.Int("workers", 4, "concurrent batches in the engine's pool")
-	procs := flag.Int("procs", 8, "goroutines per reduction execution")
+	workers := flag.Int("workers", 4, "concurrent batches in the engine's pool (local mode)")
+	procs := flag.Int("procs", 8, "goroutines per reduction execution (local mode)")
 	jobs := flag.Int("jobs", 400, "total jobs to submit")
 	clients := flag.Int("clients", 8, "concurrent submitting goroutines")
 	scale := flag.Float64("scale", 0.5, "workload size multiplier")
@@ -43,6 +109,9 @@ func main() {
 	nocoalesce := flag.Bool("nocoalesce", false, "disable batch coalescing (per-job execution path)")
 	queue := flag.Int("queue", 0, "submission queue depth in batches (0 = 2*workers)")
 	verify := flag.Bool("verify", true, "check a sample of results against the sequential reference")
+	remote := flag.String("remote", "", "drive a reduxd server at this address instead of an in-process engine")
+	conns := flag.Int("conns", 4, "client connection pool size (remote mode)")
+	jsonOut := flag.Bool("json", false, "emit the final report as JSON on stdout")
 	flag.Parse()
 
 	switch {
@@ -52,12 +121,25 @@ func main() {
 	case *scale <= 0:
 		fmt.Fprintf(os.Stderr, "reduxserve: -scale must be positive, got %g\n", *scale)
 		os.Exit(2)
-	case *jobs < 1 || *clients < 1 || *workers < 1:
-		fmt.Fprintf(os.Stderr, "reduxserve: -jobs, -clients and -workers must be at least 1\n")
+	case *jobs < 1 || *clients < 1 || *workers < 1 || *conns < 1:
+		fmt.Fprintf(os.Stderr, "reduxserve: -jobs, -clients, -workers and -conns must be at least 1\n")
 		os.Exit(2)
 	case *zipf && (*patterns < 1 || *zipfS <= 1):
 		fmt.Fprintf(os.Stderr, "reduxserve: -zipf needs -patterns >= 1 and -zipf-s > 1\n")
 		os.Exit(2)
+	}
+	if *remote != "" {
+		// Engine-shape flags configure the in-process engine only; in
+		// remote mode the server was configured at reduxd startup, so an
+		// explicitly-set one signals a misunderstanding — reject it
+		// rather than silently benchmark a differently-shaped server.
+		engineFlags := map[string]bool{"workers": true, "procs": true, "queue": true, "cold": true, "nocoalesce": true}
+		flag.Visit(func(f *flag.Flag) {
+			if engineFlags[f.Name] {
+				fmt.Fprintf(os.Stderr, "reduxserve: -%s configures the in-process engine; set it on reduxd in remote mode\n", f.Name)
+				os.Exit(2)
+			}
+		})
 	}
 
 	// Build the pattern population and the job stream over it.
@@ -80,32 +162,65 @@ func main() {
 		}
 	}
 
-	e, err := engine.New(engine.Config{
-		Workers:         *workers,
-		Platform:        core.DefaultPlatform(*procs),
-		QueueDepth:      *queue,
-		DisablePool:     *cold,
-		DisableFeedback: *cold,
-		DisableCoalesce: *nocoalesce,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "reduxserve:", err)
-		os.Exit(2)
+	var be backend
+	if *remote != "" {
+		c, err := client.Dial(*remote, client.Config{Conns: *conns})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reduxserve:", err)
+			os.Exit(1)
+		}
+		be = remoteBackend{c}
+	} else {
+		e, err := engine.New(engine.Config{
+			Workers:         *workers,
+			Platform:        core.DefaultPlatform(*procs),
+			QueueDepth:      *queue,
+			DisablePool:     *cold,
+			DisableFeedback: *cold,
+			DisableCoalesce: *nocoalesce,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reduxserve:", err)
+			os.Exit(2)
+		}
+		be = localBackend{e}
 	}
-	defer e.Close()
+	defer be.Close()
 
-	mode := "mixed"
-	if *zipf {
-		mode = fmt.Sprintf("zipf(s=%g, %d patterns)", *zipfS, *patterns)
+	rep := report{
+		Mode:    "mixed",
+		Remote:  *remote,
+		Clients: *clients,
+		Jobs:    *jobs,
 	}
-	fmt.Printf("engine: %d workers x %d procs, %d jobs from %d clients, %s stream (cold=%v, coalesce=%v)\n",
-		*workers, *procs, *jobs, *clients, mode, *cold, !*nocoalesce)
+	if *zipf {
+		rep.Mode = fmt.Sprintf("zipf(s=%g, %d patterns)", *zipfS, *patterns)
+	}
+	if *remote == "" {
+		rep.Workers, rep.Procs = *workers, *procs
+	}
+	where := "in-process engine"
+	if *remote != "" {
+		where = "reduxd at " + *remote
+	}
+	progressf := func(format string, args ...any) {
+		// In -json mode stdout carries only the JSON document; narration
+		// moves to stderr so pipelines stay parseable.
+		w := os.Stdout
+		if *jsonOut {
+			w = os.Stderr
+		}
+		fmt.Fprintf(w, format, args...)
+	}
+	progressf("%s: %d jobs from %d clients, %s stream (cold=%v, coalesce=%v)\n",
+		where, *jobs, *clients, rep.Mode, *cold, !*nocoalesce)
 
 	// Warm the cache and pools with one pass over the pattern population
 	// so the measured phase is the steady state a long-lived service runs
-	// in.
+	// in. BUSY here means the server is loaded by someone else — retry,
+	// same as the measured loop.
 	for _, l := range loops {
-		if _, err := e.Submit(l); err != nil {
+		if _, err := submitWithBusyRetry(be, l, nil); err != nil {
 			fmt.Fprintln(os.Stderr, "warmup:", err)
 			os.Exit(1)
 		}
@@ -113,7 +228,11 @@ func main() {
 
 	// Snapshot counters after warmup so every reported figure covers the
 	// measured phase only (the warmup pass is all misses and singletons).
-	warm := e.Stats()
+	warm, err := be.Stats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stats:", err)
+		os.Exit(1)
+	}
 
 	var before runtime.MemStats
 	runtime.GC()
@@ -139,7 +258,9 @@ func main() {
 				}
 				l := stream[n]
 				t0 := time.Now()
-				res, err := e.SubmitInto(l, dst)
+				// Latency keeps accruing from t0 across BUSY retries, so
+				// overload shows up in the tail rather than as failures.
+				res, err := submitWithBusyRetry(be, l, dst)
 				if err != nil {
 					fmt.Fprintln(os.Stderr, "submit:", err)
 					failures.Add(1)
@@ -161,60 +282,115 @@ func main() {
 		}(c)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	rep.ElapsedNs = int64(time.Since(start))
 
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
 
-	if n := failures.Load(); n > 0 {
-		fmt.Fprintf(os.Stderr, "%d clients failed\n", n)
+	rep.Failures = failures.Load()
+	rep.Verified = *verify && rep.Failures == 0
+
+	now, err := be.Stats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stats:", err)
 		os.Exit(1)
 	}
-
-	s := statsDelta(e.Stats(), warm)
-	fmt.Printf("\n%d jobs in %v  (%.0f jobs/s)\n", *jobs, elapsed.Round(time.Millisecond),
-		float64(*jobs)/elapsed.Seconds())
-
+	s := statsDelta(now, warm)
 	all := make([]time.Duration, 0, *jobs)
 	for _, lat := range latencies {
 		all = append(all, lat...)
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	if len(all) > 0 {
-		fmt.Printf("job latency: p50 %v  p95 %v  p99 %v  max %v\n",
-			percentile(all, 50).Round(time.Microsecond),
-			percentile(all, 95).Round(time.Microsecond),
-			percentile(all, 99).Round(time.Microsecond),
-			all[len(all)-1].Round(time.Microsecond))
+		rep.LatP50Ns = int64(percentile(all, 50))
+		rep.LatP95Ns = int64(percentile(all, 95))
+		rep.LatP99Ns = int64(percentile(all, 99))
+		rep.LatMaxNs = int64(all[len(all)-1])
 	}
+	rep.JobsPerSec = float64(*jobs) / (float64(rep.ElapsedNs) / 1e9)
+	rep.Batches = s.Batches
+	rep.Coalesced = s.Coalesced
+	if s.Batches > 0 {
+		rep.JobsPerBatch = float64(s.Jobs) / float64(s.Batches)
+	}
+	rep.Occupancy = s.BatchOccupancy
+	rep.CacheHits = s.CacheHits
+	rep.CacheMisses = s.CacheMisses
+	rep.CacheEntries = s.CacheEntries
+	rep.CacheEvicts = s.CacheEvictions
+	rep.AllocPerJob = float64(after.TotalAlloc-before.TotalAlloc) / float64(*jobs)
+	if n := imbalanceN.Load(); n > 0 {
+		rep.Imbalance = float64(imbalanceSum.Load()) / 1000 / float64(n)
+		rep.ImbalanceN = n
+	}
+	rep.Schemes = s.Schemes
 
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "json:", err)
+			os.Exit(1)
+		}
+	} else {
+		printHuman(rep)
+	}
+	if rep.Failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d clients failed\n", rep.Failures)
+		os.Exit(1)
+	}
+}
+
+// submitWithBusyRetry is SubmitInto with exponential backoff on BUSY:
+// the server's admission control is pacing, not failure, so the load
+// generator resubmits instead of dying. Only remote backends ever return
+// ErrBusy.
+func submitWithBusyRetry(be backend, l *trace.Loop, dst []float64) (engine.Result, error) {
+	res, err := be.SubmitInto(l, dst)
+	for backoff := time.Millisecond; errors.Is(err, client.ErrBusy); {
+		time.Sleep(backoff)
+		if backoff < 64*time.Millisecond {
+			backoff *= 2
+		}
+		res, err = be.SubmitInto(l, dst)
+	}
+	return res, err
+}
+
+// printHuman renders the report in the traditional text form.
+func printHuman(rep report) {
+	fmt.Printf("\n%d jobs in %v  (%.0f jobs/s)\n", rep.Jobs,
+		time.Duration(rep.ElapsedNs).Round(time.Millisecond), rep.JobsPerSec)
+	fmt.Printf("job latency: p50 %v  p95 %v  p99 %v  max %v\n",
+		time.Duration(rep.LatP50Ns).Round(time.Microsecond),
+		time.Duration(rep.LatP95Ns).Round(time.Microsecond),
+		time.Duration(rep.LatP99Ns).Round(time.Microsecond),
+		time.Duration(rep.LatMaxNs).Round(time.Microsecond))
 	fmt.Printf("batches: %d executed for %d jobs (%.2f jobs/batch, %d coalesced)\n",
-		s.Batches, s.Jobs, float64(s.Jobs)/float64(s.Batches), s.Coalesced)
+		rep.Batches, rep.Jobs, rep.JobsPerBatch, rep.Coalesced)
 	fmt.Print("batch occupancy:")
-	for size, count := range s.BatchOccupancy {
+	for size, count := range rep.Occupancy {
 		if count > 0 {
 			fmt.Printf("  %dx:%d", size, count)
 		}
 	}
 	fmt.Println()
 	fmt.Printf("decision cache: %d entries (%d evictions), %d hits / %d misses (%.1f%% hit rate)\n",
-		s.CacheEntries, s.CacheEvictions, s.CacheHits, s.CacheMisses,
-		100*float64(s.CacheHits)/float64(s.CacheHits+s.CacheMisses))
-	fmt.Printf("alloc: %.1f KB/job (%d bytes total during measured phase)\n",
-		float64(after.TotalAlloc-before.TotalAlloc)/1024/float64(*jobs),
-		after.TotalAlloc-before.TotalAlloc)
-	if n := imbalanceN.Load(); n > 0 {
+		rep.CacheEntries, rep.CacheEvicts, rep.CacheHits, rep.CacheMisses,
+		100*float64(rep.CacheHits)/float64(rep.CacheHits+rep.CacheMisses))
+	fmt.Printf("alloc: %.1f KB/job client-side\n", rep.AllocPerJob/1024)
+	if rep.ImbalanceN > 0 {
 		fmt.Printf("mean measured imbalance: %.2fx over %d feedback-scheduled jobs\n",
-			float64(imbalanceSum.Load())/1000/float64(n), n)
+			rep.Imbalance, rep.ImbalanceN)
 	}
 	fmt.Println("scheme mix:")
-	names := make([]string, 0, len(s.Schemes))
-	for name := range s.Schemes {
+	names := make([]string, 0, len(rep.Schemes))
+	for name := range rep.Schemes {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		fmt.Printf("  %-6s %d jobs\n", name, s.Schemes[name])
+		fmt.Printf("  %-6s %d jobs\n", name, rep.Schemes[name])
 	}
 }
 

@@ -1,0 +1,452 @@
+// Package client is the Go client for reduxd. It mirrors the engine API —
+// Submit / SubmitInto / SubmitAsync / SubmitAsyncInto returning
+// engine.Result — so code written against the in-process engine moves to
+// the network with a one-line change.
+//
+// A Client owns a small pool of connections. Submissions round-robin
+// across them and pipeline freely: each connection carries many in-flight
+// jobs keyed by client-assigned IDs, and the server answers in completion
+// order. Encoding uses the shared wire buffer pool and results decode
+// into caller-provided destination arrays, so the steady-state submit
+// path allocates almost nothing beyond the in-flight bookkeeping.
+//
+// Connections are established lazily and redialed transparently: a broken
+// connection fails its in-flight jobs with ErrConnLost (the work may or
+// may not have executed — resubmission is the caller's call, matching
+// at-most-once delivery), and the next submission that lands on that pool
+// slot dials afresh.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Config parameterizes a Client.
+type Config struct {
+	// Conns is the connection pool size (default 2).
+	Conns int
+	// DialTimeout bounds one dial attempt (default 5s).
+	DialTimeout time.Duration
+	// MaxFrameBytes caps one response frame (default wire.DefaultMaxFrame).
+	MaxFrameBytes int
+}
+
+func (c *Config) fill() {
+	if c.Conns <= 0 {
+		c.Conns = 2
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = wire.DefaultMaxFrame
+	}
+}
+
+// Client is a pooled, pipelining reduxd client. Safe for concurrent use.
+type Client struct {
+	addr string
+	cfg  Config
+
+	next  atomic.Uint64 // round-robin cursor over the pool
+	conns []*poolConn
+
+	closed atomic.Bool
+}
+
+// Sentinel errors.
+var (
+	// ErrClosed is returned by submissions after Close.
+	ErrClosed = errors.New("client: closed")
+	// ErrConnLost resolves jobs whose connection broke before their
+	// result arrived; whether the job executed is unknown.
+	ErrConnLost = errors.New("client: connection lost")
+	// ErrBusy resolves jobs the server rejected under admission control;
+	// back off and resubmit.
+	ErrBusy = errors.New("client: server busy")
+)
+
+// Dial connects to a reduxd server. The first connection is established
+// eagerly — validating address, protocol and version — and the rest of
+// the pool dials lazily on first use.
+func Dial(addr string, cfg Config) (*Client, error) {
+	cfg.fill()
+	c := &Client{addr: addr, cfg: cfg, conns: make([]*poolConn, cfg.Conns)}
+	for i := range c.conns {
+		c.conns[i] = &poolConn{cl: c}
+	}
+	if _, err := c.conns[0].ensure(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Hello returns the server greeting from an established connection.
+func (c *Client) Hello() (wire.Hello, error) {
+	pc, err := c.pick()
+	if err != nil {
+		return wire.Hello{}, err
+	}
+	s, err := pc.ensure()
+	if err != nil {
+		return wire.Hello{}, err
+	}
+	return s.hello, nil
+}
+
+// Submit runs one reduction job on the server and blocks for its result.
+func (c *Client) Submit(l *trace.Loop) (engine.Result, error) {
+	return c.SubmitInto(l, nil)
+}
+
+// SubmitInto is Submit decoding the result into dst when it has the
+// capacity, mirroring engine.SubmitInto.
+func (c *Client) SubmitInto(l *trace.Loop, dst []float64) (engine.Result, error) {
+	h, err := c.SubmitAsyncInto(l, dst)
+	if err != nil {
+		return engine.Result{}, err
+	}
+	return h.Wait()
+}
+
+// SubmitAsync enqueues one job and returns a Handle without waiting, so a
+// client can pipeline many submissions over one connection.
+func (c *Client) SubmitAsync(l *trace.Loop) (*Handle, error) {
+	return c.SubmitAsyncInto(l, nil)
+}
+
+// SubmitAsyncInto is SubmitAsync with a caller-provided destination
+// array; dst must not be touched until Wait returns.
+func (c *Client) SubmitAsyncInto(l *trace.Loop, dst []float64) (*Handle, error) {
+	if l == nil {
+		return nil, errors.New("client: nil loop")
+	}
+	pc, err := c.pick()
+	if err != nil {
+		return nil, err
+	}
+	return pc.submit(l, dst)
+}
+
+// Stats fetches the server engine's statistics snapshot.
+func (c *Client) Stats() (engine.Stats, error) {
+	pc, err := c.pick()
+	if err != nil {
+		return engine.Stats{}, err
+	}
+	return pc.stats()
+}
+
+// Close tears down the pool. In-flight jobs resolve with ErrConnLost.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	for _, pc := range c.conns {
+		pc.close()
+	}
+	return nil
+}
+
+// pick selects the next pool slot round-robin. Dead slots redial on use,
+// which is what makes reconnection transparent.
+func (c *Client) pick() (*poolConn, error) {
+	if c.closed.Load() {
+		return nil, ErrClosed
+	}
+	return c.conns[c.next.Add(1)%uint64(len(c.conns))], nil
+}
+
+// outcome resolves one in-flight job (or stats request).
+type outcome struct {
+	res   engine.Result
+	stats engine.Stats
+	err   error
+}
+
+// Handle is a pending remote submission belonging to a single waiter.
+type Handle struct {
+	done     chan outcome
+	out      outcome
+	received bool
+}
+
+// Wait blocks until the job resolves: a result, a job error from the
+// server, ErrBusy under admission control, or ErrConnLost if the
+// connection died first. It may be called repeatedly.
+func (h *Handle) Wait() (engine.Result, error) {
+	if !h.received {
+		h.out = <-h.done
+		h.received = true
+	}
+	return h.out.res, h.out.err
+}
+
+// pend is the read loop's record of one in-flight job.
+type pend struct {
+	done chan outcome
+	dst  []float64
+	// statsReq marks a statistics request, whose response is a STATS
+	// frame rather than RESULT/ERROR/BUSY.
+	statsReq bool
+}
+
+// poolConn is one pool slot: at most one live session at a time, redialed
+// on demand after failures.
+type poolConn struct {
+	cl *Client
+	mu sync.Mutex // guards session swap and dialing
+	s  *session
+}
+
+// session is one live TCP connection with its pending-job table.
+type session struct {
+	pc    *poolConn
+	nc    net.Conn
+	hello wire.Hello
+
+	writeMu sync.Mutex
+	bw      *bufio.Writer
+
+	pendMu  sync.Mutex
+	pending map[uint64]*pend
+	dead    bool
+	nextID  uint64
+}
+
+// ensure returns the slot's live session, dialing if necessary.
+func (pc *poolConn) ensure() (*session, error) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if pc.s != nil {
+		return pc.s, nil
+	}
+	if pc.cl.closed.Load() {
+		return nil, ErrClosed
+	}
+	nc, err := net.DialTimeout("tcp", pc.cl.addr, pc.cl.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", pc.cl.addr, err)
+	}
+	if err := wire.WritePreamble(nc); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: preamble: %w", err)
+	}
+	s := &session{
+		pc:      pc,
+		nc:      nc,
+		bw:      bufio.NewWriterSize(nc, 64<<10),
+		pending: make(map[uint64]*pend),
+	}
+	// The server speaks first: its HELLO validates version agreement
+	// before any job is risked on the connection.
+	hr := wire.NewReader(bufio.NewReaderSize(nc, 64<<10), pc.cl.cfg.MaxFrameBytes)
+	nc.SetReadDeadline(time.Now().Add(pc.cl.cfg.DialTimeout))
+	f, err := hr.Next()
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: reading hello: %w", err)
+	}
+	if s.hello, err = f.DecodeHello(); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	nc.SetReadDeadline(time.Time{})
+	pc.s = s
+	go s.readLoop(hr)
+	return s, nil
+}
+
+// close tears the slot down.
+func (pc *poolConn) close() {
+	pc.mu.Lock()
+	s := pc.s
+	pc.mu.Unlock()
+	if s != nil {
+		s.fail(ErrClosed)
+	}
+}
+
+// submit registers a pending job on the slot's session and writes its
+// SUBMIT frame. A write failure kills the session (failing its in-flight
+// jobs) and leaves the slot ready to redial.
+func (pc *poolConn) submit(l *trace.Loop, dst []float64) (*Handle, error) {
+	s, err := pc.ensure()
+	if err != nil {
+		return nil, err
+	}
+	p := &pend{done: make(chan outcome, 1), dst: dst}
+	id, err := s.register(p)
+	if err != nil {
+		return nil, err
+	}
+	buf := wire.GetBuffer()
+	buf.B = wire.AppendSubmit(buf.B, id, l)
+	if err := s.write(buf); err != nil {
+		return nil, err
+	}
+	return &Handle{done: p.done}, nil
+}
+
+// stats issues a STATSREQ and waits for the snapshot.
+func (pc *poolConn) stats() (engine.Stats, error) {
+	s, err := pc.ensure()
+	if err != nil {
+		return engine.Stats{}, err
+	}
+	p := &pend{done: make(chan outcome, 1), statsReq: true}
+	id, err := s.register(p)
+	if err != nil {
+		return engine.Stats{}, err
+	}
+	buf := wire.GetBuffer()
+	buf.B = wire.AppendStatsReq(buf.B, id)
+	if err := s.write(buf); err != nil {
+		return engine.Stats{}, err
+	}
+	out := <-p.done
+	return out.stats, out.err
+}
+
+// register assigns the next job ID on the session. IDs start at 1; 0 is
+// connection-scoped on the wire.
+func (s *session) register(p *pend) (uint64, error) {
+	s.pendMu.Lock()
+	defer s.pendMu.Unlock()
+	if s.dead {
+		return 0, ErrConnLost
+	}
+	s.nextID++
+	id := s.nextID
+	s.pending[id] = p
+	return id, nil
+}
+
+// write sends one encoded frame and flushes. Pipelined submitters each
+// flush their own frame; the bufio layer coalesces writers that race.
+func (s *session) write(buf *wire.Buffer) error {
+	s.writeMu.Lock()
+	_, err := s.bw.Write(buf.B)
+	if err == nil {
+		err = s.bw.Flush()
+	}
+	s.writeMu.Unlock()
+	buf.Free()
+	if err != nil {
+		s.fail(fmt.Errorf("%w: %v", ErrConnLost, err))
+		return fmt.Errorf("client: write: %w", ErrConnLost)
+	}
+	return nil
+}
+
+// readLoop dispatches response frames to their pending jobs until the
+// connection dies, then fails whatever is left.
+func (s *session) readLoop(r *wire.Reader) {
+	for {
+		f, err := r.Next()
+		if err != nil {
+			s.fail(fmt.Errorf("%w: %v", ErrConnLost, err))
+			return
+		}
+		if f.JobID == 0 {
+			// Connection-scoped ERROR: the server is telling us why it is
+			// about to hang up.
+			if msg, err := f.DecodeError(); err == nil {
+				s.fail(fmt.Errorf("%w: server: %s", ErrConnLost, msg))
+			} else {
+				s.fail(ErrConnLost)
+			}
+			return
+		}
+		p := s.take(f.JobID)
+		if p == nil {
+			s.fail(fmt.Errorf("%w: response for unknown job %d", ErrConnLost, f.JobID))
+			return
+		}
+		p.done <- s.resolve(f, p)
+	}
+}
+
+// resolve turns one response frame into the job's outcome.
+func (s *session) resolve(f wire.Frame, p *pend) outcome {
+	if p.statsReq != (f.Type == wire.FrameStats) && f.Type != wire.FrameError {
+		return outcome{err: fmt.Errorf("client: unexpected %v frame for job", f.Type)}
+	}
+	switch f.Type {
+	case wire.FrameResult:
+		res, err := f.DecodeResult(p.dst)
+		if err != nil {
+			return outcome{err: fmt.Errorf("client: %w", err)}
+		}
+		return outcome{res: res}
+	case wire.FrameError:
+		msg, err := f.DecodeError()
+		if err != nil {
+			return outcome{err: fmt.Errorf("client: %w", err)}
+		}
+		return outcome{err: fmt.Errorf("client: server: %s", msg)}
+	case wire.FrameBusy:
+		code, err := f.DecodeBusy()
+		if err != nil {
+			return outcome{err: fmt.Errorf("client: %w", err)}
+		}
+		return outcome{err: fmt.Errorf("%w (%s)", ErrBusy, busyName(code))}
+	case wire.FrameStats:
+		st, err := f.DecodeStats()
+		if err != nil {
+			return outcome{err: fmt.Errorf("client: %w", err)}
+		}
+		return outcome{stats: st}
+	default:
+		return outcome{err: fmt.Errorf("client: unexpected %v frame", f.Type)}
+	}
+}
+
+// take removes and returns the pending record for id.
+func (s *session) take(id uint64) *pend {
+	s.pendMu.Lock()
+	defer s.pendMu.Unlock()
+	p := s.pending[id]
+	delete(s.pending, id)
+	return p
+}
+
+// fail kills the session exactly once: the socket closes, every in-flight
+// job resolves with err, and the pool slot is cleared so the next
+// submission redials.
+func (s *session) fail(err error) {
+	s.pendMu.Lock()
+	if s.dead {
+		s.pendMu.Unlock()
+		return
+	}
+	s.dead = true
+	pending := s.pending
+	s.pending = nil
+	s.pendMu.Unlock()
+
+	s.nc.Close()
+	s.pc.mu.Lock()
+	if s.pc.s == s {
+		s.pc.s = nil
+	}
+	s.pc.mu.Unlock()
+	for _, p := range pending {
+		p.done <- outcome{err: err}
+	}
+}
+
+func busyName(code wire.BusyCode) string {
+	if code == wire.BusyGlobal {
+		return "global limit"
+	}
+	return "connection limit"
+}

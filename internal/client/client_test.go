@@ -1,0 +1,165 @@
+package client_test
+
+import (
+	"errors"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/server"
+	"repro/internal/workloads"
+)
+
+// boot starts an engine+server on the given address ("127.0.0.1:0" picks
+// a port) and returns the bound address and a stopper.
+func boot(t *testing.T, addr string) (string, func()) {
+	t.Helper()
+	eng, err := engine.New(engine.Config{Workers: 2, Platform: core.DefaultPlatform(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng, server.Config{})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		eng.Close()
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	return ln.Addr().String(), func() {
+		srv.Shutdown(10 * time.Second)
+		<-done
+		eng.Close()
+	}
+}
+
+func TestDialFailsCleanly(t *testing.T) {
+	// A dead address must fail Dial, not hang or panic.
+	if _, err := client.Dial("127.0.0.1:1", client.Config{DialTimeout: time.Second}); err == nil {
+		t.Fatal("Dial to a dead port succeeded")
+	}
+}
+
+// TestTransparentReconnect kills the server under a live client and
+// brings it back on the same address: in-flight work fails with
+// ErrConnLost, and the next submissions succeed again without the caller
+// rebuilding the client.
+func TestTransparentReconnect(t *testing.T) {
+	addr, stop := boot(t, "127.0.0.1:0")
+	cl, err := client.Dial(addr, client.Config{Conns: 1, DialTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	l := workloads.MixedSet(0.2)[0]
+	want := l.RunSequential()
+	res, err := cl.Submit(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Values) != len(want) {
+		t.Fatal("bad first result")
+	}
+
+	stop() // server gone; the client's connection dies
+
+	// Until the server is back, submissions must fail fast with a real
+	// error (either the dying connection or a refused redial).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := cl.Submit(l); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("submissions kept succeeding after server shutdown")
+		}
+	}
+
+	// Same address, fresh server: the pool slot redials transparently.
+	_, stop2 := boot(t, addr)
+	defer stop2()
+	var got engine.Result
+	for attempt := 0; ; attempt++ {
+		got, err = cl.Submit(l)
+		if err == nil {
+			break
+		}
+		if attempt > 50 {
+			t.Fatalf("reconnect never succeeded: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for i := range want {
+		if math.Abs(got.Values[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("post-reconnect result diverged at %d", i)
+		}
+	}
+}
+
+// TestCloseResolvesInflight closes the client with jobs outstanding:
+// every handle must resolve with an error rather than hang.
+func TestCloseResolvesInflight(t *testing.T) {
+	addr, stop := boot(t, "127.0.0.1:0")
+	defer stop()
+	cl, err := client.Dial(addr, client.Config{Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	l := workloads.MixedSet(0.3)[0]
+	handles := make([]*client.Handle, 8)
+	for i := range handles {
+		h, err := cl.SubmitAsync(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles[i] = h
+	}
+	cl.Close()
+
+	resolved := make(chan struct{})
+	go func() {
+		defer close(resolved)
+		for _, h := range handles {
+			h.Wait() // result or error both fine; hanging is the failure
+		}
+	}()
+	select {
+	case <-resolved:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handles unresolved 10s after Close")
+	}
+	if _, err := cl.Submit(l); !errors.Is(err, client.ErrClosed) {
+		t.Fatalf("submit after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestPoolSpreadsConnections checks that a multi-connection pool really
+// opens distinct connections (pipelining capacity scales with the pool).
+func TestPoolSpreadsConnections(t *testing.T) {
+	addr, stop := boot(t, "127.0.0.1:0")
+	defer stop()
+	cl, err := client.Dial(addr, client.Config{Conns: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	l := workloads.MixedSet(0.2)[0]
+	for i := 0; i < 6; i++ { // round-robin touches every slot twice
+		if _, err := cl.Submit(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Jobs != 6 {
+		t.Fatalf("server saw %d jobs, want 6", st.Jobs)
+	}
+}

@@ -205,6 +205,11 @@ func ceilPow2(n int) int {
 	return p
 }
 
+// Procs returns the per-job goroutine fan-out the engine executes with
+// (the serving platform's processor count). The network server reports it
+// to clients in the HELLO frame.
+func (e *Engine) Procs() int { return e.cfg.Platform.Procs }
+
 // ErrClosed is returned by Submit after Close.
 var ErrClosed = errors.New("engine: closed")
 

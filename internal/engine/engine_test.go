@@ -2,8 +2,10 @@ package engine
 
 import (
 	"math"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/simarch"
@@ -233,5 +235,79 @@ func TestEngineDisabledPoolStillCorrect(t *testing.T) {
 			t.Fatal(err)
 		}
 		assertMatches(t, l.Name, res.Values, refs[i])
+	}
+}
+
+// TestCloseResolvesOutstandingHandles is the server-shutdown contract:
+// SubmitAsync handles outstanding when Close runs must all resolve — the
+// queue drains, no waiter blocks forever. Submitters hammer a small queue
+// (so batch sends block on backpressure mid-Close) while Close races
+// them; every handle that was ever returned must Wait successfully with a
+// correct result.
+func TestCloseResolvesOutstandingHandles(t *testing.T) {
+	loops, refs := mixedLoops()
+	for round := 0; round < 4; round++ {
+		e := mustNew(t, Config{
+			Workers:    1,
+			Platform:   core.DefaultPlatform(2),
+			QueueDepth: 1, // maximum backpressure: senders block in SubmitAsync
+			MaxBatch:   4,
+		})
+		const submitters = 6
+		var wg sync.WaitGroup
+		handleCh := make(chan *Handle, 1024)
+		idxCh := make(chan int, 1024)
+		for g := 0; g < submitters; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					idx := (g + i) % len(loops)
+					h, err := e.SubmitAsync(loops[idx])
+					if err != nil {
+						if err != ErrClosed {
+							t.Errorf("submit: %v", err)
+						}
+						return
+					}
+					handleCh <- h
+					idxCh <- idx
+				}
+			}(g)
+		}
+		// Let submissions pile up, then slam the door while senders are
+		// mid-flight.
+		for len(handleCh) < submitters {
+			runtime.Gosched()
+		}
+		e.Close()
+		wg.Wait()
+		close(handleCh)
+		close(idxCh)
+
+		type pending struct {
+			h   *Handle
+			idx int
+		}
+		var all []pending
+		for h := range handleCh {
+			all = append(all, pending{h, <-idxCh})
+		}
+		if len(all) == 0 {
+			t.Fatal("no handles issued before Close")
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for _, p := range all {
+				res := p.h.Wait()
+				assertMatches(t, loops[p.idx].Name, res.Values, refs[p.idx])
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatalf("round %d: %d handles leaked blocked waiters after Close", round, len(all))
+		}
 	}
 }

@@ -1,0 +1,250 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"net"
+
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// preambleTimeout bounds how long a fresh connection may sit silent
+// before sending its magic, so dead or misdirected connections cannot
+// hold sockets open forever.
+const preambleTimeout = 10 * time.Second
+
+// conn is one client connection: a read loop decoding submissions into
+// the shared engine, one waiter goroutine per in-flight job, and a write
+// loop serializing their responses. Responses leave in completion order,
+// not submission order — the client matches them by job ID.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+
+	writeCh   chan *wire.Buffer
+	writeDone chan struct{}
+
+	inflight atomic.Int64   // this connection's in-flight jobs
+	jobWG    sync.WaitGroup // waiter goroutines still running
+
+	draining atomic.Bool
+
+	// Decode scratch, reused frame after frame (only the read loop
+	// touches it; interning clones before anything escapes).
+	scratch     trace.Loop
+	scratchOff  []int32
+	scratchRefs []int32
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	return &conn{
+		srv:       s,
+		nc:        nc,
+		writeCh:   make(chan *wire.Buffer, 64),
+		writeDone: make(chan struct{}),
+	}
+}
+
+// beginDrain stops the read loop at its next frame boundary: the flag
+// tells it why, the expired deadline unblocks it. In-flight jobs keep
+// running and their responses still flush.
+func (c *conn) beginDrain() {
+	c.draining.Store(true)
+	c.nc.SetReadDeadline(time.Unix(1, 0))
+}
+
+// send hands one encoded response to the write loop, which frees it.
+func (c *conn) send(buf *wire.Buffer) { c.writeCh <- buf }
+
+func (c *conn) sendError(jobID uint64, msg string) {
+	buf := wire.GetBuffer()
+	buf.B = wire.AppendError(buf.B, jobID, msg)
+	c.send(buf)
+}
+
+func (c *conn) sendBusy(jobID uint64, code wire.BusyCode) {
+	c.srv.busy.Add(1)
+	buf := wire.GetBuffer()
+	buf.B = wire.AppendBusy(buf.B, jobID, code)
+	c.send(buf)
+}
+
+// serve runs the connection to completion: preamble, hello, read loop,
+// then the drain sequence (waiters finish, responses flush, socket
+// closes). It owns the server's per-connection WaitGroup slot.
+func (c *conn) serve() {
+	defer c.srv.wg.Done()
+	defer c.srv.removeConn(c)
+	defer c.nc.Close()
+
+	c.nc.SetReadDeadline(time.Now().Add(preambleTimeout))
+	if c.draining.Load() {
+		// Shutdown raced the deadline above onto a pre-preamble socket;
+		// re-expire it so an idle connection cannot stall the drain for
+		// the full preamble timeout.
+		c.nc.SetReadDeadline(time.Unix(1, 0))
+	}
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	if _, err := wire.ReadPreamble(br); err != nil {
+		return
+	}
+	c.nc.SetReadDeadline(time.Time{})
+	if c.draining.Load() {
+		// Shutdown raced the deadline reset; re-arm it so the read loop
+		// still exits immediately.
+		c.nc.SetReadDeadline(time.Unix(1, 0))
+	}
+
+	go c.writeLoop()
+	hello := wire.GetBuffer()
+	hello.B = wire.AppendHello(hello.B, wire.Hello{
+		Version:     wire.ProtoVersion,
+		Procs:       c.srv.eng.Procs(),
+		MaxInflight: c.srv.cfg.MaxInflightPerConn,
+	})
+	c.send(hello)
+
+	r := wire.NewReader(br, c.srv.cfg.MaxFrameBytes)
+	for {
+		f, err := r.Next()
+		if err != nil {
+			// A framing error means the stream is unrecoverable: tell the
+			// client why before closing. Clean EOF and the drain deadline
+			// close silently.
+			if errors.Is(err, wire.ErrCorrupt) || errors.Is(err, wire.ErrFrameTooLarge) {
+				c.sendError(0, err.Error())
+			}
+			break
+		}
+		if f.JobID == 0 {
+			c.sendError(0, "protocol violation: job id 0 is connection-scoped")
+			break
+		}
+		if f.Type == wire.FrameSubmit {
+			c.handleSubmit(f)
+			continue
+		}
+		if f.Type == wire.FrameStatsReq {
+			stats := c.srv.eng.Stats()
+			buf := wire.GetBuffer()
+			buf.B = wire.AppendStats(buf.B, f.JobID, &stats)
+			c.send(buf)
+			continue
+		}
+		c.sendError(0, fmt.Sprintf("protocol violation: unexpected %v frame", f.Type))
+		break
+	}
+
+	// Drain: every accepted job resolves and its response is written
+	// before the socket closes.
+	c.jobWG.Wait()
+	close(c.writeCh)
+	<-c.writeDone
+}
+
+// handleSubmit admits, decodes and interns one submission, then hands the
+// wait to a per-job goroutine so the read loop can keep pipelining.
+// Admission runs first, on nothing but the already-parsed header: an
+// over-budget client is rejected for the price of a BUSY frame, before
+// the server spends decode work or intern-table mutations (and evictions)
+// on a job it will not run.
+func (c *conn) handleSubmit(f wire.Frame) {
+	if c.inflight.Load() >= int64(c.srv.cfg.MaxInflightPerConn) {
+		c.sendBusy(f.JobID, wire.BusyConn)
+		return
+	}
+	if c.srv.inflight.Add(1) > int64(c.srv.cfg.MaxInflightGlobal) {
+		c.srv.inflight.Add(-1)
+		c.sendBusy(f.JobID, wire.BusyGlobal)
+		return
+	}
+	c.inflight.Add(1)
+	release := func() {
+		c.inflight.Add(-1)
+		c.srv.inflight.Add(-1)
+	}
+
+	var err error
+	c.scratchOff, c.scratchRefs, err = f.DecodeSubmitInto(&c.scratch, c.scratchOff, c.scratchRefs, c.srv.cfg.MaxElems)
+	if err != nil {
+		// The frame itself was well-delimited, so the stream stays in
+		// sync: reject the job, keep the connection.
+		release()
+		c.sendError(f.JobID, err.Error())
+		return
+	}
+	canon, hit := c.srv.intern.canonical(c.scratch.Fingerprint(), &c.scratch)
+	if hit {
+		c.srv.interned.Add(1)
+	}
+
+	h, err := c.srv.eng.SubmitAsyncInto(canon, c.srv.getDst(canon.NumElems))
+	if err != nil {
+		release()
+		c.sendError(f.JobID, err.Error())
+		return
+	}
+	c.jobWG.Add(1)
+	jobID := f.JobID
+	go func() {
+		defer c.jobWG.Done()
+		res := h.Wait()
+		buf := wire.GetBuffer()
+		buf.B = wire.AppendResult(buf.B, jobID, &res)
+		c.send(buf)
+		// The result array is fully encoded into buf; recycle it for a
+		// later submission's destination.
+		c.srv.putDst(res.Values)
+		release()
+	}()
+}
+
+// writeLoop serializes responses: pooled buffers in, one buffered socket
+// out, flushing when the queue momentarily empties. After a write error
+// it keeps draining (and freeing) buffers so no sender ever blocks on a
+// dead connection.
+func (c *conn) writeLoop() {
+	defer close(c.writeDone)
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	var werr error
+	for buf := range c.writeCh {
+		if werr == nil {
+			_, werr = bw.Write(buf.B)
+		}
+		buf.Free()
+		if werr == nil && len(c.writeCh) == 0 {
+			werr = bw.Flush()
+		}
+	}
+	if werr == nil {
+		bw.Flush()
+	}
+}
+
+// getDst returns a recycled destination array with capacity for n
+// elements when one is available, else a fresh one. Destination recycling
+// plus pooled frame buffers is what keeps the per-job steady state of the
+// serving path allocation-free.
+func (s *Server) getDst(n int) []float64 {
+	if v := s.dstPool.Get(); v != nil {
+		d := *(v.(*[]float64))
+		if cap(d) >= n {
+			return d[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// putDst recycles a destination array once its contents are encoded.
+func (s *Server) putDst(d []float64) {
+	if cap(d) == 0 {
+		return
+	}
+	s.dstPool.Put(&d)
+}

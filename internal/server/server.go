@@ -1,0 +1,225 @@
+// Package server implements reduxd: a TCP front end that multiplexes many
+// client connections onto one shared engine.Engine. It is the network
+// shape of the paper's runtime — the adaptive machinery (pattern
+// characterization, decision cache, feedback schedules, buffer pools) is
+// amortized across every connected client, not just one process.
+//
+// The dataflow per connection is two goroutines around the shared engine:
+//
+//	read loop:  frame → admission → decode → intern → engine.SubmitAsync
+//	                                                        │ (per-job waiter)
+//	write loop: pooled response buffers ← encode ← Handle.Wait
+//
+// Three properties carry the engine's performance across the network hop:
+//
+//   - Pipelining: responses are keyed by client-assigned job IDs and sent
+//     as jobs finish, out of order, so one connection can keep many jobs
+//     in flight and the queue deep enough for batch fusion to engage.
+//   - Interning: the engine fuses only pointer-identical loops, so the
+//     server interns decoded submissions by fingerprint + full pattern
+//     equality. Repeats of a hot pattern — the Zipf traffic a production
+//     service sees — collapse onto one canonical *trace.Loop and coalesce
+//     exactly as if a single process had submitted them.
+//   - Admission control: in-flight jobs are bounded per connection and
+//     globally. Beyond either bound the server answers BUSY immediately
+//     instead of queueing without limit, keeping tail latency and memory
+//     bounded under overload (the client backs off and retries).
+//
+// Shutdown drains: listeners close, connections stop reading, every
+// in-flight job's response is written, then connections close.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/wire"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// MaxInflightPerConn bounds jobs in flight per connection (default
+	// 64). Submissions beyond it draw BUSY(BusyConn).
+	MaxInflightPerConn int
+	// MaxInflightGlobal bounds jobs in flight across all connections
+	// (default 1024). Submissions beyond it draw BUSY(BusyGlobal).
+	MaxInflightGlobal int
+	// MaxFrameBytes caps one request frame (default wire.DefaultMaxFrame).
+	MaxFrameBytes int
+	// MaxElems caps a submitted loop's reduction array dimension (default
+	// wire.DefaultMaxElems).
+	MaxElems int
+	// MaxInternedLoops bounds the canonical-loop intern table (default
+	// 4096 across all shards); beyond it the owning shard evicts by CLOCK.
+	MaxInternedLoops int
+}
+
+func (c *Config) fill() {
+	if c.MaxInflightPerConn <= 0 {
+		c.MaxInflightPerConn = 64
+	}
+	if c.MaxInflightGlobal <= 0 {
+		c.MaxInflightGlobal = 1024
+	}
+	if c.MaxFrameBytes <= 0 {
+		c.MaxFrameBytes = wire.DefaultMaxFrame
+	}
+	if c.MaxElems <= 0 {
+		c.MaxElems = wire.DefaultMaxElems
+	}
+	if c.MaxInternedLoops <= 0 {
+		c.MaxInternedLoops = 4096
+	}
+}
+
+// Server serves the wire protocol over one shared engine. Create with
+// New, feed it listeners via Serve, stop with Shutdown.
+type Server struct {
+	eng    *engine.Engine
+	cfg    Config
+	intern *internTable
+
+	inflight atomic.Int64 // global in-flight jobs (admission control)
+	dstPool  sync.Pool    // recycled result destination arrays
+
+	mu       sync.Mutex
+	lns      map[net.Listener]struct{}
+	conns    map[*conn]struct{}
+	draining bool
+
+	wg sync.WaitGroup // accept loops + connections
+
+	// Busy counts submissions rejected by admission control; Interned
+	// counts submissions that mapped onto an already-canonical loop.
+	busy     atomic.Uint64
+	interned atomic.Uint64
+}
+
+// New returns a server front end for eng. The engine is borrowed: the
+// caller closes it after Shutdown returns.
+func New(eng *engine.Engine, cfg Config) *Server {
+	cfg.fill()
+	return &Server{
+		eng:    eng,
+		cfg:    cfg,
+		intern: newInternTable(16, cfg.MaxInternedLoops),
+		lns:    make(map[net.Listener]struct{}),
+		conns:  make(map[*conn]struct{}),
+	}
+}
+
+// ErrServerClosed is returned by Serve after Shutdown.
+var ErrServerClosed = errors.New("server: closed")
+
+// Serve accepts connections on ln until Shutdown. It always returns a
+// non-nil error; after Shutdown the error is ErrServerClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.lns[ln] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			delete(s.lns, ln)
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			return err
+		}
+		c := newConn(s, nc)
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go c.serve()
+	}
+}
+
+// Shutdown drains the server gracefully: listeners close, every
+// connection stops accepting new submissions, all in-flight jobs complete
+// and their responses flush, then connections close. It returns once all
+// of that is done (or the timeout elapses, after which connections are
+// cut; timeout 0 means wait forever). The engine itself is left running.
+func (s *Server) Shutdown(timeout time.Duration) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		for ln := range s.lns {
+			ln.Close()
+		}
+		for c := range s.conns {
+			c.beginDrain()
+		}
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	if timeout <= 0 {
+		<-done
+		return nil
+	}
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		return fmt.Errorf("server: drain timed out after %v, connections cut", timeout)
+	}
+}
+
+// removeConn unregisters a finished connection.
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// Stats reports the server-level counters next to the engine's own.
+type Stats struct {
+	// Busy is how many submissions admission control rejected.
+	Busy uint64
+	// InternHits is how many submissions mapped onto an already-interned
+	// canonical loop (the precondition for cross-client batch fusion).
+	InternHits uint64
+	// InternedLoops is the current canonical-loop residency.
+	InternedLoops int
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Busy:          s.busy.Load(),
+		InternHits:    s.interned.Load(),
+		InternedLoops: s.intern.len(),
+	}
+}

@@ -266,6 +266,76 @@ func (l *Loop) Fingerprint() uint64 {
 	return h
 }
 
+// Flat exposes the loop's flattened iteration structure: offsets is the
+// iteration boundary array (len NumIters+1, offsets[0] == 0) and refs the
+// concatenated reduction element indices, so iteration i references
+// refs[offsets[i]:offsets[i+1]]. Both slices alias internal storage and
+// must not be modified; the wire protocol encodes from them directly
+// instead of walking Iter per iteration.
+func (l *Loop) Flat() (offsets, refs []int32) { return l.offsets, l.refs }
+
+// SetFlat installs a flattened iteration structure built elsewhere (a
+// trace loader, a test), taking ownership of both slices. It validates
+// the same invariants AddIter maintains and leaves the loop unchanged on
+// error.
+func (l *Loop) SetFlat(offsets, refs []int32) error {
+	saveOff, saveRefs := l.offsets, l.refs
+	l.offsets, l.refs = offsets, refs
+	if err := l.Validate(); err != nil {
+		l.offsets, l.refs = saveOff, saveRefs
+		return err
+	}
+	return nil
+}
+
+// SetFlatUnchecked is SetFlat without the O(iters + refs) re-validation,
+// for callers that construct the invariants themselves — the wire
+// decoder bounds-checks every offset and reference as it builds the
+// arrays, and re-walking multi-million-reference traces a second time
+// per network submission would double the decode cost for no added
+// safety. Anything installed here that violates Validate's invariants is
+// a bug in the caller.
+func (l *Loop) SetFlatUnchecked(offsets, refs []int32) {
+	l.offsets, l.refs = offsets, refs
+}
+
+// EqualPattern reports whether two loops are the same reduction job in
+// every respect that affects its results: dimensions, operator and the
+// full access pattern. Names and the characterization metadata
+// (WorkPerIter, DataRefsPerIter, Invocations) are ignored — two clients
+// may label or profile identical work differently, and the engine's
+// decision cache already keys on Fingerprint, which excludes them too;
+// a stricter predicate would only break sharing between submissions the
+// engine itself treats as one pattern. The network server interns
+// decoded loops under this predicate so repeated submissions of one hot
+// pattern become pointer-identical, which is what lets the engine's
+// batch fusion engage across the network hop (the first submission's
+// metadata rides along on the canonical loop).
+func (l *Loop) EqualPattern(m *Loop) bool {
+	if l == m {
+		return true
+	}
+	if l == nil || m == nil {
+		return false
+	}
+	if l.NumElems != m.NumElems || l.ElemBytes != m.ElemBytes ||
+		l.Op != m.Op ||
+		len(l.offsets) != len(m.offsets) || len(l.refs) != len(m.refs) {
+		return false
+	}
+	for i, o := range l.offsets {
+		if m.offsets[i] != o {
+			return false
+		}
+	}
+	for i, r := range l.refs {
+		if m.refs[i] != r {
+			return false
+		}
+	}
+	return true
+}
+
 // Clone returns a deep copy of the loop.
 func (l *Loop) Clone() *Loop {
 	c := *l

@@ -208,3 +208,107 @@ func TestSequentialTotalMassProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFlatSetFlatRoundTrip(t *testing.T) {
+	l := NewLoop("flat", 8)
+	l.AddIter(0, 3)
+	l.AddIter(7)
+	l.AddIter()
+	l.AddIter(2, 2, 5)
+
+	offsets, refs := l.Flat()
+	m := NewLoop("flat", 8)
+	if err := m.SetFlat(append([]int32(nil), offsets...), append([]int32(nil), refs...)); err != nil {
+		t.Fatalf("SetFlat: %v", err)
+	}
+	if m.NumIters() != l.NumIters() || m.TotalRefs() != l.TotalRefs() {
+		t.Fatalf("shape mismatch: %d/%d iters, %d/%d refs",
+			m.NumIters(), l.NumIters(), m.TotalRefs(), l.TotalRefs())
+	}
+	if !l.EqualPattern(m) {
+		t.Fatal("EqualPattern false after Flat/SetFlat round trip")
+	}
+	for i := 0; i < l.NumIters(); i++ {
+		a, b := l.Iter(i), m.Iter(i)
+		if len(a) != len(b) {
+			t.Fatalf("iter %d length mismatch", i)
+		}
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("iter %d ref %d: %d != %d", i, k, a[k], b[k])
+			}
+		}
+	}
+}
+
+func TestSetFlatRejectsMalformed(t *testing.T) {
+	l := NewLoop("bad", 4)
+	l.AddIter(1)
+	cases := []struct {
+		name    string
+		offsets []int32
+		refs    []int32
+	}{
+		{"nil offsets", nil, nil},
+		{"nonzero first offset", []int32{1, 2}, []int32{0}},
+		{"non-monotonic", []int32{0, 2, 1}, []int32{0, 1}},
+		{"final offset mismatch", []int32{0, 1}, []int32{0, 1}},
+		{"ref out of range", []int32{0, 1}, []int32{9}},
+		{"negative ref", []int32{0, 1}, []int32{-1}},
+	}
+	for _, c := range cases {
+		if err := l.SetFlat(c.offsets, c.refs); err == nil {
+			t.Errorf("%s: SetFlat accepted malformed input", c.name)
+		}
+	}
+	// The failed installs must leave the loop intact.
+	if l.NumIters() != 1 || l.TotalRefs() != 1 || l.Iter(0)[0] != 1 {
+		t.Fatal("loop mutated by rejected SetFlat")
+	}
+}
+
+func TestEqualPattern(t *testing.T) {
+	build := func() *Loop {
+		l := NewLoop("a", 16)
+		l.WorkPerIter = 3
+		l.DataRefsPerIter = 1.5
+		l.AddIter(0, 1)
+		l.AddIter(15)
+		return l
+	}
+	a, b := build(), build()
+	b.Name = "b" // names are ignored
+	if !a.EqualPattern(b) {
+		t.Fatal("identical patterns compare unequal")
+	}
+	c := build()
+	c.AddIter(2)
+	if a.EqualPattern(c) {
+		t.Fatal("different iteration counts compare equal")
+	}
+	d := build()
+	do, dr := d.Flat()
+	dr[0] = 1
+	_ = do
+	if a.EqualPattern(d) {
+		t.Fatal("different refs compare equal")
+	}
+	e := build()
+	e.Op = OpMax
+	if a.EqualPattern(e) {
+		t.Fatal("different operators compare equal")
+	}
+	// Characterization metadata is advisory, not result-affecting: loops
+	// differing only there must still intern onto one canonical object
+	// (the engine's decision cache ignores it too).
+	f := build()
+	f.WorkPerIter = 4
+	f.DataRefsPerIter = 9
+	f.Invocations = 7
+	if !a.EqualPattern(f) {
+		t.Fatal("metadata-only difference broke pattern equality")
+	}
+	if a.EqualPattern(nil) || !a.EqualPattern(a) {
+		t.Fatal("nil/self EqualPattern misbehaves")
+	}
+}

@@ -1,0 +1,354 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+// cur is a bounds-checked read cursor over a frame body. Every accessor
+// returns an error instead of panicking on truncated input.
+type cur struct{ b []byte }
+
+func (c *cur) remaining() int { return len(c.b) }
+
+func (c *cur) u8() (byte, error) {
+	if len(c.b) < 1 {
+		return 0, fmt.Errorf("%w: truncated byte", ErrCorrupt)
+	}
+	v := c.b[0]
+	c.b = c.b[1:]
+	return v, nil
+}
+
+func (c *cur) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(c.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad uvarint", ErrCorrupt)
+	}
+	c.b = c.b[n:]
+	return v, nil
+}
+
+func (c *cur) varint() (int64, error) {
+	v, n := binary.Varint(c.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("%w: bad varint", ErrCorrupt)
+	}
+	c.b = c.b[n:]
+	return v, nil
+}
+
+func (c *cur) f64() (float64, error) {
+	if len(c.b) < 8 {
+		return 0, fmt.Errorf("%w: truncated float64", ErrCorrupt)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(c.b))
+	c.b = c.b[8:]
+	return v, nil
+}
+
+// intField reads a uvarint that must fit a non-negative int bounded by
+// max (what counts and dimensions use, keeping 32-bit overflow and
+// hostile sizes out of the callers).
+func (c *cur) intField(name string, max int) (int, error) {
+	v, err := c.uvarint()
+	if err != nil {
+		return 0, fmt.Errorf("%w: %s", ErrCorrupt, name)
+	}
+	if v > uint64(max) {
+		return 0, fmt.Errorf("%w: %s %d exceeds limit %d", ErrCorrupt, name, v, max)
+	}
+	return int(v), nil
+}
+
+func (c *cur) str(limit int) (string, error) {
+	n, err := c.intField("string length", limit)
+	if err != nil {
+		return "", err
+	}
+	if len(c.b) < n {
+		return "", fmt.Errorf("%w: truncated string (%d of %d bytes)", ErrCorrupt, len(c.b), n)
+	}
+	s := string(c.b[:n])
+	c.b = c.b[n:]
+	return s, nil
+}
+
+func (f Frame) expect(t FrameType) error {
+	if f.Type != t {
+		return fmt.Errorf("%w: got %v, want %v", ErrType, f.Type, t)
+	}
+	return nil
+}
+
+// DecodeHello decodes a HELLO frame.
+func (f Frame) DecodeHello() (Hello, error) {
+	if err := f.expect(FrameHello); err != nil {
+		return Hello{}, err
+	}
+	c := cur{b: f.Body}
+	var h Hello
+	var err error
+	if h.Version, err = c.intField("version", math.MaxUint8); err != nil {
+		return Hello{}, err
+	}
+	if h.Procs, err = c.intField("procs", 1<<20); err != nil {
+		return Hello{}, err
+	}
+	if h.MaxInflight, err = c.intField("max inflight", math.MaxInt32); err != nil {
+		return Hello{}, err
+	}
+	return h, nil
+}
+
+// DecodeSubmit decodes a SUBMIT frame into a freshly allocated loop,
+// rejecting loops wider than maxElems elements (DefaultMaxElems when 0).
+func (f Frame) DecodeSubmit(maxElems int) (*trace.Loop, error) {
+	l := &trace.Loop{}
+	if _, _, err := f.DecodeSubmitInto(l, nil, nil, maxElems); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// DecodeSubmitInto decodes a SUBMIT frame into l, building the iteration
+// structure in the provided scratch slices (grown as needed and returned,
+// so a connection loop can reuse them frame after frame; l takes
+// ownership until the next decode). maxElems caps the loop's reduction
+// array dimension; 0 means DefaultMaxElems.
+func (f Frame) DecodeSubmitInto(l *trace.Loop, offsets, refs []int32, maxElems int) ([]int32, []int32, error) {
+	if maxElems <= 0 {
+		maxElems = DefaultMaxElems
+	}
+	if err := f.expect(FrameSubmit); err != nil {
+		return offsets, refs, err
+	}
+	c := cur{b: f.Body}
+	name, err := c.str(maxStringLen)
+	if err != nil {
+		return offsets, refs, err
+	}
+	numElems, err := c.intField("NumElems", maxElems)
+	if err != nil {
+		return offsets, refs, err
+	}
+	if numElems == 0 {
+		return offsets, refs, fmt.Errorf("%w: zero NumElems", ErrCorrupt)
+	}
+	elemBytes, err := c.intField("ElemBytes", 1<<16)
+	if err != nil {
+		return offsets, refs, err
+	}
+	op, err := c.intField("Op", int(trace.OpMin))
+	if err != nil {
+		return offsets, refs, err
+	}
+	work, err := c.f64()
+	if err != nil {
+		return offsets, refs, err
+	}
+	dataRefs, err := c.f64()
+	if err != nil {
+		return offsets, refs, err
+	}
+	invocations, err := c.intField("Invocations", math.MaxInt32)
+	if err != nil {
+		return offsets, refs, err
+	}
+	// Each iteration length and each reference delta occupies at least one
+	// encoded byte, so the remaining payload bounds both counts — a frame
+	// cannot make the decoder allocate more than it shipped.
+	numIters, err := c.intField("NumIters", c.remaining())
+	if err != nil {
+		return offsets, refs, err
+	}
+	numRefs, err := c.intField("NumRefs", c.remaining())
+	if err != nil {
+		return offsets, refs, err
+	}
+
+	if cap(offsets) < numIters+1 {
+		offsets = make([]int32, 0, numIters+1)
+	}
+	offsets = offsets[:0]
+	offsets = append(offsets, 0)
+	total := 0
+	for i := 0; i < numIters; i++ {
+		n, err := c.intField("iteration length", numRefs)
+		if err != nil {
+			return offsets, refs, err
+		}
+		total += n
+		if total > numRefs {
+			return offsets, refs, fmt.Errorf("%w: iteration lengths exceed NumRefs %d", ErrCorrupt, numRefs)
+		}
+		offsets = append(offsets, int32(total))
+	}
+	if total != numRefs {
+		return offsets, refs, fmt.Errorf("%w: iteration lengths sum to %d, want NumRefs %d", ErrCorrupt, total, numRefs)
+	}
+
+	if cap(refs) < numRefs {
+		refs = make([]int32, 0, numRefs)
+	}
+	refs = refs[:0]
+	prev := int64(0)
+	for i := 0; i < numRefs; i++ {
+		d, err := c.varint()
+		if err != nil {
+			return offsets, refs, err
+		}
+		prev += d
+		if prev < 0 || prev >= int64(numElems) {
+			return offsets, refs, fmt.Errorf("%w: ref %d out of range [0,%d)", ErrCorrupt, prev, numElems)
+		}
+		refs = append(refs, int32(prev))
+	}
+	if c.remaining() != 0 {
+		return offsets, refs, fmt.Errorf("%w: %d trailing bytes after submit body", ErrCorrupt, c.remaining())
+	}
+
+	l.Name = name
+	l.NumElems = numElems
+	l.ElemBytes = elemBytes
+	l.Op = trace.Op(op)
+	l.WorkPerIter = work
+	l.DataRefsPerIter = dataRefs
+	l.Invocations = invocations
+	// The loops above already established every Validate invariant
+	// (offsets start at 0, grow monotonically to numRefs; refs bounded by
+	// numElems), so install without a second O(refs) walk.
+	l.SetFlatUnchecked(offsets, refs)
+	return offsets, refs, nil
+}
+
+// DecodeResult decodes a RESULT frame. The reduction array is written
+// into dst when it has the capacity (mirroring engine.SubmitInto), else a
+// fresh array is allocated.
+func (f Frame) DecodeResult(dst []float64) (engine.Result, error) {
+	if err := f.expect(FrameResult); err != nil {
+		return engine.Result{}, err
+	}
+	c := cur{b: f.Body}
+	var r engine.Result
+	flags, err := c.u8()
+	if err != nil {
+		return engine.Result{}, err
+	}
+	r.CacheHit = flags&1 != 0
+	if r.BatchSize, err = c.intField("batch size", math.MaxInt32); err != nil {
+		return engine.Result{}, err
+	}
+	ns, err := c.uvarint()
+	if err != nil {
+		return engine.Result{}, fmt.Errorf("%w: elapsed", ErrCorrupt)
+	}
+	r.Elapsed = elapsedFromWire(ns)
+	if r.Imbalance, err = c.f64(); err != nil {
+		return engine.Result{}, err
+	}
+	if r.Scheme, err = c.str(maxStringLen); err != nil {
+		return engine.Result{}, err
+	}
+	if r.Why, err = c.str(maxStringLen); err != nil {
+		return engine.Result{}, err
+	}
+	n, err := c.intField("value count", c.remaining()/8)
+	if err != nil {
+		return engine.Result{}, err
+	}
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		if dst[i], err = c.f64(); err != nil {
+			return engine.Result{}, err
+		}
+	}
+	if c.remaining() != 0 {
+		return engine.Result{}, fmt.Errorf("%w: %d trailing bytes after result body", ErrCorrupt, c.remaining())
+	}
+	r.Values = dst
+	return r, nil
+}
+
+// DecodeError decodes an ERROR frame's message.
+func (f Frame) DecodeError() (string, error) {
+	if err := f.expect(FrameError); err != nil {
+		return "", err
+	}
+	c := cur{b: f.Body}
+	return c.str(maxStringLen)
+}
+
+// DecodeBusy decodes a BUSY frame's rejection code.
+func (f Frame) DecodeBusy() (BusyCode, error) {
+	if err := f.expect(FrameBusy); err != nil {
+		return 0, err
+	}
+	c := cur{b: f.Body}
+	code, err := c.u8()
+	if err != nil {
+		return 0, err
+	}
+	if code != byte(BusyConn) && code != byte(BusyGlobal) {
+		return 0, fmt.Errorf("%w: unknown busy code %d", ErrCorrupt, code)
+	}
+	return BusyCode(code), nil
+}
+
+// DecodeStats decodes a STATS frame into an engine statistics snapshot.
+func (f Frame) DecodeStats() (engine.Stats, error) {
+	if err := f.expect(FrameStats); err != nil {
+		return engine.Stats{}, err
+	}
+	c := cur{b: f.Body}
+	var s engine.Stats
+	var err error
+	fields := []*uint64{&s.Jobs, &s.CacheHits, &s.CacheMisses, &s.Batches, &s.Coalesced}
+	for _, p := range fields {
+		if *p, err = c.uvarint(); err != nil {
+			return engine.Stats{}, fmt.Errorf("%w: stats counter", ErrCorrupt)
+		}
+	}
+	if s.CacheEntries, err = c.intField("cache entries", math.MaxInt32); err != nil {
+		return engine.Stats{}, err
+	}
+	if s.CacheEvictions, err = c.uvarint(); err != nil {
+		return engine.Stats{}, fmt.Errorf("%w: evictions", ErrCorrupt)
+	}
+	occ, err := c.intField("occupancy buckets", c.remaining())
+	if err != nil {
+		return engine.Stats{}, err
+	}
+	s.BatchOccupancy = make([]uint64, occ)
+	for i := range s.BatchOccupancy {
+		if s.BatchOccupancy[i], err = c.uvarint(); err != nil {
+			return engine.Stats{}, fmt.Errorf("%w: occupancy bucket", ErrCorrupt)
+		}
+	}
+	schemes, err := c.intField("scheme count", c.remaining())
+	if err != nil {
+		return engine.Stats{}, err
+	}
+	s.Schemes = make(map[string]uint64, schemes)
+	for i := 0; i < schemes; i++ {
+		name, err := c.str(maxStringLen)
+		if err != nil {
+			return engine.Stats{}, err
+		}
+		if s.Schemes[name], err = c.uvarint(); err != nil {
+			return engine.Stats{}, fmt.Errorf("%w: scheme count", ErrCorrupt)
+		}
+	}
+	if c.remaining() != 0 {
+		return engine.Stats{}, fmt.Errorf("%w: %d trailing bytes after stats body", ErrCorrupt, c.remaining())
+	}
+	return s, nil
+}

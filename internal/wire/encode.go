@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"encoding/binary"
+	"math"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+// The encoders append one complete frame — length prefix included — to
+// dst and return the extended slice, so a caller can pack several frames
+// into one pooled buffer and issue a single write.
+
+// beginFrame appends the length placeholder, type and job id, returning
+// the offset of the placeholder for endFrame to patch.
+func beginFrame(dst []byte, t FrameType, jobID uint64) ([]byte, int) {
+	lenPos := len(dst)
+	dst = append(dst, 0, 0, 0, 0, byte(t))
+	dst = binary.AppendUvarint(dst, jobID)
+	return dst, lenPos
+}
+
+// endFrame patches the length prefix once the body is in place.
+func endFrame(dst []byte, lenPos int) []byte {
+	n := uint32(len(dst) - lenPos - 4)
+	dst[lenPos] = byte(n)
+	dst[lenPos+1] = byte(n >> 8)
+	dst[lenPos+2] = byte(n >> 16)
+	dst[lenPos+3] = byte(n >> 24)
+	return dst
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// AppendHello encodes the server greeting.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst, p := beginFrame(dst, FrameHello, 0)
+	dst = binary.AppendUvarint(dst, uint64(h.Version))
+	dst = binary.AppendUvarint(dst, uint64(h.Procs))
+	dst = binary.AppendUvarint(dst, uint64(h.MaxInflight))
+	return endFrame(dst, p)
+}
+
+// AppendSubmit encodes one reduction job: the loop's metadata, then the
+// per-iteration reference counts, then the subscript stream as
+// zigzag-varint deltas — irregular but locality-bearing subscript streams
+// (the paper's Table 2 loops) compress to one or two bytes per reference.
+func AppendSubmit(dst []byte, jobID uint64, l *trace.Loop) []byte {
+	dst, p := beginFrame(dst, FrameSubmit, jobID)
+	dst = appendString(dst, l.Name)
+	dst = binary.AppendUvarint(dst, uint64(l.NumElems))
+	dst = binary.AppendUvarint(dst, uint64(l.ElemBytes))
+	dst = binary.AppendUvarint(dst, uint64(l.Op))
+	dst = appendF64(dst, l.WorkPerIter)
+	dst = appendF64(dst, l.DataRefsPerIter)
+	dst = binary.AppendUvarint(dst, uint64(l.InvocationCount()))
+	offsets, refs := l.Flat()
+	dst = binary.AppendUvarint(dst, uint64(len(offsets)-1))
+	dst = binary.AppendUvarint(dst, uint64(len(refs)))
+	for i := 1; i < len(offsets); i++ {
+		dst = binary.AppendUvarint(dst, uint64(offsets[i]-offsets[i-1]))
+	}
+	prev := int64(0)
+	for _, r := range refs {
+		dst = binary.AppendVarint(dst, int64(r)-prev)
+		prev = int64(r)
+	}
+	return endFrame(dst, p)
+}
+
+// AppendResult encodes a completed job: execution metadata, then the
+// reduction array as raw little-endian float64s. Scheme and Why are
+// truncated to the decoder's string cap so the encoder can never emit a
+// frame its own peer rejects.
+func AppendResult(dst []byte, jobID uint64, r *engine.Result) []byte {
+	scheme, why := r.Scheme, r.Why
+	if len(scheme) > maxStringLen {
+		scheme = scheme[:maxStringLen]
+	}
+	if len(why) > maxStringLen {
+		why = why[:maxStringLen]
+	}
+	dst, p := beginFrame(dst, FrameResult, jobID)
+	var flags byte
+	if r.CacheHit {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(r.BatchSize))
+	elapsed := r.Elapsed
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	dst = binary.AppendUvarint(dst, uint64(elapsed))
+	dst = appendF64(dst, r.Imbalance)
+	dst = appendString(dst, scheme)
+	dst = appendString(dst, why)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Values)))
+	for _, v := range r.Values {
+		dst = appendF64(dst, v)
+	}
+	return endFrame(dst, p)
+}
+
+// AppendError encodes a job failure (jobID != 0) or a fatal connection
+// error (jobID 0).
+func AppendError(dst []byte, jobID uint64, msg string) []byte {
+	if len(msg) > maxStringLen {
+		msg = msg[:maxStringLen]
+	}
+	dst, p := beginFrame(dst, FrameError, jobID)
+	dst = appendString(dst, msg)
+	return endFrame(dst, p)
+}
+
+// AppendBusy encodes an admission-control rejection.
+func AppendBusy(dst []byte, jobID uint64, code BusyCode) []byte {
+	dst, p := beginFrame(dst, FrameBusy, jobID)
+	dst = append(dst, byte(code))
+	return endFrame(dst, p)
+}
+
+// AppendStatsReq encodes a statistics request.
+func AppendStatsReq(dst []byte, jobID uint64) []byte {
+	dst, p := beginFrame(dst, FrameStatsReq, jobID)
+	return endFrame(dst, p)
+}
+
+// AppendStats encodes an engine statistics snapshot.
+func AppendStats(dst []byte, jobID uint64, s *engine.Stats) []byte {
+	dst, p := beginFrame(dst, FrameStats, jobID)
+	dst = binary.AppendUvarint(dst, s.Jobs)
+	dst = binary.AppendUvarint(dst, s.CacheHits)
+	dst = binary.AppendUvarint(dst, s.CacheMisses)
+	dst = binary.AppendUvarint(dst, s.Batches)
+	dst = binary.AppendUvarint(dst, s.Coalesced)
+	dst = binary.AppendUvarint(dst, uint64(s.CacheEntries))
+	dst = binary.AppendUvarint(dst, s.CacheEvictions)
+	dst = binary.AppendUvarint(dst, uint64(len(s.BatchOccupancy)))
+	for _, v := range s.BatchOccupancy {
+		dst = binary.AppendUvarint(dst, v)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(s.Schemes)))
+	for name, count := range s.Schemes {
+		dst = appendString(dst, name)
+		dst = binary.AppendUvarint(dst, count)
+	}
+	return endFrame(dst, p)
+}
+
+// elapsedFromWire converts the uvarint nanosecond field back to a
+// duration, saturating rather than going negative on overflow.
+func elapsedFromWire(ns uint64) time.Duration {
+	if ns > math.MaxInt64 {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(ns)
+}

@@ -1,0 +1,81 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+// FuzzDecodeFrame feeds arbitrary bytes through the full decode surface:
+// frame parsing, every typed body decoder, and the streaming Reader. The
+// invariant under test is that corrupt, truncated or hostile input always
+// returns an error — the decoder never panics, never over-allocates past
+// its caps, and anything it does accept is a structurally valid frame.
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed with one valid encoding of every frame type, plus mutations the
+	// fuzzer can splice.
+	rng := rand.New(rand.NewSource(1))
+	l := randomLoop(rng)
+	res := engine.Result{Values: []float64{1.5, -2, 0}, Scheme: "hash", Why: "w", BatchSize: 3}
+	st := engine.Stats{Jobs: 9, Schemes: map[string]uint64{"rep": 9}, BatchOccupancy: []uint64{0, 9}}
+	f.Add(AppendSubmit(nil, 1, l))
+	f.Add(AppendResult(nil, 2, &res))
+	f.Add(AppendHello(nil, Hello{Version: 1, Procs: 8, MaxInflight: 64}))
+	f.Add(AppendError(nil, 3, "e"))
+	f.Add(AppendBusy(nil, 4, BusyConn))
+	f.Add(AppendStatsReq(nil, 5))
+	f.Add(AppendStats(nil, 6, &st))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const maxFrame = 1 << 20 // keep hostile allocations small under fuzzing
+		fr, n, err := DecodeFrame(data, maxFrame)
+		if err == nil {
+			if n < 4 || n > len(data) {
+				t.Fatalf("DecodeFrame consumed %d of %d bytes", n, len(data))
+			}
+			exerciseTypedDecoders(t, fr)
+		}
+		// The streaming reader must agree with the flat decoder and
+		// likewise never panic on a hostile stream.
+		r := NewReader(bytes.NewReader(data), maxFrame)
+		for {
+			fr, err := r.Next()
+			if err != nil {
+				break
+			}
+			exerciseTypedDecoders(t, fr)
+		}
+	})
+}
+
+// exerciseTypedDecoders runs every body decoder against the frame; only
+// the one matching fr.Type may succeed, and whatever it returns must hold
+// the decoder's postconditions.
+func exerciseTypedDecoders(t *testing.T, fr Frame) {
+	t.Helper()
+	if l, err := fr.DecodeSubmit(1 << 16); err == nil {
+		if err := l.Validate(); err != nil {
+			t.Fatalf("DecodeSubmit accepted an invalid loop: %v", err)
+		}
+	}
+	var scratch trace.Loop
+	fr.DecodeSubmitInto(&scratch, nil, nil, 1<<16)
+	if r, err := fr.DecodeResult(nil); err == nil {
+		if r.BatchSize < 0 || len(r.Values) > len(fr.Body) {
+			t.Fatalf("DecodeResult postcondition violated: %+v", r)
+		}
+	}
+	fr.DecodeHello()
+	fr.DecodeError()
+	fr.DecodeBusy()
+	if s, err := fr.DecodeStats(); err == nil {
+		if len(s.BatchOccupancy) > len(fr.Body) || len(s.Schemes) > len(fr.Body) {
+			t.Fatalf("DecodeStats over-allocated: %+v", s)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+// Package wire defines the binary protocol between reduction clients and
+// the reduxd server: a compact, length-prefixed frame stream carrying
+// varint-encoded trace.Loop access patterns one way and reduction results
+// the other.
+//
+// A connection opens with a fixed 5-byte preamble (magic "RDXP" plus a
+// version byte); the server answers with a HELLO frame. After that both
+// directions are a sequence of frames:
+//
+//	u32le payloadLen | byte frameType | uvarint jobID | body
+//
+// Job IDs are client-assigned, which is what allows the server to answer
+// out of order: many submissions can be in flight on one connection and
+// each RESULT/ERROR/BUSY frame names the submission it resolves. Frames
+// with jobID 0 are connection-scoped (HELLO, fatal ERROR).
+//
+// The hot path is allocation-conscious end to end: encoders append into
+// pooled buffers (GetBuffer/Free), the Reader reuses one payload buffer
+// across frames, loop decoding can reuse caller scratch
+// (Frame.DecodeSubmitInto) and result decoding writes into a
+// caller-provided destination array. Decoding is defensive: every read is
+// bounds-checked, sizes are capped before allocation, and corrupt or
+// truncated input returns an error — never a panic (see FuzzDecodeFrame).
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ProtoVersion is the protocol revision this package speaks. The preamble
+// and HELLO carry it; see docs/PROTOCOL.md for the compatibility rules.
+const ProtoVersion = 1
+
+// Magic opens every connection ("RDXP" — reduction exchange protocol).
+var Magic = [4]byte{'R', 'D', 'X', 'P'}
+
+// Defaults for the decode-side resource caps. Both exist so a corrupt or
+// hostile frame cannot make a peer allocate unbounded memory.
+const (
+	// DefaultMaxFrame caps one frame's payload (64 MiB).
+	DefaultMaxFrame = 64 << 20
+	// DefaultMaxElems caps a submitted loop's reduction array dimension.
+	DefaultMaxElems = 1 << 24
+	// maxStringLen caps embedded strings (names, scheme labels, errors).
+	maxStringLen = 1 << 16
+)
+
+// FrameType discriminates the frame body.
+type FrameType byte
+
+const (
+	// FrameHello is the server's connection greeting (version, platform
+	// procs, per-connection in-flight budget). jobID 0.
+	FrameHello FrameType = 1
+	// FrameSubmit carries one reduction job: a full trace.Loop.
+	FrameSubmit FrameType = 2
+	// FrameResult resolves a submission with its reduction array and
+	// execution metadata.
+	FrameResult FrameType = 3
+	// FrameError resolves a submission with a failure (jobID != 0) or
+	// reports a fatal connection error before close (jobID 0).
+	FrameError FrameType = 4
+	// FrameBusy rejects a submission under admission control; the client
+	// should back off and resubmit.
+	FrameBusy FrameType = 5
+	// FrameStatsReq asks the server for an engine statistics snapshot.
+	FrameStatsReq FrameType = 6
+	// FrameStats answers a FrameStatsReq.
+	FrameStats FrameType = 7
+)
+
+// String names the frame type for diagnostics.
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "HELLO"
+	case FrameSubmit:
+		return "SUBMIT"
+	case FrameResult:
+		return "RESULT"
+	case FrameError:
+		return "ERROR"
+	case FrameBusy:
+		return "BUSY"
+	case FrameStatsReq:
+		return "STATSREQ"
+	case FrameStats:
+		return "STATS"
+	default:
+		return fmt.Sprintf("FrameType(%d)", byte(t))
+	}
+}
+
+// BusyCode says which admission-control limit rejected a submission.
+type BusyCode uint8
+
+const (
+	// BusyConn means the connection's in-flight budget is exhausted.
+	BusyConn BusyCode = 1
+	// BusyGlobal means the server-wide in-flight budget is exhausted.
+	BusyGlobal BusyCode = 2
+)
+
+// Hello is the decoded HELLO frame.
+type Hello struct {
+	// Version is the protocol revision the server speaks.
+	Version int
+	// Procs is the serving engine's per-job goroutine fan-out.
+	Procs int
+	// MaxInflight is the per-connection in-flight job budget; submissions
+	// beyond it draw BUSY frames.
+	MaxInflight int
+}
+
+// Sentinel decode errors. Detail errors wrap one of these, so callers can
+// classify with errors.Is.
+var (
+	// ErrCorrupt marks a structurally invalid frame or body.
+	ErrCorrupt = errors.New("wire: corrupt frame")
+	// ErrFrameTooLarge marks a frame whose declared payload exceeds the
+	// reader's cap.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	// ErrBadMagic marks a connection preamble that is not RDXP.
+	ErrBadMagic = errors.New("wire: bad magic")
+	// ErrVersion marks an unsupported protocol version.
+	ErrVersion = errors.New("wire: unsupported protocol version")
+	// ErrType marks a frame decoded as the wrong type.
+	ErrType = errors.New("wire: wrong frame type")
+)
+
+// Frame is one parsed frame. Body aliases the buffer it was parsed from
+// and is only valid until that buffer is reused (the next Reader.Next call
+// or Buffer.Free).
+type Frame struct {
+	Type  FrameType
+	JobID uint64
+	Body  []byte
+}
+
+// Buffer is a pooled byte buffer for frame encoding. Get one, append
+// frames to B with the Append* encoders, write B, then Free it.
+type Buffer struct{ B []byte }
+
+var bufPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 4096)} }}
+
+// GetBuffer returns an empty pooled buffer.
+func GetBuffer() *Buffer {
+	b := bufPool.Get().(*Buffer)
+	b.B = b.B[:0]
+	return b
+}
+
+// Free returns the buffer to the pool. Oversized buffers are dropped so a
+// single huge frame does not pin memory forever.
+func (b *Buffer) Free() {
+	if cap(b.B) <= 4<<20 {
+		bufPool.Put(b)
+	}
+}
+
+// WritePreamble sends the connection opener: magic plus version byte.
+func WritePreamble(w io.Writer) error {
+	p := [5]byte{Magic[0], Magic[1], Magic[2], Magic[3], ProtoVersion}
+	_, err := w.Write(p[:])
+	return err
+}
+
+// ReadPreamble consumes and validates the connection opener, returning the
+// peer's version. The version must be exactly ProtoVersion for now;
+// future revisions may negotiate down via HELLO.
+func ReadPreamble(r io.Reader) (int, error) {
+	var p [5]byte
+	if _, err := io.ReadFull(r, p[:]); err != nil {
+		return 0, err
+	}
+	if p[0] != Magic[0] || p[1] != Magic[1] || p[2] != Magic[2] || p[3] != Magic[3] {
+		return 0, ErrBadMagic
+	}
+	v := int(p[4])
+	if v != ProtoVersion {
+		return v, fmt.Errorf("%w: %d (want %d)", ErrVersion, v, ProtoVersion)
+	}
+	return v, nil
+}
+
+// Reader decodes a frame stream from r, reusing one payload buffer across
+// frames. It performs unbuffered reads; wrap r in a bufio.Reader for
+// socket use.
+type Reader struct {
+	r        io.Reader
+	buf      []byte
+	maxFrame int
+}
+
+// NewReader returns a Reader capping payloads at maxFrame bytes
+// (DefaultMaxFrame when 0).
+func NewReader(r io.Reader, maxFrame int) *Reader {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	return &Reader{r: r, maxFrame: maxFrame}
+}
+
+// Next reads and parses one frame. The returned frame's Body aliases the
+// reader's internal buffer and is invalidated by the next call. io.EOF at
+// a frame boundary is returned as io.EOF; a connection cut mid-frame is
+// io.ErrUnexpectedEOF.
+func (fr *Reader) Next() (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	// Compare in uint64 before narrowing: on 32-bit platforms a length
+	// >= 2^31 would otherwise convert to a negative int, dodge the cap
+	// check, and panic in the reslice below.
+	n64 := uint64(hdr[0]) | uint64(hdr[1])<<8 | uint64(hdr[2])<<16 | uint64(hdr[3])<<24
+	if n64 > uint64(fr.maxFrame) {
+		return Frame{}, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n64, fr.maxFrame)
+	}
+	n := int(n64)
+	if cap(fr.buf) < n {
+		fr.buf = make([]byte, n)
+	}
+	fr.buf = fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return Frame{}, err
+	}
+	return ParseFrame(fr.buf)
+}
+
+// ParseFrame parses one frame payload (everything after the length
+// prefix). The frame's Body aliases payload.
+func ParseFrame(payload []byte) (Frame, error) {
+	c := cur{b: payload}
+	t, err := c.u8()
+	if err != nil {
+		return Frame{}, fmt.Errorf("%w: missing frame type", ErrCorrupt)
+	}
+	if t < byte(FrameHello) || t > byte(FrameStats) {
+		return Frame{}, fmt.Errorf("%w: unknown frame type %d", ErrCorrupt, t)
+	}
+	id, err := c.uvarint()
+	if err != nil {
+		return Frame{}, fmt.Errorf("%w: bad job id", ErrCorrupt)
+	}
+	return Frame{Type: FrameType(t), JobID: id, Body: c.b}, nil
+}
+
+// DecodeFrame parses one length-prefixed frame from b, returning the frame
+// and the total bytes consumed. It is the entry point the fuzz harness
+// drives: arbitrary input must yield an error, never a panic.
+func DecodeFrame(b []byte, maxFrame int) (Frame, int, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	if len(b) < 4 {
+		return Frame{}, 0, fmt.Errorf("%w: short length prefix", ErrCorrupt)
+	}
+	// uint64 comparison before narrowing, as in Reader.Next: a 2^31+
+	// length must hit the cap, not wrap negative on 32-bit platforms.
+	n64 := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24
+	if n64 > uint64(maxFrame) {
+		return Frame{}, 0, fmt.Errorf("%w: %d > %d", ErrFrameTooLarge, n64, maxFrame)
+	}
+	n := int(n64)
+	if len(b)-4 < n {
+		return Frame{}, 0, fmt.Errorf("%w: truncated payload (%d of %d bytes)", ErrCorrupt, len(b)-4, n)
+	}
+	f, err := ParseFrame(b[4 : 4+n])
+	if err != nil {
+		return Frame{}, 0, err
+	}
+	return f, 4 + n, nil
+}

@@ -1,0 +1,326 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+// randomLoop builds a structurally valid loop with randomized shape: the
+// property-test input space for the submit round trip.
+func randomLoop(rng *rand.Rand) *trace.Loop {
+	numElems := 1 + rng.Intn(2000)
+	l := trace.NewLoop("rand", numElems)
+	l.ElemBytes = 1 << uint(rng.Intn(5))
+	l.Op = trace.Op(rng.Intn(4))
+	l.WorkPerIter = rng.Float64() * 20
+	l.DataRefsPerIter = rng.Float64() * 4
+	l.Invocations = rng.Intn(50)
+	iters := rng.Intn(200)
+	for i := 0; i < iters; i++ {
+		n := rng.Intn(4) // empty iterations included
+		refs := make([]int32, n)
+		for k := range refs {
+			refs[k] = int32(rng.Intn(numElems))
+		}
+		l.AddIter(refs...)
+	}
+	return l
+}
+
+func TestSubmitRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		l := randomLoop(rng)
+		buf := AppendSubmit(nil, uint64(trial)+1, l)
+		f, n, err := DecodeFrame(buf, 0)
+		if err != nil {
+			t.Fatalf("trial %d: DecodeFrame: %v", trial, err)
+		}
+		if n != len(buf) {
+			t.Fatalf("trial %d: consumed %d of %d bytes", trial, n, len(buf))
+		}
+		if f.Type != FrameSubmit || f.JobID != uint64(trial)+1 {
+			t.Fatalf("trial %d: frame header %v/%d", trial, f.Type, f.JobID)
+		}
+		got, err := f.DecodeSubmit(0)
+		if err != nil {
+			t.Fatalf("trial %d: DecodeSubmit: %v", trial, err)
+		}
+		if !l.EqualPattern(got) {
+			t.Fatalf("trial %d: decoded loop pattern differs", trial)
+		}
+		if got.Name != l.Name || got.WorkPerIter != l.WorkPerIter ||
+			got.DataRefsPerIter != l.DataRefsPerIter {
+			t.Fatalf("trial %d: metadata differs: %+v", trial, got)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("trial %d: decoded loop invalid: %v", trial, err)
+		}
+	}
+}
+
+func TestSubmitDecodeIntoReusesScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var offsets, refs []int32
+	l := &trace.Loop{}
+	for trial := 0; trial < 50; trial++ {
+		want := randomLoop(rng)
+		buf := AppendSubmit(nil, 1, want)
+		f, _, err := DecodeFrame(buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offsets, refs, err = f.DecodeSubmitInto(l, offsets, refs, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !want.EqualPattern(l) {
+			t.Fatalf("trial %d: scratch decode differs", trial)
+		}
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		want := engine.Result{
+			Values:    make([]float64, rng.Intn(500)),
+			Scheme:    "sel",
+			Why:       "sparse pattern, high connectivity",
+			CacheHit:  rng.Intn(2) == 0,
+			BatchSize: 1 + rng.Intn(32),
+			Elapsed:   time.Duration(rng.Int63n(int64(time.Second))),
+			Imbalance: rng.Float64() * 3,
+		}
+		for i := range want.Values {
+			want.Values[i] = rng.NormFloat64()
+		}
+		buf := AppendResult(nil, 42, &want)
+		f, _, err := DecodeFrame(buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Alternate between allocation and dst reuse.
+		var dst []float64
+		if trial%2 == 0 {
+			dst = make([]float64, 0, 600)
+		}
+		got, err := f.DecodeResult(dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Scheme != want.Scheme || got.Why != want.Why ||
+			got.CacheHit != want.CacheHit || got.BatchSize != want.BatchSize ||
+			got.Elapsed != want.Elapsed || got.Imbalance != want.Imbalance {
+			t.Fatalf("metadata mismatch: %+v vs %+v", got, want)
+		}
+		if len(got.Values) != len(want.Values) {
+			t.Fatalf("value count %d, want %d", len(got.Values), len(want.Values))
+		}
+		for i := range want.Values {
+			if got.Values[i] != want.Values[i] {
+				t.Fatalf("value %d: %g != %g", i, got.Values[i], want.Values[i])
+			}
+		}
+		if dst != nil && len(want.Values) > 0 && &got.Values[0] != &dst[:1][0] {
+			t.Fatal("DecodeResult did not reuse dst with sufficient capacity")
+		}
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	want := engine.Stats{
+		Jobs: 100, CacheHits: 80, CacheMisses: 20,
+		Batches: 40, Coalesced: 60,
+		CacheEntries: 16, CacheEvictions: 3,
+		Schemes:        map[string]uint64{"rep": 50, "sel": 30, "pclr-Dir": 20},
+		BatchOccupancy: []uint64{0, 10, 5, 0, 25},
+	}
+	buf := AppendStats(nil, 9, &want)
+	f, _, err := DecodeFrame(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.DecodeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Jobs != want.Jobs || got.CacheHits != want.CacheHits ||
+		got.CacheMisses != want.CacheMisses || got.Batches != want.Batches ||
+		got.Coalesced != want.Coalesced || got.CacheEntries != want.CacheEntries ||
+		got.CacheEvictions != want.CacheEvictions {
+		t.Fatalf("counters mismatch: %+v", got)
+	}
+	if len(got.BatchOccupancy) != len(want.BatchOccupancy) {
+		t.Fatalf("occupancy length %d", len(got.BatchOccupancy))
+	}
+	for i, v := range want.BatchOccupancy {
+		if got.BatchOccupancy[i] != v {
+			t.Fatalf("occupancy[%d] = %d, want %d", i, got.BatchOccupancy[i], v)
+		}
+	}
+	if len(got.Schemes) != len(want.Schemes) {
+		t.Fatalf("schemes %v", got.Schemes)
+	}
+	for k, v := range want.Schemes {
+		if got.Schemes[k] != v {
+			t.Fatalf("scheme %s = %d, want %d", k, got.Schemes[k], v)
+		}
+	}
+}
+
+func TestSmallFramesRoundTrip(t *testing.T) {
+	buf := AppendHello(nil, Hello{Version: ProtoVersion, Procs: 8, MaxInflight: 64})
+	buf = AppendError(buf, 7, "loop rejected")
+	buf = AppendBusy(buf, 8, BusyGlobal)
+	buf = AppendStatsReq(buf, 9)
+
+	r := NewReader(bytes.NewReader(buf), 0)
+	f, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := f.DecodeHello()
+	if err != nil || h.Version != ProtoVersion || h.Procs != 8 || h.MaxInflight != 64 {
+		t.Fatalf("hello %+v, err %v", h, err)
+	}
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := f.DecodeError()
+	if err != nil || f.JobID != 7 || msg != "loop rejected" {
+		t.Fatalf("error frame %q/%d, err %v", msg, f.JobID, err)
+	}
+	f, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := f.DecodeBusy()
+	if err != nil || f.JobID != 8 || code != BusyGlobal {
+		t.Fatalf("busy frame %d/%d, err %v", code, f.JobID, err)
+	}
+	f, err = r.Next()
+	if err != nil || f.Type != FrameStatsReq || f.JobID != 9 {
+		t.Fatalf("statsreq frame %+v, err %v", f, err)
+	}
+	if _, err = r.Next(); err != io.EOF {
+		t.Fatalf("expected io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestPreamble(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePreamble(&buf); err != nil {
+		t.Fatal(err)
+	}
+	v, err := ReadPreamble(&buf)
+	if err != nil || v != ProtoVersion {
+		t.Fatalf("preamble version %d, err %v", v, err)
+	}
+	if _, err := ReadPreamble(bytes.NewReader([]byte("HTTP/1.1 "))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	if _, err := ReadPreamble(bytes.NewReader([]byte{'R', 'D', 'X', 'P', 99})); !errors.Is(err, ErrVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+	if _, err := ReadPreamble(bytes.NewReader([]byte{'R', 'D'})); err == nil {
+		t.Fatal("truncated preamble accepted")
+	}
+}
+
+// TestTruncatedFramesError slices a valid frame at every possible length:
+// each prefix must decode to an error, never a panic and never a bogus
+// success.
+func TestTruncatedFramesError(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	l := randomLoop(rng)
+	res := engine.Result{Values: []float64{1, 2, 3}, Scheme: "rep", BatchSize: 2}
+	frames := [][]byte{
+		AppendSubmit(nil, 1, l),
+		AppendResult(nil, 2, &res),
+		AppendHello(nil, Hello{Version: 1, Procs: 4, MaxInflight: 8}),
+		AppendError(nil, 3, "boom"),
+		AppendBusy(nil, 4, BusyConn),
+		AppendStats(nil, 5, &engine.Stats{Schemes: map[string]uint64{"ll": 1}, BatchOccupancy: []uint64{0, 1}}),
+	}
+	for fi, full := range frames {
+		for n := 0; n < len(full); n++ {
+			if _, _, err := DecodeFrame(full[:n], 0); err == nil {
+				t.Fatalf("frame %d truncated to %d bytes decoded without error", fi, n)
+			}
+		}
+	}
+}
+
+// TestReaderTruncatedStream cuts the byte stream mid-frame and checks the
+// Reader surfaces io.ErrUnexpectedEOF rather than hanging or panicking.
+func TestReaderTruncatedStream(t *testing.T) {
+	full := AppendError(nil, 1, "x")
+	for n := 1; n < len(full); n++ {
+		r := NewReader(bufio.NewReader(bytes.NewReader(full[:n])), 0)
+		if _, err := r.Next(); err == nil {
+			t.Fatalf("truncation at %d bytes not reported", n)
+		}
+	}
+}
+
+func TestFrameSizeLimit(t *testing.T) {
+	buf := AppendError(nil, 1, "this frame is bigger than the tiny limit")
+	if _, _, err := DecodeFrame(buf, 8); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized frame: %v", err)
+	}
+	r := NewReader(bytes.NewReader(buf), 8)
+	if _, err := r.Next(); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("reader oversized frame: %v", err)
+	}
+}
+
+func TestDecodeRejectsWrongType(t *testing.T) {
+	buf := AppendError(nil, 1, "x")
+	f, _, err := DecodeFrame(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.DecodeResult(nil); !errors.Is(err, ErrType) {
+		t.Fatalf("DecodeResult on ERROR frame: %v", err)
+	}
+	if _, err := f.DecodeSubmit(0); !errors.Is(err, ErrType) {
+		t.Fatalf("DecodeSubmit on ERROR frame: %v", err)
+	}
+}
+
+func TestSubmitRejectsOversizedLoop(t *testing.T) {
+	l := trace.NewLoop("big", 4096)
+	l.AddIter(4095)
+	buf := AppendSubmit(nil, 1, l)
+	f, _, err := DecodeFrame(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.DecodeSubmit(1024); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized loop accepted: %v", err)
+	}
+}
+
+func TestBufferPoolReuse(t *testing.T) {
+	b := GetBuffer()
+	b.B = AppendStatsReq(b.B, 1)
+	if len(b.B) == 0 {
+		t.Fatal("empty encoding")
+	}
+	b.Free()
+	c := GetBuffer()
+	if len(c.B) != 0 {
+		t.Fatal("pooled buffer not reset")
+	}
+	c.Free()
+}

@@ -6,21 +6,33 @@ set -eu
 cd "$(dirname "$0")/.."
 out=BENCH_engine.json
 
-raw=$(go test -bench 'Engine|Scheme' -benchmem -run '^$' -benchtime 1s . )
+raw=$(go test -bench 'Engine|Scheme|Remote' -benchmem -run '^$' -benchtime 1s . )
 echo "$raw"
 
+# Parse benchmark lines by unit, not by column position, so custom
+# metrics (e.g. BenchmarkRemoteZipf's jobs/batch) don't shift the
+# standard fields.
 echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v gover="$(go version | awk '{print $3}')" '
 BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1; sub(/^Benchmark/, "", name); sub(/-[0-9]+$/, "", name)
-    iters[n] = $2; ns[n] = $3; bytes[n] = $5; allocs[n] = $7; names[n] = name
+    names[n] = name; iters[n] = $2
+    ns[n] = ""; bytes[n] = ""; allocs[n] = ""; jpb[n] = ""
+    for (i = 3; i < NF; i++) {
+        if ($(i+1) == "ns/op") ns[n] = $i
+        else if ($(i+1) == "B/op") bytes[n] = $i
+        else if ($(i+1) == "allocs/op") allocs[n] = $i
+        else if ($(i+1) == "jobs/batch") jpb[n] = $i
+    }
     n++
 }
 END {
     printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"benchmarks\": [\n", date, gover
     for (i = 0; i < n; i++) {
-        printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
-            names[i], iters[i], ns[i], bytes[i], allocs[i], (i < n-1 ? "," : "")
+        printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
+            names[i], iters[i], ns[i], bytes[i], allocs[i]
+        if (jpb[i] != "") printf ", \"jobs_per_batch\": %s", jpb[i]
+        printf "}%s\n", (i < n-1 ? "," : "")
     }
     printf "  ]\n}\n"
 }' > "$out"

@@ -1,0 +1,81 @@
+#!/bin/sh
+# End-to-end load test of the network serving subsystem: boots reduxd on a
+# loopback port, drives LOADTEST_JOBS (default 2000) Zipf-skewed jobs
+# through the pooled client via `reduxserve -remote -json`, drains the
+# server, and checks the machine-readable report — every job must succeed,
+# results must verify against the sequential reference, and batch
+# coalescing must have engaged across the network hop (coalesced > 0).
+#
+# Set RACE=1 to build both binaries with the race detector (CI does).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+jobs="${LOADTEST_JOBS:-2000}"
+clients="${LOADTEST_CLIENTS:-16}"
+build_flags=""
+[ -n "${RACE:-}" ] && build_flags="-race"
+
+work=$(mktemp -d)
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+go build $build_flags -o "$work/reduxd" ./cmd/reduxd
+go build $build_flags -o "$work/reduxserve" ./cmd/reduxserve
+
+"$work/reduxd" -addr 127.0.0.1:0 > "$work/reduxd.log" 2>&1 &
+server_pid=$!
+
+# reduxd prints "reduxd: listening on <addr> ..." once the listener is up.
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(awk '/listening on/ {print $4; exit}' "$work/reduxd.log" 2>/dev/null || true)
+    [ -n "$addr" ] && break
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "loadtest: reduxd exited before listening:" >&2
+        cat "$work/reduxd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "loadtest: reduxd never reported its address" >&2
+    cat "$work/reduxd.log" >&2
+    exit 1
+fi
+echo "loadtest: reduxd on $addr, driving $jobs jobs from $clients clients"
+
+"$work/reduxserve" -remote "$addr" -jobs "$jobs" -clients "$clients" \
+    -zipf -scale 0.3 -json > "$work/report.json"
+
+# Graceful drain: TERM, then wait; the server prints its lifetime stats.
+kill -TERM "$server_pid"
+wait "$server_pid" || { echo "loadtest: reduxd exited non-zero" >&2; exit 1; }
+server_pid=""
+cat "$work/reduxd.log"
+
+# Validate the JSON report (pretty-printed, one field per line).
+awk -v jobs="$jobs" '
+function val(line) { gsub(/[^0-9.]/, "", line); return line + 0 }
+/"jobs":/      { got_jobs = val($2) }
+/"failures":/  { failures = val($2) }
+/"verified":/  { verified = ($2 ~ /true/) }
+/"coalesced":/ { coalesced = val($2) }
+END {
+    printf "loadtest: jobs=%d failures=%d verified=%d coalesced=%d\n", got_jobs, failures, verified, coalesced
+    if (got_jobs != jobs) { print "loadtest: FAIL: job count mismatch"; exit 1 }
+    if (failures != 0)    { print "loadtest: FAIL: client failures"; exit 1 }
+    if (!verified)        { print "loadtest: FAIL: results not verified"; exit 1 }
+    if (coalesced <= 0)   { print "loadtest: FAIL: no batch coalescing across the network"; exit 1 }
+}' "$work/report.json"
+
+echo "loadtest: OK"
