@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race bench bench-smoke fmt vet ci serve loadtest fuzz
+.PHONY: build test test-short race bench bench-smoke fmt vet ci serve loadtest loadtest-gateway fuzz docs-check
 
 build:
 	$(GO) build ./...
@@ -43,9 +43,23 @@ serve:
 loadtest:
 	./scripts/loadtest.sh
 
+# loadtest-gateway is the same stream driven through the cluster tier:
+# two reduxd backends behind a reduxgw gateway, checking that pattern-
+# affinity routing keeps coalescing alive across the extra hop.
+loadtest-gateway:
+	GATEWAY=2 ./scripts/loadtest.sh
+
+# docs-check validates the documentation suite: every relative markdown
+# link under README.md and docs/ resolves to a real file/anchorless
+# target, and every exported identifier in the network-facing packages
+# carries a doc comment (CI runs this as the docs job).
+docs-check:
+	$(GO) run ./cmd/doccheck ./internal/wire ./internal/client ./internal/server ./internal/cluster
+	./scripts/md_links.sh
+
 # fuzz runs the wire-protocol decoder fuzz target for 10s: corrupt or
 # truncated frames must error, never panic.
 fuzz:
 	$(GO) test -run '^FuzzDecodeFrame$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime 10s ./internal/wire
 
-ci: fmt vet build race bench-smoke fuzz loadtest
+ci: fmt vet build race bench-smoke fuzz loadtest loadtest-gateway docs-check

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/adapt"
 	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/pattern"
@@ -171,6 +172,119 @@ func BenchmarkEngineZipf32Clients(b *testing.B) {
 			}
 			wg.Wait()
 		})
+	}
+}
+
+// BenchmarkGatewayZipf is BenchmarkRemoteZipf through the cluster tier:
+// the same Zipf hot-key stream from 32 clients, but routed by a gateway
+// across 2 reduxd backends instead of hitting one daemon directly. The
+// "jobs/batch" metric is the aggregate batch-fusion occupancy across
+// both engines — the acceptance bar is that it stays within 20% of the
+// single-node BenchmarkRemoteZipf figure, proving pattern-affinity
+// routing preserves coalescing while the tier scales out (round-robin
+// routing would dilute every backend's queue with every pattern).
+// ns/op adds the gateway's decode/intern/re-encode hop on top of
+// RemoteZipf's stack.
+func BenchmarkGatewayZipf(b *testing.B) {
+	loops := workloads.HotKeySet(16, 0.5)
+	stream := workloads.ZipfStream(loops, 4096, 1.4, 1)
+	const backends = 2
+	engines := make([]*engine.Engine, backends)
+	addrs := make([]string, backends)
+	for i := range engines {
+		eng, err := engine.New(engine.Config{
+			Workers:    4,
+			Platform:   core.DefaultPlatform(8),
+			QueueDepth: 16,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer eng.Close()
+		engines[i] = eng
+		srv := server.New(eng, server.Config{MaxInflightGlobal: 4096})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		defer func() {
+			if err := srv.Shutdown(10 * time.Second); err != nil {
+				b.Error(err)
+			}
+			<-done
+		}()
+	}
+	pool, err := cluster.New(cluster.Config{Backends: addrs, Conns: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pool.Close()
+	gw := server.NewWithDispatcher(pool, server.Config{MaxInflightGlobal: 4096})
+	gln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	gwDone := make(chan error, 1)
+	go func() { gwDone <- gw.Serve(gln) }()
+	defer func() {
+		if err := gw.Shutdown(10 * time.Second); err != nil {
+			b.Error(err)
+		}
+		<-gwDone
+	}()
+	cl, err := client.Dial(gln.Addr().String(), client.Config{Conns: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	for _, l := range loops { // warm caches, pools and intern tables
+		if _, err := cl.Submit(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var warmJobs, warmBatches uint64
+	for _, eng := range engines {
+		s := eng.Stats()
+		warmJobs += s.Jobs
+		warmBatches += s.Batches
+	}
+	const clients = 32
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var dst []float64
+			for {
+				n := int(next.Add(1)) - 1
+				if n >= b.N {
+					return
+				}
+				res, err := cl.SubmitInto(stream[n%len(stream)], dst)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				dst = res.Values
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	var jobs, batches uint64
+	for _, eng := range engines {
+		s := eng.Stats()
+		jobs += s.Jobs
+		batches += s.Batches
+	}
+	if batches > warmBatches {
+		b.ReportMetric(float64(jobs-warmJobs)/float64(batches-warmBatches), "jobs/batch")
 	}
 }
 

@@ -1,0 +1,142 @@
+// Command reduxgw is the reduction gateway: it speaks the same wire
+// protocol as reduxd on its listening side (clients cannot tell the
+// difference, except for the gateway capability bit in HELLO) and routes
+// every submission onward to a pool of reduxd backends by consistent-
+// hashing the access-pattern fingerprint (internal/cluster). Equal
+// patterns always land on the same backend, so batch fusion and the
+// decision cache keep paying off at cluster scale.
+//
+//	reduxd  -addr 127.0.0.1:9071 &
+//	reduxd  -addr 127.0.0.1:9072 &
+//	reduxgw -addr 127.0.0.1:9070 -backends 127.0.0.1:9071,127.0.0.1:9072
+//
+// The bound address is printed as "reduxgw: listening on <addr>" once
+// the listener is up (use port 0 to let the kernel pick;
+// scripts/loadtest.sh scrapes this line). Backends that are down at
+// startup are admitted unhealthy and probed every -health-interval until
+// they answer. SIGINT/SIGTERM drain gracefully: the listener closes,
+// in-flight jobs finish on their backends and flush to clients, then the
+// backend clients close and a final aggregate report is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9070", "TCP listen address (port 0 picks a free port)")
+	backends := flag.String("backends", "", "comma-separated reduxd addresses to route across (required)")
+	conns := flag.Int("conns", 2, "connections per backend")
+	healthInterval := flag.Duration("health-interval", 250*time.Millisecond, "probe period for unhealthy backends")
+	busyRetries := flag.Int("busy-retries", 2, "same-backend retries after BUSY before spilling to the next backend (negative: spill immediately)")
+	legTimeout := flag.Duration("leg-timeout", 30*time.Second, "max backend silence per dispatched job before it is re-placed")
+	maxInflight := flag.Int("max-inflight", 64, "in-flight job budget per client connection (beyond it: BUSY)")
+	maxGlobal := flag.Int("max-global", 4096, "in-flight job budget across all client connections")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
+	flag.Parse()
+
+	addrs := strings.Split(*backends, ",")
+	var cleaned []string
+	for _, a := range addrs {
+		if a = strings.TrimSpace(a); a != "" {
+			cleaned = append(cleaned, a)
+		}
+	}
+	if len(cleaned) == 0 {
+		fmt.Fprintln(os.Stderr, "reduxgw: -backends is required (comma-separated reduxd addresses)")
+		os.Exit(2)
+	}
+
+	pool, err := cluster.New(cluster.Config{
+		Backends:       cleaned,
+		Conns:          *conns,
+		HealthInterval: *healthInterval,
+		BusyRetries:    *busyRetries,
+		LegTimeout:     *legTimeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reduxgw:", err)
+		os.Exit(2)
+	}
+
+	srv := server.NewWithDispatcher(pool, server.Config{
+		MaxInflightPerConn: *maxInflight,
+		MaxInflightGlobal:  *maxGlobal,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reduxgw:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("reduxgw: listening on %s fronting %d backends (%d in-flight/conn, %d global)\n",
+		ln.Addr(), len(cleaned), *maxInflight, *maxGlobal)
+
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("reduxgw: %v, draining\n", sig)
+	case err := <-serveDone:
+		fmt.Fprintln(os.Stderr, "reduxgw: serve:", err)
+		pool.Close()
+		os.Exit(1)
+	}
+
+	if err := srv.Shutdown(*drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "reduxgw:", err)
+	}
+	<-serveDone
+	agg, aggErr := pool.Stats()
+	report(agg, aggErr, pool.PoolStats(), srv.Stats())
+	pool.Close()
+}
+
+// report prints the lifetime aggregate on shutdown: cluster-wide engine
+// counters, per-backend routing, failover counters and the gateway's own
+// admission/intern figures.
+func report(agg engine.Stats, aggErr error, ps cluster.PoolStats, ss server.Stats) {
+	if aggErr != nil {
+		fmt.Fprintln(os.Stderr, "reduxgw: aggregate stats unavailable:", aggErr)
+	} else {
+		fmt.Printf("reduxgw: tier served %d jobs in %d batches (%d coalesced), cache %d hits / %d misses, %d distinct patterns\n",
+			agg.Jobs, agg.Batches, agg.Coalesced, agg.CacheHits, agg.CacheMisses, agg.CacheEntries)
+		if len(agg.Schemes) > 0 {
+			names := make([]string, 0, len(agg.Schemes))
+			for name := range agg.Schemes {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			fmt.Print("reduxgw: scheme mix:")
+			for _, name := range names {
+				fmt.Printf(" %s:%d", name, agg.Schemes[name])
+			}
+			fmt.Println()
+		}
+	}
+	for _, b := range ps.Backends {
+		state := "healthy"
+		if !b.Healthy {
+			state = "down"
+		}
+		fmt.Printf("reduxgw: backend %s: %s, %d jobs routed\n", b.Addr, state, b.Jobs)
+	}
+	fmt.Printf("reduxgw: failover: %d rerouted, %d timed out, %d busy retries, %d busy spills, %d exhausted\n",
+		ps.Rerouted, ps.TimedOut, ps.BusyRetries, ps.BusySpills, ps.Exhausted)
+	fmt.Printf("reduxgw: admission: %d busy rejections; intern: %d hits, %d resident loops\n",
+		ss.Busy, ss.InternHits, ss.InternedLoops)
+}

@@ -16,9 +16,14 @@
 // streams drive a reduxd server over the network instead (cmd/reduxd),
 // exercising the wire protocol, the server's admission control and the
 // loop interning that lets batch fusion engage across the hop; engine
-// counters then come from the server via STATS frames. With -json the
-// final report is machine-readable JSON on stdout (scripts/loadtest.sh
-// and the CI smoke test parse it).
+// counters then come from the server via STATS frames. With -gateway N
+// the binary spawns N reduxd backends on loopback behind an in-process
+// reduxgw-style gateway and drives the load through the full routed
+// path (client → gateway → pattern-affinity routing → backends) — the
+// self-contained way to feel the cluster tier without juggling
+// processes; engine-shape flags configure each spawned backend. With
+// -json the final report is machine-readable JSON on stdout
+// (scripts/loadtest.sh and the CI smoke test parse it).
 package main
 
 import (
@@ -34,9 +39,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"net"
+
 	"repro/internal/client"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -70,6 +79,7 @@ func (b remoteBackend) Close()                       { b.c.Close() }
 type report struct {
 	Mode         string            `json:"mode"`
 	Remote       string            `json:"remote,omitempty"`
+	Gateway      int               `json:"gateway_backends,omitempty"`
 	Workers      int               `json:"workers,omitempty"`
 	Procs        int               `json:"procs,omitempty"`
 	Clients      int               `json:"clients"`
@@ -110,6 +120,7 @@ func main() {
 	queue := flag.Int("queue", 0, "submission queue depth in batches (0 = 2*workers)")
 	verify := flag.Bool("verify", true, "check a sample of results against the sequential reference")
 	remote := flag.String("remote", "", "drive a reduxd server at this address instead of an in-process engine")
+	gateway := flag.Int("gateway", 0, "spawn this many in-process reduxd backends behind a pattern-routing gateway and drive it")
 	conns := flag.Int("conns", 4, "client connection pool size (remote mode)")
 	jsonOut := flag.Bool("json", false, "emit the final report as JSON on stdout")
 	flag.Parse()
@@ -126,6 +137,12 @@ func main() {
 		os.Exit(2)
 	case *zipf && (*patterns < 1 || *zipfS <= 1):
 		fmt.Fprintf(os.Stderr, "reduxserve: -zipf needs -patterns >= 1 and -zipf-s > 1\n")
+		os.Exit(2)
+	case *gateway < 0:
+		fmt.Fprintf(os.Stderr, "reduxserve: -gateway must be non-negative, got %d\n", *gateway)
+		os.Exit(2)
+	case *gateway > 0 && *remote != "":
+		fmt.Fprintf(os.Stderr, "reduxserve: -gateway spawns its own backends; it cannot be combined with -remote\n")
 		os.Exit(2)
 	}
 	if *remote != "" {
@@ -162,23 +179,41 @@ func main() {
 		}
 	}
 
+	ecfg := engine.Config{
+		Workers:         *workers,
+		Platform:        core.DefaultPlatform(*procs),
+		QueueDepth:      *queue,
+		DisablePool:     *cold,
+		DisableFeedback: *cold,
+		DisableCoalesce: *nocoalesce,
+	}
 	var be backend
-	if *remote != "" {
+	where := "in-process engine"
+	switch {
+	case *remote != "":
 		c, err := client.Dial(*remote, client.Config{Conns: *conns})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "reduxserve:", err)
 			os.Exit(1)
 		}
 		be = remoteBackend{c}
-	} else {
-		e, err := engine.New(engine.Config{
-			Workers:         *workers,
-			Platform:        core.DefaultPlatform(*procs),
-			QueueDepth:      *queue,
-			DisablePool:     *cold,
-			DisableFeedback: *cold,
-			DisableCoalesce: *nocoalesce,
-		})
+		where = "reduxd at " + *remote
+	case *gateway > 0:
+		addr, stop, err := startGatewayStack(*gateway, ecfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reduxserve:", err)
+			os.Exit(1)
+		}
+		defer stop()
+		c, err := client.Dial(addr, client.Config{Conns: *conns})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reduxserve:", err)
+			os.Exit(1)
+		}
+		be = remoteBackend{c}
+		where = fmt.Sprintf("gateway over %d in-process backends", *gateway)
+	default:
+		e, err := engine.New(ecfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "reduxserve:", err)
 			os.Exit(2)
@@ -190,6 +225,7 @@ func main() {
 	rep := report{
 		Mode:    "mixed",
 		Remote:  *remote,
+		Gateway: *gateway,
 		Clients: *clients,
 		Jobs:    *jobs,
 	}
@@ -198,10 +234,6 @@ func main() {
 	}
 	if *remote == "" {
 		rep.Workers, rep.Procs = *workers, *procs
-	}
-	where := "in-process engine"
-	if *remote != "" {
-		where = "reduxd at " + *remote
 	}
 	progressf := func(format string, args ...any) {
 		// In -json mode stdout carries only the JSON document; narration
@@ -339,6 +371,70 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%d clients failed\n", rep.Failures)
 		os.Exit(1)
 	}
+}
+
+// startGatewayStack boots n reduxd-shaped backends (each its own engine
+// behind a server) on loopback listeners, plus a pattern-routing gateway
+// in front of them, all in-process. It returns the gateway's dial
+// address and a teardown that drains the gateway before the backends so
+// no in-flight job is cut.
+func startGatewayStack(n int, ecfg engine.Config) (string, func(), error) {
+	type stack struct {
+		eng  *engine.Engine
+		srv  *server.Server
+		done chan error
+	}
+	var backends []stack
+	var addrs []string
+	var pool *cluster.Pool
+	var gwSrv *server.Server
+	var gwDone chan error
+	stop := func() {
+		if gwSrv != nil {
+			gwSrv.Shutdown(30 * time.Second)
+			<-gwDone
+		}
+		if pool != nil {
+			pool.Close()
+		}
+		for _, b := range backends {
+			b.srv.Shutdown(30 * time.Second)
+			<-b.done
+			b.eng.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		eng, err := engine.New(ecfg)
+		if err != nil {
+			stop()
+			return "", nil, err
+		}
+		srv := server.New(eng, server.Config{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			eng.Close()
+			stop()
+			return "", nil, err
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		backends = append(backends, stack{eng, srv, done})
+		addrs = append(addrs, ln.Addr().String())
+	}
+	pool, err := cluster.New(cluster.Config{Backends: addrs})
+	if err != nil {
+		stop()
+		return "", nil, err
+	}
+	gwSrv = server.NewWithDispatcher(pool, server.Config{MaxInflightGlobal: 4096})
+	gln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		stop()
+		return "", nil, err
+	}
+	gwDone = make(chan error, 1)
+	go func() { gwDone <- gwSrv.Serve(gln) }()
+	return gln.Addr().String(), stop, nil
 }
 
 // submitWithBusyRetry is SubmitInto with exponential backoff on BUSY:

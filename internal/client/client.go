@@ -74,6 +74,10 @@ var (
 	// ErrBusy resolves jobs the server rejected under admission control;
 	// back off and resubmit.
 	ErrBusy = errors.New("client: server busy")
+	// ErrTimeout is returned by WaitTimeout when the deadline expired
+	// before the job resolved. The job stays pending — the connection is
+	// unaffected and a later Wait can still collect the response.
+	ErrTimeout = errors.New("client: wait timeout")
 )
 
 // Dial connects to a reduxd server. The first connection is established
@@ -188,6 +192,32 @@ func (h *Handle) Wait() (engine.Result, error) {
 		h.received = true
 	}
 	return h.out.res, h.out.err
+}
+
+// WaitTimeout is Wait bounded by d (zero or negative waits forever).
+// On ErrTimeout the job is still pending: whether it executes is
+// unknown, and if the connection later delivers its response, that
+// response is decoded into the submission's destination array — a
+// caller that gives up and resubmits the work elsewhere must therefore
+// stop sharing that array. This is what lets a gateway bound its
+// exposure to a half-open backend whose connection neither answers nor
+// dies.
+func (h *Handle) WaitTimeout(d time.Duration) (engine.Result, error) {
+	if h.received {
+		return h.out.res, h.out.err
+	}
+	if d <= 0 {
+		return h.Wait()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case h.out = <-h.done:
+		h.received = true
+		return h.out.res, h.out.err
+	case <-t.C:
+		return engine.Result{}, ErrTimeout
+	}
 }
 
 // pend is the read loop's record of one in-flight job.
@@ -398,7 +428,7 @@ func (s *session) resolve(f wire.Frame, p *pend) outcome {
 		if err != nil {
 			return outcome{err: fmt.Errorf("client: %w", err)}
 		}
-		return outcome{err: fmt.Errorf("%w (%s)", ErrBusy, busyName(code))}
+		return outcome{err: fmt.Errorf("%w (%s)", ErrBusy, code)}
 	case wire.FrameStats:
 		st, err := f.DecodeStats()
 		if err != nil {
@@ -442,11 +472,4 @@ func (s *session) fail(err error) {
 	for _, p := range pending {
 		p.done <- outcome{err: err}
 	}
-}
-
-func busyName(code wire.BusyCode) string {
-	if code == wire.BusyGlobal {
-		return "global limit"
-	}
-	return "connection limit"
 }

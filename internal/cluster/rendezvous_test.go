@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// testPool builds a pool of n healthy in-memory backends without any
+// networking, for exercising the rendezvous placement alone.
+func testPool(n int) *Pool {
+	p := &Pool{}
+	for i := 0; i < n; i++ {
+		b := &backend{addr: fmt.Sprintf("10.0.0.%d:9070", i+1)}
+		b.seed = seedFor(b.addr)
+		b.healthy.Store(true)
+		p.backends = append(p.backends, b)
+	}
+	return p
+}
+
+// TestRendezvousStable pins the affinity property: the same fingerprint
+// always ranks the same backend while membership is unchanged.
+func TestRendezvousStable(t *testing.T) {
+	p := testPool(5)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		fp := rng.Uint64()
+		first := p.pick(fp, nil)
+		for j := 0; j < 3; j++ {
+			if got := p.pick(fp, nil); got != first {
+				t.Fatalf("fingerprint %x moved from %s to %s with stable membership", fp, first.addr, got.addr)
+			}
+		}
+	}
+}
+
+// TestRendezvousMinimalDisruption is the reason rendezvous hashing is
+// used instead of modulo placement: removing one backend may re-home
+// only the patterns that backend owned — every other pattern keeps its
+// warmed engine.
+func TestRendezvousMinimalDisruption(t *testing.T) {
+	p := testPool(5)
+	gone := p.backends[2]
+	rng := rand.New(rand.NewSource(11))
+	fps := make([]uint64, 1000)
+	owner := make(map[uint64]*backend, len(fps))
+	for i := range fps {
+		fps[i] = rng.Uint64()
+		owner[fps[i]] = p.pick(fps[i], nil)
+	}
+	if !p.Remove(gone.addr) {
+		t.Fatalf("Remove(%s) found nothing", gone.addr)
+	}
+	moved := 0
+	for _, fp := range fps {
+		now := p.pick(fp, nil)
+		if now == nil {
+			t.Fatalf("fingerprint %x has no owner after removal", fp)
+		}
+		if before := owner[fp]; now != before {
+			if before != gone {
+				t.Fatalf("fingerprint %x moved from surviving backend %s to %s", fp, before.addr, now.addr)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no fingerprint re-homed: the removed backend owned nothing out of 1000")
+	}
+}
+
+// TestRendezvousSpreads sanity-checks the placement balance: over 1000
+// random fingerprints each of 5 backends should own a material share
+// (expected 200 each; 50 is ~11 sigma below, so failure means a broken
+// mix, not bad luck).
+func TestRendezvousSpreads(t *testing.T) {
+	p := testPool(5)
+	counts := make(map[*backend]int)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 1000; i++ {
+		counts[p.pick(rng.Uint64(), nil)]++
+	}
+	for _, b := range p.backends {
+		if counts[b] < 50 {
+			t.Errorf("backend %s owns only %d of 1000 fingerprints", b.addr, counts[b])
+		}
+	}
+}
+
+// TestRendezvousSkipsUnhealthyAndTried pins the failover ordering
+// contract: unhealthy backends never rank, tried backends are not
+// re-picked, and exhaustion returns nil.
+func TestRendezvousSkipsUnhealthyAndTried(t *testing.T) {
+	p := testPool(3)
+	fp := uint64(0xdeadbeef)
+	first := p.pick(fp, nil)
+	first.healthy.Store(false)
+	second := p.pick(fp, nil)
+	if second == first || second == nil {
+		t.Fatalf("unhealthy backend still picked")
+	}
+	tried := map[*backend]bool{second: true}
+	third := p.pick(fp, tried)
+	if third == first || third == second || third == nil {
+		t.Fatalf("tried/unhealthy backend re-picked")
+	}
+	tried[third] = true
+	if got := p.pick(fp, tried); got != nil {
+		t.Fatalf("exhausted pick returned %s, want nil", got.addr)
+	}
+}

@@ -21,6 +21,37 @@ type Stats struct {
 	BatchOccupancy []uint64
 }
 
+// Merge adds o's counters into s — how a gateway aggregates the STATS
+// snapshots of many backends into one cluster-wide answer. Counters and
+// scheme counts sum; the occupancy histogram sums element-wise (growing
+// to the longer histogram); CacheEntries sums too, so with pattern
+// affinity intact the total equals the distinct-pattern count across the
+// tier, and exceeds it exactly when a pattern was characterized on more
+// than one backend (affinity broke).
+func (s *Stats) Merge(o Stats) {
+	s.Jobs += o.Jobs
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.Batches += o.Batches
+	s.Coalesced += o.Coalesced
+	s.CacheEntries += o.CacheEntries
+	s.CacheEvictions += o.CacheEvictions
+	if len(o.BatchOccupancy) > len(s.BatchOccupancy) {
+		grown := make([]uint64, len(o.BatchOccupancy))
+		copy(grown, s.BatchOccupancy)
+		s.BatchOccupancy = grown
+	}
+	for k, v := range o.BatchOccupancy {
+		s.BatchOccupancy[k] += v
+	}
+	if len(o.Schemes) > 0 && s.Schemes == nil {
+		s.Schemes = make(map[string]uint64, len(o.Schemes))
+	}
+	for k, v := range o.Schemes {
+		s.Schemes[k] += v
+	}
+}
+
 // statShard is one worker's private counters. Every worker owns exactly
 // one shard and is its only writer, so the per-batch update never contends
 // with other workers — this replaces the global scheme-counter mutex the

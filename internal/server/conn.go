@@ -105,8 +105,9 @@ func (c *conn) serve() {
 	hello := wire.GetBuffer()
 	hello.B = wire.AppendHello(hello.B, wire.Hello{
 		Version:     wire.ProtoVersion,
-		Procs:       c.srv.eng.Procs(),
+		Procs:       c.srv.disp.Procs(),
 		MaxInflight: c.srv.cfg.MaxInflightPerConn,
+		Flags:       c.srv.disp.HelloFlags(),
 	})
 	c.send(hello)
 
@@ -131,10 +132,7 @@ func (c *conn) serve() {
 			continue
 		}
 		if f.Type == wire.FrameStatsReq {
-			stats := c.srv.eng.Stats()
-			buf := wire.GetBuffer()
-			buf.B = wire.AppendStats(buf.B, f.JobID, &stats)
-			c.send(buf)
+			c.handleStatsReq(f.JobID)
 			continue
 		}
 		c.sendError(0, fmt.Sprintf("protocol violation: unexpected %v frame", f.Type))
@@ -146,6 +144,45 @@ func (c *conn) serve() {
 	c.jobWG.Wait()
 	close(c.writeCh)
 	<-c.writeDone
+}
+
+// handleStatsReq answers one statistics request off the read loop: for
+// a gateway dispatcher Stats() is remote fan-out, and pipelined SUBMITs
+// behind the request must not wait on it. Responses are ID-keyed, so
+// ordering is free; jobWG makes drain wait for the answer to flush.
+// Stats requests draw on the same admission budgets as submissions —
+// each holds a goroutine (and, on a gateway, backend RPCs) exactly like
+// a job, so an unbudgeted flood of STATSREQ frames must hit BUSY the
+// same way a flood of SUBMITs does.
+func (c *conn) handleStatsReq(jobID uint64) {
+	if c.inflight.Load() >= int64(c.srv.cfg.MaxInflightPerConn) {
+		c.sendBusy(jobID, wire.BusyConn)
+		return
+	}
+	if c.srv.inflight.Add(1) > int64(c.srv.cfg.MaxInflightGlobal) {
+		c.srv.inflight.Add(-1)
+		c.sendBusy(jobID, wire.BusyGlobal)
+		return
+	}
+	c.inflight.Add(1)
+	c.jobWG.Add(1)
+	go func() {
+		defer c.jobWG.Done()
+		defer func() {
+			c.inflight.Add(-1)
+			c.srv.inflight.Add(-1)
+		}()
+		stats, err := c.srv.disp.Stats()
+		if err != nil {
+			// A stats failure (e.g. no healthy gateway backend) is
+			// job-scoped: the stream stays in sync, the connection lives.
+			c.sendError(jobID, err.Error())
+			return
+		}
+		buf := wire.GetBuffer()
+		buf.B = wire.AppendStats(buf.B, jobID, &stats)
+		c.send(buf)
+	}()
 }
 
 // handleSubmit admits, decodes and interns one submission, then hands the
@@ -184,24 +221,39 @@ func (c *conn) handleSubmit(f wire.Frame) {
 		c.srv.interned.Add(1)
 	}
 
-	h, err := c.srv.eng.SubmitAsyncInto(canon, c.srv.getDst(canon.NumElems))
+	w, err := c.srv.disp.Dispatch(canon, c.srv.getDst(canon.NumElems))
 	if err != nil {
 		release()
-		c.sendError(f.JobID, err.Error())
+		if errors.Is(err, ErrOverloaded) {
+			c.sendBusy(f.JobID, wire.BusyUpstream)
+		} else {
+			c.sendError(f.JobID, err.Error())
+		}
 		return
 	}
 	c.jobWG.Add(1)
 	jobID := f.JobID
 	go func() {
 		defer c.jobWG.Done()
-		res := h.Wait()
+		defer release()
+		res, err := w.Wait()
+		if err != nil {
+			// Exhaustion becomes BUSY (back off and retry); anything else
+			// is a job-scoped ERROR. Either way the destination array may
+			// still be referenced by a failed leg, so it is not recycled.
+			if errors.Is(err, ErrOverloaded) {
+				c.sendBusy(jobID, wire.BusyUpstream)
+			} else {
+				c.sendError(jobID, err.Error())
+			}
+			return
+		}
 		buf := wire.GetBuffer()
 		buf.B = wire.AppendResult(buf.B, jobID, &res)
 		c.send(buf)
 		// The result array is fully encoded into buf; recycle it for a
 		// later submission's destination.
 		c.srv.putDst(res.Values)
-		release()
 	}()
 }
 

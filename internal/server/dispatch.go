@@ -1,0 +1,69 @@
+package server
+
+import (
+	"errors"
+
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+// Dispatcher is where the connection loop sends decoded, interned
+// submissions. It is the seam that lets reduxd and reduxgw share one
+// front end: the daemon's dispatcher is the local engine, the gateway's
+// routes onward to a pool of reduxd backends (internal/cluster). Either
+// way the connection machinery — preamble, HELLO, admission control,
+// interning, pipelined out-of-order responses, graceful drain — is this
+// package's, written once.
+type Dispatcher interface {
+	// Dispatch starts one reduction job and returns a Waiter for its
+	// result. The loop is canonical (interned) and must not be mutated;
+	// dst, when non-nil, should receive the result values if it has the
+	// capacity. Dispatch must not block on job completion — the read loop
+	// calls it inline and pipelining depends on it returning promptly.
+	Dispatch(l *trace.Loop, dst []float64) (Waiter, error)
+	// Stats snapshots the engine counters this dispatcher serves from (a
+	// gateway returns the aggregate over its backends).
+	Stats() (engine.Stats, error)
+	// Procs is the per-job goroutine fan-out advertised in HELLO.
+	Procs() int
+	// HelloFlags returns the capability bits advertised in HELLO
+	// (wire.HelloFlagGateway for a gateway, 0 for a daemon).
+	HelloFlags() uint64
+}
+
+// Waiter resolves one dispatched job.
+type Waiter interface {
+	// Wait blocks until the job resolves, returning its result or the
+	// error that ended it. It may be called from a goroutine other than
+	// the dispatcher's.
+	Wait() (engine.Result, error)
+}
+
+// ErrOverloaded marks a dispatch failure caused by exhaustion rather
+// than a broken job: every avenue of execution was at capacity. The
+// connection loop surfaces it to the client as BUSY(BusyUpstream) — a
+// back-off-and-retry signal — instead of a job ERROR. Dispatchers wrap
+// it (errors.Is) around capacity-exhaustion failures.
+var ErrOverloaded = errors.New("server: overloaded")
+
+// engineDispatcher is the daemon's dispatcher: submissions go straight
+// into the local shared engine.
+type engineDispatcher struct{ eng *engine.Engine }
+
+func (d engineDispatcher) Dispatch(l *trace.Loop, dst []float64) (Waiter, error) {
+	h, err := d.eng.SubmitAsyncInto(l, dst)
+	if err != nil {
+		return nil, err
+	}
+	return engineWaiter{h}, nil
+}
+
+func (d engineDispatcher) Stats() (engine.Stats, error) { return d.eng.Stats(), nil }
+func (d engineDispatcher) Procs() int                   { return d.eng.Procs() }
+func (d engineDispatcher) HelloFlags() uint64           { return 0 }
+
+// engineWaiter adapts engine.Handle (whose Wait cannot fail once the
+// submission was accepted) to the Waiter interface.
+type engineWaiter struct{ h *engine.Handle }
+
+func (w engineWaiter) Wait() (engine.Result, error) { return w.h.Wait(), nil }

@@ -77,10 +77,11 @@ func (c *Config) fill() {
 	}
 }
 
-// Server serves the wire protocol over one shared engine. Create with
-// New, feed it listeners via Serve, stop with Shutdown.
+// Server serves the wire protocol over one Dispatcher — the local shared
+// engine for reduxd (New), a routed backend pool for reduxgw
+// (NewWithDispatcher). Feed it listeners via Serve, stop with Shutdown.
 type Server struct {
-	eng    *engine.Engine
+	disp   Dispatcher
 	cfg    Config
 	intern *internTable
 
@@ -103,9 +104,17 @@ type Server struct {
 // New returns a server front end for eng. The engine is borrowed: the
 // caller closes it after Shutdown returns.
 func New(eng *engine.Engine, cfg Config) *Server {
+	return NewWithDispatcher(engineDispatcher{eng}, cfg)
+}
+
+// NewWithDispatcher returns a server front end over an arbitrary
+// Dispatcher — how the gateway reuses this package's connection
+// machinery with routing instead of a local engine. The dispatcher is
+// borrowed: the caller tears it down after Shutdown returns.
+func NewWithDispatcher(d Dispatcher, cfg Config) *Server {
 	cfg.fill()
 	return &Server{
-		eng:    eng,
+		disp:   d,
 		cfg:    cfg,
 		intern: newInternTable(16, cfg.MaxInternedLoops),
 		lns:    make(map[net.Listener]struct{}),

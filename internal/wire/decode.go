@@ -102,6 +102,13 @@ func (f Frame) DecodeHello() (Hello, error) {
 	if h.MaxInflight, err = c.intField("max inflight", math.MaxInt32); err != nil {
 		return Hello{}, err
 	}
+	// Flags is an optional trailing field: a peer that predates it sends
+	// the shorter frame, which decodes with Flags == 0.
+	if c.remaining() > 0 {
+		if h.Flags, err = c.uvarint(); err != nil {
+			return Hello{}, fmt.Errorf("%w: hello flags", ErrCorrupt)
+		}
+	}
 	return h, nil
 }
 
@@ -297,7 +304,7 @@ func (f Frame) DecodeBusy() (BusyCode, error) {
 	if err != nil {
 		return 0, err
 	}
-	if code != byte(BusyConn) && code != byte(BusyGlobal) {
+	if code < byte(BusyConn) || code > byte(BusyUpstream) {
 		return 0, fmt.Errorf("%w: unknown busy code %d", ErrCorrupt, code)
 	}
 	return BusyCode(code), nil

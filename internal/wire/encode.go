@@ -41,12 +41,17 @@ func appendF64(dst []byte, v float64) []byte {
 	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 }
 
-// AppendHello encodes the server greeting.
+// AppendHello encodes the server greeting. The flags field is emitted
+// only when non-zero, exercising the optional-trailing-field evolution
+// rule both decoders must follow (docs/PROTOCOL.md "Versioning").
 func AppendHello(dst []byte, h Hello) []byte {
 	dst, p := beginFrame(dst, FrameHello, 0)
 	dst = binary.AppendUvarint(dst, uint64(h.Version))
 	dst = binary.AppendUvarint(dst, uint64(h.Procs))
 	dst = binary.AppendUvarint(dst, uint64(h.MaxInflight))
+	if h.Flags != 0 {
+		dst = binary.AppendUvarint(dst, h.Flags)
+	}
 	return endFrame(dst, p)
 }
 

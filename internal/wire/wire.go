@@ -102,17 +102,48 @@ const (
 	BusyConn BusyCode = 1
 	// BusyGlobal means the server-wide in-flight budget is exhausted.
 	BusyGlobal BusyCode = 2
+	// BusyUpstream means a gateway exhausted its bounded retry budget
+	// because every healthy backend answered BUSY (or none was healthy):
+	// backpressure propagated from the backend tier to the client.
+	BusyUpstream BusyCode = 3
+)
+
+// String names the rejection code for diagnostics.
+func (c BusyCode) String() string {
+	switch c {
+	case BusyConn:
+		return "connection limit"
+	case BusyGlobal:
+		return "global limit"
+	case BusyUpstream:
+		return "backend tier busy"
+	default:
+		return fmt.Sprintf("BusyCode(%d)", uint8(c))
+	}
+}
+
+// HELLO capability bits (Hello.Flags). Flags is an optional trailing
+// field: peers that predate it decode the shorter frame and see zero.
+const (
+	// HelloFlagGateway marks the peer as a reduxgw gateway rather than a
+	// reduxd daemon: submissions are routed onward by pattern fingerprint
+	// and STATS answers are aggregates over the backend tier.
+	HelloFlagGateway uint64 = 1 << 0
 )
 
 // Hello is the decoded HELLO frame.
 type Hello struct {
 	// Version is the protocol revision the server speaks.
 	Version int
-	// Procs is the serving engine's per-job goroutine fan-out.
+	// Procs is the serving engine's per-job goroutine fan-out (for a
+	// gateway: the largest fan-out across its healthy backends).
 	Procs int
 	// MaxInflight is the per-connection in-flight job budget; submissions
 	// beyond it draw BUSY frames.
 	MaxInflight int
+	// Flags carries capability bits (HelloFlag*). Zero when the peer
+	// predates the field — it is an optional trailing extension.
+	Flags uint64
 }
 
 // Sentinel decode errors. Detail errors wrap one of these, so callers can
@@ -135,14 +166,21 @@ var (
 // and is only valid until that buffer is reused (the next Reader.Next call
 // or Buffer.Free).
 type Frame struct {
-	Type  FrameType
+	// Type discriminates the body's grammar.
+	Type FrameType
+	// JobID names the submission this frame belongs to (0 for
+	// connection-scoped frames).
 	JobID uint64
-	Body  []byte
+	// Body is the type-specific payload, decoded by the Decode* methods.
+	Body []byte
 }
 
 // Buffer is a pooled byte buffer for frame encoding. Get one, append
 // frames to B with the Append* encoders, write B, then Free it.
-type Buffer struct{ B []byte }
+type Buffer struct {
+	// B is the accumulated frame bytes, ready to write to the peer.
+	B []byte
+}
 
 var bufPool = sync.Pool{New: func() any { return &Buffer{B: make([]byte, 0, 4096)} }}
 

@@ -217,6 +217,56 @@ func TestSmallFramesRoundTrip(t *testing.T) {
 	}
 }
 
+// TestHelloFlagsCompat pins the optional-trailing-field rule HELLO's
+// flags ride on: a flagless frame (what a pre-gateway peer emits) decodes
+// with Flags == 0, a flagged frame round-trips, and the encoder omits the
+// field entirely when flags are zero so old decoders that reject trailing
+// bytes would still accept it.
+func TestHelloFlagsCompat(t *testing.T) {
+	legacy := AppendHello(nil, Hello{Version: ProtoVersion, Procs: 4, MaxInflight: 8})
+	flagged := AppendHello(nil, Hello{Version: ProtoVersion, Procs: 4, MaxInflight: 8, Flags: HelloFlagGateway})
+	if len(flagged) <= len(legacy) {
+		t.Fatalf("flagged frame (%d bytes) not longer than legacy (%d): flags field missing", len(flagged), len(legacy))
+	}
+	f, _, err := DecodeFrame(legacy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := f.DecodeHello()
+	if err != nil || h.Flags != 0 {
+		t.Fatalf("legacy hello decoded to %+v, err %v (want Flags 0)", h, err)
+	}
+	f, _, err = DecodeFrame(flagged, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, err = f.DecodeHello(); err != nil || h.Flags != HelloFlagGateway {
+		t.Fatalf("flagged hello decoded to %+v, err %v (want gateway flag)", h, err)
+	}
+}
+
+// TestBusyCodes round-trips every defined rejection code and pins that
+// out-of-range codes are corrupt, not silently accepted.
+func TestBusyCodes(t *testing.T) {
+	for _, code := range []BusyCode{BusyConn, BusyGlobal, BusyUpstream} {
+		f, _, err := DecodeFrame(AppendBusy(nil, 3, code), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.DecodeBusy()
+		if err != nil || got != code {
+			t.Fatalf("busy %v round-tripped to %v, err %v", code, got, err)
+		}
+	}
+	f, _, err := DecodeFrame(AppendBusy(nil, 3, BusyCode(4)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.DecodeBusy(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("unknown busy code decoded: %v", err)
+	}
+}
+
 func TestPreamble(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WritePreamble(&buf); err != nil {

@@ -87,3 +87,29 @@ END {
 }' "$tmpdir/base" "$tmpdir/cand"
 
 echo "bench_compare: throughput within ${tol}% of baseline (${unit})"
+
+# Pattern-affinity gate: the gateway's measured fusion occupancy
+# (GatewayZipf jobs_per_batch) must hold at least AFFINITY_MIN_PCT
+# (default 80) percent of the single-daemon figure (RemoteZipf). This is
+# the mechanical check behind the claim that rendezvous routing
+# preserves batch coalescing at tier scale; it runs whenever the
+# candidate carries both metrics.
+awk -v minpct="${AFFINITY_MIN_PCT:-80}" '
+/"name": "GatewayZipf"/ && match($0, /"jobs_per_batch": *[0-9.]+/) {
+    gw = substr($0, RSTART, RLENGTH); gsub(/[^0-9.]/, "", gw)
+}
+/"name": "RemoteZipf"/ && match($0, /"jobs_per_batch": *[0-9.]+/) {
+    remote = substr($0, RSTART, RLENGTH); gsub(/[^0-9.]/, "", remote)
+}
+END {
+    if (gw + 0 <= 0 || remote + 0 <= 0) {
+        print "bench_compare: affinity gate skipped (jobs_per_batch not in both GatewayZipf and RemoteZipf)"
+        exit 0
+    }
+    pct = 100 * gw / remote
+    printf "bench_compare: gateway fusion occupancy %.2f vs single-node %.2f jobs/batch (%.0f%%, floor %d%%)\n", gw, remote, pct, minpct
+    if (pct < minpct) {
+        print "bench_compare: FAIL: pattern-affinity routing lost too much batch fusion"
+        exit 1
+    }
+}' "$cand"

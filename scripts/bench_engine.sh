@@ -6,7 +6,7 @@ set -eu
 cd "$(dirname "$0")/.."
 out=BENCH_engine.json
 
-raw=$(go test -bench 'Engine|Scheme|Remote' -benchmem -run '^$' -benchtime 1s . )
+raw=$(go test -bench 'Engine|Scheme|Remote|Gateway' -benchmem -run '^$' -benchtime 1s . )
 echo "$raw"
 
 # Parse benchmark lines by unit, not by column position, so custom

@@ -6,62 +6,99 @@
 # results must verify against the sequential reference, and batch
 # coalescing must have engaged across the network hop (coalesced > 0).
 #
-# Set RACE=1 to build both binaries with the race detector (CI does).
+# Set GATEWAY=N (N >= 1) to test the cluster tier instead: N reduxd
+# backends are booted behind a reduxgw gateway and the same stream is
+# driven through the gateway — proving pattern-affinity routing keeps
+# coalescing alive across the extra hop.
+#
+# Set RACE=1 to build the binaries with the race detector (CI does).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 jobs="${LOADTEST_JOBS:-2000}"
 clients="${LOADTEST_CLIENTS:-16}"
+gateway="${GATEWAY:-0}"
 build_flags=""
 [ -n "${RACE:-}" ] && build_flags="-race"
 
 work=$(mktemp -d)
-server_pid=""
+pids=""
 cleanup() {
-    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
-        kill "$server_pid" 2>/dev/null || true
-        wait "$server_pid" 2>/dev/null || true
-    fi
+    for pid in $pids; do
+        if kill -0 "$pid" 2>/dev/null; then
+            kill "$pid" 2>/dev/null || true
+            wait "$pid" 2>/dev/null || true
+        fi
+    done
     rm -rf "$work"
 }
 trap cleanup EXIT
 
 go build $build_flags -o "$work/reduxd" ./cmd/reduxd
 go build $build_flags -o "$work/reduxserve" ./cmd/reduxserve
+[ "$gateway" -gt 0 ] && go build $build_flags -o "$work/reduxgw" ./cmd/reduxgw
 
-"$work/reduxd" -addr 127.0.0.1:0 > "$work/reduxd.log" 2>&1 &
-server_pid=$!
-
-# reduxd prints "reduxd: listening on <addr> ..." once the listener is up.
-addr=""
-i=0
-while [ $i -lt 100 ]; do
-    addr=$(awk '/listening on/ {print $4; exit}' "$work/reduxd.log" 2>/dev/null || true)
-    [ -n "$addr" ] && break
-    if ! kill -0 "$server_pid" 2>/dev/null; then
-        echo "loadtest: reduxd exited before listening:" >&2
-        cat "$work/reduxd.log" >&2
+# wait_addr LOGFILE PID: scrape "listening on <addr>" from a daemon's log
+# (both reduxd and reduxgw print it once their listener is up).
+wait_addr() {
+    log="$1"; pid="$2"; addr=""
+    i=0
+    while [ $i -lt 100 ]; do
+        addr=$(awk '/listening on/ {print $4; exit}' "$log" 2>/dev/null || true)
+        [ -n "$addr" ] && break
+        if ! kill -0 "$pid" 2>/dev/null; then
+            echo "loadtest: $(basename "$log" .log) exited before listening:" >&2
+            cat "$log" >&2
+            exit 1
+        fi
+        sleep 0.1
+        i=$((i + 1))
+    done
+    if [ -z "$addr" ]; then
+        echo "loadtest: $(basename "$log" .log) never reported its address" >&2
+        cat "$log" >&2
         exit 1
     fi
-    sleep 0.1
-    i=$((i + 1))
-done
-if [ -z "$addr" ]; then
-    echo "loadtest: reduxd never reported its address" >&2
-    cat "$work/reduxd.log" >&2
-    exit 1
-fi
-echo "loadtest: reduxd on $addr, driving $jobs jobs from $clients clients"
+}
 
-"$work/reduxserve" -remote "$addr" -jobs "$jobs" -clients "$clients" \
+backend_addrs=""
+n=0
+while [ $n -lt "$gateway" ] || { [ "$gateway" -eq 0 ] && [ $n -lt 1 ]; }; do
+    "$work/reduxd" -addr 127.0.0.1:0 > "$work/reduxd$n.log" 2>&1 &
+    pid=$!
+    pids="$pids $pid"
+    wait_addr "$work/reduxd$n.log" "$pid"
+    backend_addrs="$backend_addrs,$addr"
+    n=$((n + 1))
+done
+backend_addrs=${backend_addrs#,}
+
+if [ "$gateway" -gt 0 ]; then
+    "$work/reduxgw" -addr 127.0.0.1:0 -backends "$backend_addrs" > "$work/reduxgw.log" 2>&1 &
+    gw_pid=$!
+    pids="$pids $gw_pid"
+    wait_addr "$work/reduxgw.log" "$gw_pid"
+    target="$addr"
+    echo "loadtest: reduxgw on $target fronting $gateway backends ($backend_addrs), driving $jobs jobs from $clients clients"
+else
+    target="$backend_addrs"
+    echo "loadtest: reduxd on $target, driving $jobs jobs from $clients clients"
+fi
+
+"$work/reduxserve" -remote "$target" -jobs "$jobs" -clients "$clients" \
     -zipf -scale 0.3 -json > "$work/report.json"
 
-# Graceful drain: TERM, then wait; the server prints its lifetime stats.
-kill -TERM "$server_pid"
-wait "$server_pid" || { echo "loadtest: reduxd exited non-zero" >&2; exit 1; }
-server_pid=""
-cat "$work/reduxd.log"
+# Graceful drain, front tier first: TERM each daemon and wait; each
+# prints its lifetime stats.
+rev=""
+for pid in $pids; do rev="$pid $rev"; done
+for pid in $rev; do
+    kill -TERM "$pid" 2>/dev/null || true
+    wait "$pid" || { echo "loadtest: daemon $pid exited non-zero" >&2; exit 1; }
+done
+pids=""
+cat "$work"/redux*.log
 
 # Validate the JSON report (pretty-printed, one field per line).
 awk -v jobs="$jobs" '

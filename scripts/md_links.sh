@@ -1,0 +1,35 @@
+#!/bin/sh
+# Checks every relative markdown link in README.md and docs/*.md: the
+# target file must exist (anchors are stripped; external http/mailto
+# links are skipped). Fails listing each broken link, so renaming or
+# moving a doc cannot silently orphan references — the docs half of
+# `make docs-check`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+bad=0
+for md in README.md docs/*.md; do
+    [ -f "$md" ] || continue
+    dir=$(dirname "$md")
+    # Extract inline link targets: [text](target). One per line, tolerant
+    # of several links per line.
+    targets=$(grep -o '](([^)]*)\|]([^)]*)' "$md" | sed 's/^](//; s/)$//' || true)
+    for target in $targets; do
+        case "$target" in
+        http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path=${target%%#*}
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "md_links: $md links to missing file: $target" >&2
+            bad=$((bad + 1))
+        fi
+    done
+done
+
+if [ "$bad" -gt 0 ]; then
+    echo "md_links: $bad broken link(s)" >&2
+    exit 1
+fi
+echo "md_links: all relative links resolve"
