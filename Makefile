@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race bench bench-smoke fmt vet ci serve loadtest loadtest-gateway fuzz docs-check
+.PHONY: build test test-short race bench bench-smoke fmt vet ci serve loadtest loadtest-gateway fuzz cover docs-check
 
 build:
 	$(GO) build ./...
@@ -57,9 +57,16 @@ docs-check:
 	$(GO) run ./cmd/doccheck ./internal/wire ./internal/client ./internal/server ./internal/cluster
 	./scripts/md_links.sh
 
-# fuzz runs the wire-protocol decoder fuzz target for 10s: corrupt or
-# truncated frames must error, never panic.
+# fuzz runs the wire-protocol decoder fuzz target for 10s under the race
+# detector, starting from the checked-in seed corpus
+# (internal/wire/testdata/fuzz): corrupt or truncated frames must error,
+# never panic.
 fuzz:
-	$(GO) test -run '^FuzzDecodeFrame$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime 10s ./internal/wire
+	$(GO) test -race -run '^FuzzDecodeFrame$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime 10s ./internal/wire
 
-ci: fmt vet build race bench-smoke fuzz loadtest loadtest-gateway docs-check
+# cover measures -short statement coverage over ./internal/... and fails
+# if the total drops below the floor committed in scripts/coverage_gate.sh.
+cover:
+	./scripts/coverage_gate.sh
+
+ci: fmt vet build race bench-smoke fuzz cover loadtest loadtest-gateway docs-check

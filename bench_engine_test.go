@@ -10,6 +10,7 @@ package main
 
 import (
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -286,6 +287,139 @@ func BenchmarkGatewayZipf(b *testing.B) {
 	if batches > warmBatches {
 		b.ReportMetric(float64(jobs-warmJobs)/float64(batches-warmBatches), "jobs/batch")
 	}
+}
+
+// BenchmarkDriftRecovery measures how fast the recalibration subsystem
+// returns a drifted workload to steady-state latency. The engine warms on
+// the sparse phase of a drifting hot-key population (deciding hash for
+// every key), then the measured loop serves only the dense-phase variants
+// — same fingerprints, different regime — so every entry starts stale and
+// must be re-profiled, re-inspected and switched to ll while traffic
+// flows.
+//
+// The steady-state reference is measured on a separate control engine
+// warmed directly on the dense phase (it decides ll natively, same
+// engine shape, same recalibration knobs), so the target is independent
+// of whether the measured engine ever recovers — a run that stays on
+// the stale scheme reports its degraded p95 against an honest baseline
+// and fails the gate, rather than grading itself against its own
+// degraded tail.
+//
+// Custom metrics (recorded in BENCH_engine.json when b.N is large enough
+// to measure them):
+//
+//   - recovery_jobs: jobs after the phase shift until a sliding window's
+//     p95 latency first returns to within 25% of the steady state
+//     (scripts/bench_compare.sh fails past RECOVERY_MAX_JOBS).
+//   - recovery_p95_pct: that window's p95 as a percentage of steady-state
+//     p95 (<= 125 when recovery happened inside the run;
+//     scripts/bench_compare.sh fails past RECOVERY_MAX_PCT).
+func BenchmarkDriftRecovery(b *testing.B) {
+	const keys = 4
+	ds := workloads.NewDriftStream(keys, 2, 1, 1.4, 0.5, 1)
+	cfg := engine.Config{
+		Workers:  1,
+		Platform: core.DefaultPlatform(8),
+		// Recover fast enough to watch within a benchtime run: re-profile
+		// every 8 executions, default hysteresis of 2.
+		RecalEvery: 8,
+	}
+	e, err := engine.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	var dst []float64
+	for i := 0; i < 4*engine.RecalSeedExecs; i++ { // decide + anchor every key on the sparse phase
+		for _, l := range ds.Phases[0] {
+			res, err := e.SubmitInto(l, dst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst = res.Values
+		}
+	}
+	stream := workloads.ZipfStream(ds.Phases[1], 4096, 1.4, 2)
+
+	// Steady-state reference: the same dense traffic on the control
+	// engine that never saw the sparse phase.
+	const window = 64
+	var steady time.Duration
+	if b.N >= 8*window {
+		control, err := engine.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 4*engine.RecalSeedExecs; i++ {
+			for _, l := range ds.Phases[1] {
+				if _, err := control.Submit(l); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		const controlJobs = 512
+		ref := make([]time.Duration, 0, controlJobs)
+		var cdst []float64
+		for i := 0; i < controlJobs; i++ {
+			t0 := time.Now()
+			res, err := control.SubmitInto(stream[i%len(stream)], cdst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cdst = res.Values
+			ref = append(ref, time.Since(t0))
+		}
+		control.Close()
+		steady = latP95(ref)
+	}
+
+	lat := make([]time.Duration, 0, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		res, err := e.SubmitInto(stream[i%len(stream)], dst)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst = res.Values
+		lat = append(lat, time.Since(t0))
+	}
+	b.StopTimer()
+
+	if b.N < 8*window || steady <= 0 {
+		return // too short to measure a trajectory (bench-smoke runs 1x)
+	}
+	bar := steady + steady/4 // within 25% of steady state
+	recovered := -1
+	var recoveredP95 time.Duration
+	for at := 0; at+window <= len(lat); at += window / 4 {
+		if p := latP95(lat[at : at+window]); p <= bar {
+			recovered, recoveredP95 = at, p
+			break
+		}
+	}
+	if recovered < 0 {
+		// Never recovered inside the run: report the full post-shift p95
+		// so the gate fails loudly instead of silently skipping.
+		recovered, recoveredP95 = len(lat), latP95(lat)
+	}
+	b.ReportMetric(float64(recovered), "recovery-jobs")
+	b.ReportMetric(100*float64(recoveredP95)/float64(steady), "recovery%")
+	if s := e.Stats(); s.SchemeSwitches < keys {
+		b.Fatalf("only %d of %d entries switched scheme during the run", s.SchemeSwitches, keys)
+	}
+}
+
+// latP95 returns the 95th-percentile latency of the (unsorted) sample.
+func latP95(sample []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), sample...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := (95*len(s) + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	return s[rank-1]
 }
 
 // BenchmarkSchemeRunColdVsPooled isolates the buffer pool's effect on a

@@ -36,6 +36,10 @@ func main() {
 	maxBatch := flag.Int("max-batch", 0, "max jobs fused per execution (0 = default 32)")
 	nocoalesce := flag.Bool("nocoalesce", false, "disable batch coalescing")
 	cold := flag.Bool("cold", false, "disable buffer pooling and feedback scheduling")
+	driftRatio := flag.Float64("drift-ratio", 0, "cost-drift ratio marking a cached decision stale (0 = default 1.5)")
+	recalEvery := flag.Int("recal-every", 0, "executions between sampled re-profiles of a cached decision (0 = default 256)")
+	recalConfirm := flag.Int("recal-confirm", 0, "consecutive confirming re-inspections before a scheme switch (0 = default 2)")
+	norecal := flag.Bool("norecal", false, "disable online recalibration of cached decisions")
 	maxInflight := flag.Int("max-inflight", 64, "in-flight job budget per connection (beyond it: BUSY)")
 	maxGlobal := flag.Int("max-global", 1024, "in-flight job budget across all connections")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
@@ -54,6 +58,10 @@ func main() {
 		DisableCoalesce: *nocoalesce,
 		DisablePool:     *cold,
 		DisableFeedback: *cold,
+		DriftRatio:      *driftRatio,
+		RecalEvery:      *recalEvery,
+		RecalConfirm:    *recalConfirm,
+		DisableRecal:    *norecal,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reduxd:", err)
@@ -100,6 +108,8 @@ func report(s engine.Stats, ss server.Stats) {
 		s.Jobs, s.Batches, s.Coalesced, s.CacheHits, s.CacheMisses, s.CacheEvictions)
 	fmt.Printf("reduxd: admission: %d busy rejections; intern: %d hits, %d resident loops\n",
 		ss.Busy, ss.InternHits, ss.InternedLoops)
+	fmt.Printf("reduxd: recalibration: %d re-inspections, %d scheme switches\n",
+		s.Recalibrations, s.SchemeSwitches)
 	if len(s.Schemes) > 0 {
 		names := make([]string, 0, len(s.Schemes))
 		for name := range s.Schemes {

@@ -115,6 +115,8 @@ func report(agg engine.Stats, aggErr error, ps cluster.PoolStats, ss server.Stat
 	} else {
 		fmt.Printf("reduxgw: tier served %d jobs in %d batches (%d coalesced), cache %d hits / %d misses, %d distinct patterns\n",
 			agg.Jobs, agg.Batches, agg.Coalesced, agg.CacheHits, agg.CacheMisses, agg.CacheEntries)
+		fmt.Printf("reduxgw: tier recalibration: %d re-inspections, %d scheme switches\n",
+			agg.Recalibrations, agg.SchemeSwitches)
 		if len(agg.Schemes) > 0 {
 			names := make([]string, 0, len(agg.Schemes))
 			for name := range agg.Schemes {

@@ -100,6 +100,8 @@ type report struct {
 	CacheMisses  uint64            `json:"cache_misses"`
 	CacheEntries int               `json:"cache_entries"`
 	CacheEvicts  uint64            `json:"cache_evictions"`
+	Recals       uint64            `json:"recalibrations"`
+	Switches     uint64            `json:"scheme_switches"`
 	AllocPerJob  float64           `json:"client_alloc_bytes_per_job"`
 	Imbalance    float64           `json:"mean_imbalance"`
 	ImbalanceN   int64             `json:"imbalance_jobs"`
@@ -113,8 +115,14 @@ func main() {
 	clients := flag.Int("clients", 8, "concurrent submitting goroutines")
 	scale := flag.Float64("scale", 0.5, "workload size multiplier")
 	zipf := flag.Bool("zipf", false, "serve the Zipf-skewed hot-key stream instead of the mixed round-robin")
-	patterns := flag.Int("patterns", 24, "distinct patterns in the -zipf population")
-	zipfS := flag.Float64("zipf-s", 1.4, "Zipf exponent for -zipf (must be > 1)")
+	patterns := flag.Int("patterns", 24, "distinct patterns in the -zipf / -drift population")
+	zipfS := flag.Float64("zipf-s", 1.4, "Zipf exponent for -zipf / -drift (must be > 1)")
+	drift := flag.Bool("drift", false, "serve the phase-drifting Zipf stream: hot keys keep their fingerprints but shift pattern regime at phase boundaries")
+	driftPhase := flag.Int("drift-phase", 0, "jobs per drift phase (0 = jobs/4)")
+	driftRatio := flag.Float64("drift-ratio", 0, "engine cost-drift ratio marking cached decisions stale (local mode, 0 = default 1.5)")
+	recalEvery := flag.Int("recal-every", 0, "engine executions between sampled re-profiles (local mode, 0 = default 256)")
+	recalConfirm := flag.Int("recal-confirm", 0, "consecutive confirming re-inspections before a scheme switch (local mode, 0 = default 2)")
+	norecal := flag.Bool("norecal", false, "disable online recalibration (local mode)")
 	cold := flag.Bool("cold", false, "disable buffer pooling and feedback scheduling (per-job cold path)")
 	nocoalesce := flag.Bool("nocoalesce", false, "disable batch coalescing (per-job execution path)")
 	queue := flag.Int("queue", 0, "submission queue depth in batches (0 = 2*workers)")
@@ -135,8 +143,14 @@ func main() {
 	case *jobs < 1 || *clients < 1 || *workers < 1 || *conns < 1:
 		fmt.Fprintf(os.Stderr, "reduxserve: -jobs, -clients, -workers and -conns must be at least 1\n")
 		os.Exit(2)
-	case *zipf && (*patterns < 1 || *zipfS <= 1):
-		fmt.Fprintf(os.Stderr, "reduxserve: -zipf needs -patterns >= 1 and -zipf-s > 1\n")
+	case (*zipf || *drift) && (*patterns < 1 || *zipfS <= 1):
+		fmt.Fprintf(os.Stderr, "reduxserve: -zipf/-drift need -patterns >= 1 and -zipf-s > 1\n")
+		os.Exit(2)
+	case *zipf && *drift:
+		fmt.Fprintf(os.Stderr, "reduxserve: -zipf and -drift are exclusive stream shapes\n")
+		os.Exit(2)
+	case *driftPhase < 0:
+		fmt.Fprintf(os.Stderr, "reduxserve: -drift-phase must be non-negative, got %d\n", *driftPhase)
 		os.Exit(2)
 	case *gateway < 0:
 		fmt.Fprintf(os.Stderr, "reduxserve: -gateway must be non-negative, got %d\n", *gateway)
@@ -150,7 +164,10 @@ func main() {
 		// remote mode the server was configured at reduxd startup, so an
 		// explicitly-set one signals a misunderstanding — reject it
 		// rather than silently benchmark a differently-shaped server.
-		engineFlags := map[string]bool{"workers": true, "procs": true, "queue": true, "cold": true, "nocoalesce": true}
+		engineFlags := map[string]bool{
+			"workers": true, "procs": true, "queue": true, "cold": true, "nocoalesce": true,
+			"drift-ratio": true, "recal-every": true, "recal-confirm": true, "norecal": true,
+		}
 		flag.Visit(func(f *flag.Flag) {
 			if engineFlags[f.Name] {
 				fmt.Fprintf(os.Stderr, "reduxserve: -%s configures the in-process engine; set it on reduxd in remote mode\n", f.Name)
@@ -159,22 +176,41 @@ func main() {
 		})
 	}
 
-	// Build the pattern population and the job stream over it.
+	// Build the pattern population and the job stream over it. loops is
+	// the warmup population (phase 0 for the drift stream: later phases
+	// must be discovered by recalibration, not pre-decided); verifyLoops
+	// covers everything the stream can submit.
 	var loops []*trace.Loop
 	var stream []*trace.Loop
-	if *zipf {
+	var verifyLoops []*trace.Loop
+	phaseLen := *driftPhase
+	switch {
+	case *zipf:
 		loops = workloads.HotKeySet(*patterns, *scale)
 		stream = workloads.ZipfStream(loops, *jobs, *zipfS, 1)
-	} else {
+		verifyLoops = loops
+	case *drift:
+		if phaseLen == 0 {
+			phaseLen = (*jobs + 3) / 4
+		}
+		nphases := (*jobs + phaseLen - 1) / phaseLen
+		ds := workloads.NewDriftStream(*patterns, nphases, phaseLen, *zipfS, *scale, 1)
+		loops = ds.Phases[0]
+		stream = ds.Stream[:*jobs]
+		for _, phase := range ds.Phases {
+			verifyLoops = append(verifyLoops, phase...)
+		}
+	default:
 		loops = workloads.MixedSet(*scale)
 		stream = make([]*trace.Loop, *jobs)
 		for i := range stream {
 			stream[i] = loops[i%len(loops)]
 		}
+		verifyLoops = loops
 	}
-	refs := make(map[*trace.Loop][]float64, len(loops))
+	refs := make(map[*trace.Loop][]float64, len(verifyLoops))
 	if *verify {
-		for _, l := range loops {
+		for _, l := range verifyLoops {
 			refs[l] = l.RunSequential()
 		}
 	}
@@ -186,6 +222,10 @@ func main() {
 		DisablePool:     *cold,
 		DisableFeedback: *cold,
 		DisableCoalesce: *nocoalesce,
+		DriftRatio:      *driftRatio,
+		RecalEvery:      *recalEvery,
+		RecalConfirm:    *recalConfirm,
+		DisableRecal:    *norecal,
 	}
 	var be backend
 	where := "in-process engine"
@@ -231,6 +271,9 @@ func main() {
 	}
 	if *zipf {
 		rep.Mode = fmt.Sprintf("zipf(s=%g, %d patterns)", *zipfS, *patterns)
+	}
+	if *drift {
+		rep.Mode = fmt.Sprintf("drift(s=%g, %d patterns, %d-job phases)", *zipfS, *patterns, phaseLen)
 	}
 	if *remote == "" {
 		rep.Workers, rep.Procs = *workers, *procs
@@ -350,6 +393,8 @@ func main() {
 	rep.CacheMisses = s.CacheMisses
 	rep.CacheEntries = s.CacheEntries
 	rep.CacheEvicts = s.CacheEvictions
+	rep.Recals = s.Recalibrations
+	rep.Switches = s.SchemeSwitches
 	rep.AllocPerJob = float64(after.TotalAlloc-before.TotalAlloc) / float64(*jobs)
 	if n := imbalanceN.Load(); n > 0 {
 		rep.Imbalance = float64(imbalanceSum.Load()) / 1000 / float64(n)
@@ -474,6 +519,9 @@ func printHuman(rep report) {
 	fmt.Printf("decision cache: %d entries (%d evictions), %d hits / %d misses (%.1f%% hit rate)\n",
 		rep.CacheEntries, rep.CacheEvicts, rep.CacheHits, rep.CacheMisses,
 		100*float64(rep.CacheHits)/float64(rep.CacheHits+rep.CacheMisses))
+	if rep.Recals > 0 || rep.Switches > 0 {
+		fmt.Printf("recalibration: %d re-inspections, %d scheme switches\n", rep.Recals, rep.Switches)
+	}
 	fmt.Printf("alloc: %.1f KB/job client-side\n", rep.AllocPerJob/1024)
 	if rep.ImbalanceN > 0 {
 		fmt.Printf("mean measured imbalance: %.2fx over %d feedback-scheduled jobs\n",
@@ -501,6 +549,8 @@ func statsDelta(now, warm engine.Stats) engine.Stats {
 		Coalesced:      now.Coalesced - warm.Coalesced,
 		CacheEntries:   now.CacheEntries,
 		CacheEvictions: now.CacheEvictions - warm.CacheEvictions,
+		Recalibrations: now.Recalibrations - warm.Recalibrations,
+		SchemeSwitches: now.SchemeSwitches - warm.SchemeSwitches,
 		Schemes:        make(map[string]uint64),
 		BatchOccupancy: make([]uint64, len(now.BatchOccupancy)),
 	}

@@ -1,0 +1,207 @@
+package adapt
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// TestThresholdBoundaries pins every decision cut-point against the
+// Figure 3 row nearest to it, from both sides. For each threshold the
+// table names the row(s) just across the boundary, a "past" value that
+// moves the cut just beyond them, and the scheme each row must flip to;
+// a "short" value perturbs the threshold toward the same rows but not
+// past them and must flip nothing. Together with TestThresholdStability
+// (global ±4%) this pins the calibrated margins row by row: moving a
+// cut past its nearest row flips exactly that row, nothing more.
+func TestThresholdBoundaries(t *testing.T) {
+	key := func(app string, dim int) string { return fmt.Sprintf("%s/%d", app, dim) }
+	cases := []struct {
+		name string
+		// set installs the perturbed threshold value.
+		set func(*Thresholds, float64)
+		// past crosses the nearest row; short approaches it. flips maps
+		// the rows expected to change under past to their new scheme.
+		past, short float64
+		flips       map[string]string
+	}{
+		{
+			// Spice's 99190-element input (SP 0.20) is the hash row
+			// nearest the sparsity cut: dropping the cut below it loses
+			// exactly that row to sel (CHR 0.12 and DIM 1.51 reach the
+			// fall-through), while its sparser siblings (SP 0.14-0.16)
+			// stay hash.
+			name:  "HashMaxSP",
+			set:   func(th *Thresholds, v float64) { th.HashMaxSP = v },
+			past:  0.19,
+			short: 0.21,
+			flips: map[string]string{key("Spice", 99190): "sel"},
+		},
+		{
+			// No Figure 3 row has MO > 8 outside Spice's MO=28, so the
+			// sparsity cut can rise far (to just under every non-Spice
+			// SP) without admitting anyone new into hash.
+			name:  "HashMaxSP-upward",
+			set:   func(th *Thresholds, v float64) { th.HashMaxSP = v },
+			past:  0.5,
+			short: 0.37,
+			flips: map[string]string{},
+		},
+		{
+			// MO=2 is the next mobility level below the cut: admitting it
+			// turns the two sub-0.5%-sparsity MO=2 rows into hash.
+			name:  "HashMinMO",
+			set:   func(th *Thresholds, v float64) { th.HashMinMO = v },
+			past:  1.9,
+			short: 2.1,
+			flips: map[string]string{
+				key("Irreg", 2000000): "hash",
+				key("Moldyn", 87808):  "hash",
+			},
+		},
+		{
+			// Raising the mobility cut past 28 evicts all four Spice rows
+			// from hash; they land in sel (low CHR, and even the smallest
+			// input's DIM 0.515 just misses the dense-ll rule).
+			name:  "HashMinMO-upward",
+			set:   func(th *Thresholds, v float64) { th.HashMinMO = v },
+			past:  29,
+			short: 27,
+			flips: map[string]string{
+				key("Spice", 186943): "sel",
+				key("Spice", 99190):  "sel",
+				key("Spice", 89925):  "sel",
+				key("Spice", 33725):  "sel",
+			},
+		},
+		{
+			// Moldyn's CHR 0.36 is the rep row nearest the contention
+			// cut; raising the cut past it demotes exactly that row to
+			// ll while the CHR 0.41 input stays rep.
+			name:  "RepMinCHR",
+			set:   func(th *Thresholds, v float64) { th.RepMinCHR = v },
+			past:  0.37,
+			short: 0.35,
+			flips: map[string]string{key("Moldyn", 42592): "ll"},
+		},
+		{
+			// And Moldyn's CHR 0.33 is the ll row nearest it from below:
+			// lowering the cut past it promotes exactly that row to rep
+			// (DIM 1.07 is still cache-scaled).
+			name:  "RepMinCHR-downward",
+			set:   func(th *Thresholds, v float64) { th.RepMinCHR = v },
+			past:  0.32,
+			short: 0.34,
+			flips: map[string]string{key("Moldyn", 70304): "rep"},
+		},
+		{
+			// Irreg's smallest mesh (DIM 1.53) is the rep row nearest the
+			// array-size cut: shrinking the cut below it pushes exactly
+			// that row to lw.
+			name:  "RepMaxDIM",
+			set:   func(th *Thresholds, v float64) { th.RepMaxDIM = v },
+			past:  1.45,
+			short: 1.6,
+			flips: map[string]string{key("Irreg", 100000): "lw"},
+		},
+		{
+			// Irreg's 500k mesh (DIM 7.63) is the lw row nearest it from
+			// above: growing the cut past it pulls exactly that row into
+			// rep.
+			name:  "RepMaxDIM-upward",
+			set:   func(th *Thresholds, v float64) { th.RepMaxDIM = v },
+			past:  8.0,
+			short: 7.0,
+			flips: map[string]string{key("Irreg", 500000): "rep"},
+		},
+		{
+			// Moldyn's CHR 0.29 is the ll row nearest the moderate-
+			// contention cut: raising the cut past it drops exactly that
+			// row to sel (its DIM 1.34 misses the dense-ll rule).
+			name:  "LLMinCHR",
+			set:   func(th *Thresholds, v float64) { th.LLMinCHR = v },
+			past:  0.30,
+			short: 0.28,
+			flips: map[string]string{key("Moldyn", 87808): "sel"},
+		},
+		{
+			// Irreg's largest mesh (CHR 0.26) sits just below the cut;
+			// lowering the cut past it — but not to Nbf's 0.25 — admits
+			// exactly that row into ll.
+			name:  "LLMinCHR-downward",
+			set:   func(th *Thresholds, v float64) { th.LLMinCHR = v },
+			past:  0.255,
+			short: 0.265,
+			flips: map[string]string{key("Irreg", 2000000): "ll"},
+		},
+		{
+			// Nbf's smallest input (DIM 0.391) is the dense-ll row
+			// nearest the size cut: shrinking the cut below it loses
+			// exactly that row to sel.
+			name:  "LLMaxDIM",
+			set:   func(th *Thresholds, v float64) { th.LLMaxDIM = v },
+			past:  0.37,
+			short: 0.41,
+			flips: map[string]string{key("Nbf", 25600): "sel"},
+		},
+		{
+			// Nbf's 128k input (DIM 1.953, SP 6.25) is the sel row
+			// nearest it from above: growing the cut past it — but short
+			// of Charmm's 5.07 — admits exactly that row into ll.
+			name:  "LLMaxDIM-upward",
+			set:   func(th *Thresholds, v float64) { th.LLMaxDIM = v },
+			past:  2.0,
+			short: 1.9,
+			flips: map[string]string{key("Nbf", 128000): "ll"},
+		},
+		{
+			// Spark98's SP 0.62 is the sel row nearest the density cut
+			// from below: lowering the cut past it — but not to the
+			// sibling's 0.60 — admits exactly the 30169-element row.
+			name:  "LLMinSP",
+			set:   func(th *Thresholds, v float64) { th.LLMinSP = v },
+			past:  0.61,
+			short: 0.63,
+			flips: map[string]string{key("Spark98", 30169): "ll"},
+		},
+		{
+			// Nbf's smallest input (SP 25) is the dense-ll row nearest
+			// it from above: raising the cut past it loses exactly that
+			// row to sel.
+			name:  "LLMinSP-upward",
+			set:   func(th *Thresholds, v float64) { th.LLMinSP = v },
+			past:  26,
+			short: 24,
+			flips: map[string]string{key("Nbf", 25600): "sel"},
+		},
+	}
+
+	rows := workloads.Fig3Rows()
+	run := func(t *testing.T, th Thresholds, flips map[string]string) {
+		t.Helper()
+		for _, r := range rows {
+			p := profileWith(float64(r.Spec.MO), r.Spec.SPPercent, r.Spec.CHR,
+				float64(r.Spec.Dim*8)/float64(512<<10))
+			want := r.PaperRecommend
+			if s, ok := flips[key(r.App, r.Spec.Dim)]; ok {
+				want = s
+			}
+			if got := RecommendWith(p, th); got.Scheme != want {
+				t.Errorf("%s dim=%d: %s, want %s", r.App, r.Spec.Dim, got.Scheme, want)
+			}
+		}
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			past := DefaultThresholds()
+			c.set(&past, c.past)
+			run(t, past, c.flips)
+		})
+		t.Run(c.name+"/inside-margin", func(t *testing.T) {
+			short := DefaultThresholds()
+			c.set(&short, c.short)
+			run(t, short, nil)
+		})
+	}
+}

@@ -3,38 +3,24 @@ package client_test
 import (
 	"errors"
 	"math"
-	"net"
 	"testing"
 	"time"
 
 	"repro/internal/client"
-	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/server"
+	"repro/internal/testkit"
 	"repro/internal/workloads"
 )
 
-// boot starts an engine+server on the given address ("127.0.0.1:0" picks
-// a port) and returns the bound address and a stopper.
+// boot starts an engine+server stack on the given address ("127.0.0.1:0"
+// picks a port) and returns the bound address and a stopper (testkit
+// also registers teardown with t.Cleanup; the explicit stopper exists
+// for the reconnect test, which kills the server mid-test).
 func boot(t *testing.T, addr string) (string, func()) {
 	t.Helper()
-	eng, err := engine.New(engine.Config{Workers: 2, Platform: core.DefaultPlatform(4)})
-	if err != nil {
-		t.Fatal(err)
-	}
-	srv := server.New(eng, server.Config{})
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		eng.Close()
-		t.Fatal(err)
-	}
-	done := make(chan error, 1)
-	go func() { done <- srv.Serve(ln) }()
-	return ln.Addr().String(), func() {
-		srv.Shutdown(10 * time.Second)
-		<-done
-		eng.Close()
-	}
+	d := testkit.StartDaemonAt(t, addr, engine.Config{}, server.Config{})
+	return d.Addr, d.Close
 }
 
 func TestDialFailsCleanly(t *testing.T) {

@@ -12,9 +12,9 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/cluster"
-	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/server"
+	"repro/internal/testkit"
 	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/internal/workloads"
@@ -48,77 +48,41 @@ func (l *killableListener) kill() {
 	l.mu.Unlock()
 }
 
-// backendStack is one spawned reduxd-shaped backend.
+// backendStack is one spawned reduxd-shaped backend with a killable
+// listener for failure injection.
 type backendStack struct {
+	d    *testkit.Daemon
 	eng  *engine.Engine
-	srv  *server.Server
 	ln   *killableListener
 	addr string
-	done chan error
 }
 
 func startBackend(t *testing.T, ecfg engine.Config, scfg server.Config) *backendStack {
 	t.Helper()
-	if ecfg.Workers == 0 {
-		ecfg.Workers = 2
-	}
-	if ecfg.Platform.Procs == 0 {
-		ecfg.Platform = core.DefaultPlatform(4)
-	}
-	eng, err := engine.New(ecfg)
-	if err != nil {
-		t.Fatal(err)
-	}
 	raw, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		eng.Close()
 		t.Fatal(err)
 	}
-	b := &backendStack{
-		eng:  eng,
-		srv:  server.New(eng, scfg),
-		ln:   &killableListener{Listener: raw},
-		addr: raw.Addr().String(),
-		done: make(chan error, 1),
-	}
-	go func() { b.done <- b.srv.Serve(b.ln) }()
-	t.Cleanup(func() {
-		b.srv.Shutdown(10 * time.Second)
-		<-b.done
-		b.eng.Close()
-	})
-	return b
+	ln := &killableListener{Listener: raw}
+	d := testkit.StartDaemonOn(t, ln, ecfg, scfg)
+	return &backendStack{d: d, eng: d.Eng, ln: ln, addr: d.Addr}
+}
+
+// kill simulates backend death: the listener closes, every live socket
+// is cut, and the testkit teardown is told not to expect a clean Serve
+// exit.
+func (b *backendStack) kill() {
+	b.d.ExpectUncleanServe()
+	b.ln.kill()
 }
 
 // startGateway puts a pool over the given backends behind a server
 // speaking the wire protocol, and returns the pool plus a connected
-// client.
+// client (both torn down via t.Cleanup by testkit).
 func startGateway(t *testing.T, ccfg cluster.Config, scfg server.Config, addrs ...string) (*cluster.Pool, *client.Client) {
 	t.Helper()
-	ccfg.Backends = addrs
-	pool, err := cluster.New(ccfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	srv := server.NewWithDispatcher(pool, scfg)
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		pool.Close()
-		t.Fatal(err)
-	}
-	done := make(chan error, 1)
-	go func() { done <- srv.Serve(ln) }()
-	cl, err := client.Dial(ln.Addr().String(), client.Config{Conns: 2})
-	if err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() {
-		cl.Close()
-		srv.Shutdown(10 * time.Second)
-		<-done
-		pool.Close()
-	})
-	return pool, cl
+	g := testkit.StartGateway(t, ccfg, scfg, addrs...)
+	return g.Pool, testkit.DialPool(t, g.Addr, client.Config{Conns: 2})
 }
 
 func assertMatches(t *testing.T, name string, got, want []float64) {
@@ -234,7 +198,7 @@ func TestGatewayBackendDeathReroutes(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	owner.ln.kill()
+	owner.kill()
 	for _, h := range handles {
 		res, err := h.Wait()
 		if err != nil {

@@ -119,17 +119,32 @@ func (e *Engine) runBatch(w *workerCtx, b *batch) {
 	l := jobs[0].loop
 	entry, hit := e.lookup(l, b.fp)
 
-	procs := e.cfg.Platform.Procs
-	useFeedback := entry.feedback && !e.cfg.DisableFeedback && l.NumIters() > 0
+	// A stale entry revalidates before executing, so this batch already
+	// runs whatever the re-inspection concluded (old scheme while
+	// hysteresis holds, new scheme once confirmed).
+	if e.recalEnabled() {
+		if reinspected, switched := e.maybeReinspect(entry, l); reinspected {
+			w.stats.recordRecal(switched)
+		}
+	}
 
-	// Install the entry's current feedback boundaries. The scheduler is
-	// created before the first run so the batch executes the exact
-	// partition its measurement will be attributed to.
+	procs := e.cfg.Platform.Procs
+
+	// Snapshot the decision and install its feedback boundaries in one
+	// critical section: a recalibration switch between the two would
+	// otherwise recreate the scheduler the switch just dropped under the
+	// old scheme, and the generation read after that recreation would
+	// let the old scheme's block times pass the guard below and seed the
+	// new scheme's schedule. The scheduler is created before the first
+	// run so the batch executes the exact partition its measurement will
+	// be attributed to.
 	w.ex.IterBounds = nil
 	w.ex.BlockTimes = nil
 	var genSeen uint64
+	entry.mu.Lock()
+	scheme, name, why, decSeen := entry.scheme, entry.name, entry.conf.Why, entry.decGen
+	useFeedback := entry.feedback && !e.cfg.DisableFeedback && l.NumIters() > 0
 	if useFeedback {
-		entry.mu.Lock()
 		if entry.fb == nil || entry.fbIters != l.NumIters() {
 			entry.fb = sched.NewFeedbackScheduler(procs, l.NumIters())
 			entry.fbIters = l.NumIters()
@@ -137,7 +152,9 @@ func (e *Engine) runBatch(w *workerCtx, b *batch) {
 		}
 		w.bounds = entry.fb.BoundsInto(w.bounds)
 		genSeen = entry.gen
-		entry.mu.Unlock()
+	}
+	entry.mu.Unlock()
+	if useFeedback {
 		w.ex.IterBounds = w.bounds
 		w.ex.BlockTimes = w.times
 	}
@@ -153,13 +170,13 @@ func (e *Engine) runBatch(w *workerCtx, b *batch) {
 	w.ex.BatchOut = w.outs
 
 	start := time.Now()
-	out := entry.scheme.RunInto(l, procs, w.ex, jobs[0].dst)
+	out := scheme.RunInto(l, procs, w.ex, jobs[0].dst)
 	elapsed := time.Since(start)
 	w.ex.BatchOut = nil
 
 	res := Result{
-		Scheme:    entry.name,
-		Why:       entry.conf.Why,
+		Scheme:    name,
+		Why:       why,
 		CacheHit:  hit,
 		Elapsed:   elapsed,
 		BatchSize: len(jobs),
@@ -179,7 +196,7 @@ func (e *Engine) runBatch(w *workerCtx, b *batch) {
 		entry.mu.Unlock()
 	}
 
-	w.stats.record(entry.name, len(jobs), hit)
+	w.stats.record(name, len(jobs), hit)
 
 	for i, j := range jobs {
 		r := res
@@ -197,6 +214,13 @@ func (e *Engine) runBatch(w *workerCtx, b *batch) {
 	// pin client arrays until the next batch.
 	for i := range w.outs {
 		w.outs[i] = nil
+	}
+
+	// Feed the drift detector last: the periodic re-profile it may run is
+	// deliberately off the members' latency path — their results are
+	// already sent.
+	if e.recalEnabled() {
+		e.recordCost(entry, l, elapsed, decSeen)
 	}
 }
 

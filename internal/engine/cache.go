@@ -11,7 +11,11 @@ import (
 	"repro/internal/trace"
 )
 
-// cacheEntry is one memoized adaptive decision.
+// cacheEntry is one memoized adaptive decision. The decision fields
+// (profile, conf, scheme, name, feedback, hw) are written under once.Do
+// at first sight and thereafter only by the recalibration subsystem
+// under mu; runBatch snapshots them under mu, in the same critical
+// section that installs the feedback boundaries.
 type cacheEntry struct {
 	once    sync.Once
 	profile *pattern.Profile
@@ -21,6 +25,9 @@ type cacheEntry struct {
 	// feedback reports whether the scheme honors Exec.IterBounds, i.e.
 	// whether the entry's scheduler can steer it.
 	feedback bool
+	// hw marks a hardware (PCLR) configuration: the directory combine is
+	// pattern-independent, so such entries are never recalibrated.
+	hw bool
 
 	// ref is the CLOCK referenced bit: set on every hit, cleared by the
 	// eviction hand as it sweeps. Guarded by the owning shard's mutex.
@@ -33,6 +40,49 @@ type cacheEntry struct {
 	// swap); a measurement only applies to the boundaries it was taken
 	// under, so jobs record only when gen is still the one they read.
 	gen uint64
+
+	// Drift-detector state (recal.go), guarded by mu. ewmaNs is the
+	// running cost estimate, anchorNs the cost the entry stabilized at
+	// after its decision (seeded once seen reaches RecalSeedExecs),
+	// execs counts executions toward the next periodic re-profile,
+	// stale flags the entry for re-inspection, reinspecting serializes
+	// re-inspections (one batch-head at a time, so hysteresis counts
+	// distinct epochs, not one instant sampled by several workers), and
+	// confirm counts consecutive re-inspections that recommended
+	// pending — a change of mind restarts the count.
+	ewmaNs       float64
+	anchorNs     float64
+	seen         int
+	execs        uint64
+	stale        bool
+	reinspecting bool
+	confirm      int
+	pending      string
+	// decGen bumps only on scheme switches (unlike gen, which also
+	// moves with every feedback Record): a batch snapshots it with the
+	// decision, and recordCost drops measurements whose decision was
+	// replaced while they executed — a straggler's old-scheme cost must
+	// not seed the new scheme's freshly reset anchor.
+	decGen uint64
+}
+
+// install points the entry at the configuration's executable scheme,
+// mirroring what lookup does at first sight. Callers hold mu (or are
+// inside the entry's once.Do).
+func (en *cacheEntry) install(conf core.Configuration) {
+	if conf.UseHardware {
+		// The directory hardware performs the combine; any correct
+		// executor produces the loop's semantics (cf. core.Runtime).
+		en.scheme = reduction.Rep{}
+		en.name = "pclr-" + conf.Hardware.Controller.String()
+		en.feedback = true
+		en.hw = true
+		return
+	}
+	en.scheme = adapt.SchemeFor(adapt.Recommendation{Scheme: conf.Scheme})
+	en.name = conf.Scheme
+	en.feedback = feedbackSchemes[conf.Scheme]
+	en.hw = false
 }
 
 // decisionCache is the sharded decision cache: fingerprints map to shards
@@ -145,22 +195,12 @@ func (e *Engine) lookup(l *trace.Loop, fp uint64) (*cacheEntry, bool) {
 	miss := false
 	entry.once.Do(func() {
 		miss = true
-		prof := pattern.CharacterizeSampled(l, e.cfg.Platform.Procs, e.cfg.Platform.Cfg.L2Bytes, e.cfg.SampleStride)
+		prof := e.characterize(l)
 		rec := adapt.Recommend(prof)
 		conf := core.Configurer{Platform: e.cfg.Platform}.Configure(l, rec)
 		entry.profile = prof
 		entry.conf = conf
-		if conf.UseHardware {
-			// The directory hardware performs the combine; any correct
-			// executor produces the loop's semantics (cf. core.Runtime).
-			entry.scheme = reduction.Rep{}
-			entry.name = "pclr-" + conf.Hardware.Controller.String()
-			entry.feedback = true
-		} else {
-			entry.scheme = adapt.SchemeFor(adapt.Recommendation{Scheme: conf.Scheme})
-			entry.name = conf.Scheme
-			entry.feedback = feedbackSchemes[conf.Scheme]
-		}
+		entry.install(conf)
 	})
 	return entry, ok && !miss
 }

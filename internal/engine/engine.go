@@ -20,6 +20,10 @@
 //   - per-pattern sched.FeedbackSchedulers re-cut iteration blocks from
 //     measured per-processor times, feeding the partition-agnostic schemes
 //     (rep, ll, hash) a load-balanced schedule on their next execution,
+//   - cached decisions are revalidated online (recal.go): a per-entry
+//     drift detector (cost EWMA + periodic sampled re-profile) marks
+//     entries whose workload shifted phase, and a hysteresis-gated
+//     re-inspection switches them to the scheme the new pattern wants,
 //   - counters are sharded per worker and aggregated by Stats(), so the
 //     hot path never takes a global statistics lock.
 package engine
@@ -61,6 +65,30 @@ type Config struct {
 	// MaxBatch caps how many same-pattern jobs fuse into one execution
 	// (default 32).
 	MaxBatch int
+	// DriftRatio is the recalibration cost-drift trigger: when a cache
+	// entry's EWMA execution cost diverges from its decision-time anchor
+	// by more than this ratio (either direction), the entry is marked
+	// stale and re-inspected. Must be > 1; 0 means the default 1.5.
+	DriftRatio float64
+	// RecalEvery is how many batch executions of one entry pass between
+	// sampled re-profiles of its pattern — the backstop drift trigger
+	// for shifts the cost EWMA cannot see (pattern distance past the
+	// re-characterization threshold marks the entry stale even when its
+	// cost looks steady). Each re-profile is an O(refs/stride) inspector
+	// pass on a worker, so the default is deliberately sparse: 0 means
+	// 256. Lower it (the drift benchmark uses 8) when phase shifts are
+	// frequent and stale-scheme latency matters more than re-profile
+	// overhead.
+	RecalEvery int
+	// RecalConfirm is the hysteresis depth: a stale entry must be
+	// re-inspected this many consecutive times with the same differing
+	// recommendation before the scheme actually switches. 0 means the
+	// default 2.
+	RecalConfirm int
+	// DisableRecal turns the recalibration subsystem off entirely: the
+	// engine decides once per fingerprint and trusts the entry until
+	// CLOCK eviction, the pre-recalibration behavior.
+	DisableRecal bool
 	// DisableCoalesce turns off batch fusion, so every job executes
 	// individually (the per-job path, kept measurable).
 	DisableCoalesce bool
@@ -154,6 +182,14 @@ func New(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("engine: negative CacheShards %d", cfg.CacheShards)
 	case cfg.MaxBatch < 0:
 		return nil, fmt.Errorf("engine: negative MaxBatch %d", cfg.MaxBatch)
+	case cfg.DriftRatio < 0:
+		return nil, fmt.Errorf("engine: negative DriftRatio %g", cfg.DriftRatio)
+	case cfg.DriftRatio > 0 && cfg.DriftRatio <= 1:
+		return nil, fmt.Errorf("engine: DriftRatio %g must be > 1 (it is a divergence ratio)", cfg.DriftRatio)
+	case cfg.RecalEvery < 0:
+		return nil, fmt.Errorf("engine: negative RecalEvery %d", cfg.RecalEvery)
+	case cfg.RecalConfirm < 0:
+		return nil, fmt.Errorf("engine: negative RecalConfirm %d", cfg.RecalConfirm)
 	}
 	if cfg.Workers == 0 {
 		cfg.Workers = 4
@@ -176,6 +212,15 @@ func New(cfg Config) (*Engine, error) {
 	cfg.CacheShards = ceilPow2(cfg.CacheShards)
 	if cfg.MaxBatch == 0 {
 		cfg.MaxBatch = 32
+	}
+	if cfg.DriftRatio == 0 {
+		cfg.DriftRatio = 1.5
+	}
+	if cfg.RecalEvery == 0 {
+		cfg.RecalEvery = 256
+	}
+	if cfg.RecalConfirm == 0 {
+		cfg.RecalConfirm = 2
 	}
 	e := &Engine{
 		cfg:        cfg,

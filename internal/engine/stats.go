@@ -13,6 +13,12 @@ type Stats struct {
 	// CacheEvictions counts CLOCK victims across all shards.
 	CacheEntries   int
 	CacheEvictions uint64
+	// Recalibrations counts stale-entry re-inspections (fresh
+	// characterization through the decision algorithm), whether they
+	// revalidated the scheme or counted toward a switch; SchemeSwitches
+	// counts the re-inspections that actually replaced an entry's scheme
+	// after the hysteresis threshold.
+	Recalibrations, SchemeSwitches uint64
 	// Schemes counts executed jobs per scheme name.
 	Schemes map[string]uint64
 	// BatchOccupancy[k] is the number of executed batches that fused
@@ -36,6 +42,8 @@ func (s *Stats) Merge(o Stats) {
 	s.Coalesced += o.Coalesced
 	s.CacheEntries += o.CacheEntries
 	s.CacheEvictions += o.CacheEvictions
+	s.Recalibrations += o.Recalibrations
+	s.SchemeSwitches += o.SchemeSwitches
 	if len(o.BatchOccupancy) > len(s.BatchOccupancy) {
 		grown := make([]uint64, len(o.BatchOccupancy))
 		copy(grown, s.BatchOccupancy)
@@ -64,6 +72,8 @@ type statShard struct {
 	misses    uint64
 	batches   uint64
 	coalesced uint64
+	recals    uint64
+	switches  uint64
 	schemes   map[string]uint64
 	occ       []uint64
 }
@@ -100,6 +110,17 @@ func (s *statShard) record(scheme string, n int, hit bool) {
 	s.mu.Unlock()
 }
 
+// recordRecal accounts one stale-entry re-inspection, and whether it
+// switched the entry's scheme.
+func (s *statShard) recordRecal(switched bool) {
+	s.mu.Lock()
+	s.recals++
+	if switched {
+		s.switches++
+	}
+	s.mu.Unlock()
+}
+
 // Stats snapshots the engine's counters.
 func (e *Engine) Stats() Stats {
 	s := Stats{Schemes: make(map[string]uint64)}
@@ -111,6 +132,8 @@ func (e *Engine) Stats() Stats {
 		s.CacheMisses += sh.misses
 		s.Batches += sh.batches
 		s.Coalesced += sh.coalesced
+		s.Recalibrations += sh.recals
+		s.SchemeSwitches += sh.switches
 		for k, v := range sh.schemes {
 			s.Schemes[k] += v
 		}

@@ -12,43 +12,19 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/server"
+	"repro/internal/testkit"
 	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/internal/workloads"
 )
 
-// startServer boots an engine and a server on a loopback listener and
-// returns the dial address plus a teardown function.
+// startServer boots an engine and a server on a loopback listener via
+// the shared testkit and returns the stack; teardown is registered with
+// t.Cleanup.
 func startServer(t *testing.T, ecfg engine.Config, scfg server.Config) (*engine.Engine, *server.Server, string, func()) {
 	t.Helper()
-	if ecfg.Workers == 0 {
-		ecfg.Workers = 2
-	}
-	if ecfg.Platform.Procs == 0 {
-		ecfg.Platform = core.DefaultPlatform(4)
-	}
-	eng, err := engine.New(ecfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	srv := server.New(eng, scfg)
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		eng.Close()
-		t.Fatal(err)
-	}
-	done := make(chan error, 1)
-	go func() { done <- srv.Serve(ln) }()
-	teardown := func() {
-		if err := srv.Shutdown(10 * time.Second); err != nil {
-			t.Errorf("shutdown: %v", err)
-		}
-		if err := <-done; err != server.ErrServerClosed {
-			t.Errorf("Serve returned %v, want ErrServerClosed", err)
-		}
-		eng.Close()
-	}
-	return eng, srv, ln.Addr().String(), teardown
+	d := testkit.StartDaemon(t, ecfg, scfg)
+	return d.Eng, d.Srv, d.Addr, d.Close
 }
 
 func assertMatches(t *testing.T, name string, got, want []float64) {

@@ -354,6 +354,17 @@ func (f Frame) DecodeStats() (engine.Stats, error) {
 			return engine.Stats{}, fmt.Errorf("%w: scheme count", ErrCorrupt)
 		}
 	}
+	// Optional trailing recalibration pair: a peer that predates it sends
+	// the shorter frame, which decodes with both counters zero. When the
+	// tail is present it must be the complete pair.
+	if c.remaining() > 0 {
+		if s.Recalibrations, err = c.uvarint(); err != nil {
+			return engine.Stats{}, fmt.Errorf("%w: recalibrations", ErrCorrupt)
+		}
+		if s.SchemeSwitches, err = c.uvarint(); err != nil {
+			return engine.Stats{}, fmt.Errorf("%w: scheme switches", ErrCorrupt)
+		}
+	}
 	if c.remaining() != 0 {
 		return engine.Stats{}, fmt.Errorf("%w: %d trailing bytes after stats body", ErrCorrupt, c.remaining())
 	}

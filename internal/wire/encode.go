@@ -159,6 +159,13 @@ func AppendStats(dst []byte, jobID uint64, s *engine.Stats) []byte {
 		dst = appendString(dst, name)
 		dst = binary.AppendUvarint(dst, count)
 	}
+	// Recalibration counters are an optional trailing pair, following the
+	// same evolution rule as the HELLO flags field: emitted only when
+	// non-zero, decoded as zero by peers that predate them.
+	if s.Recalibrations != 0 || s.SchemeSwitches != 0 {
+		dst = binary.AppendUvarint(dst, s.Recalibrations)
+		dst = binary.AppendUvarint(dst, s.SchemeSwitches)
+	}
 	return endFrame(dst, p)
 }
 

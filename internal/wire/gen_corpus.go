@@ -1,0 +1,66 @@
+//go:build ignore
+
+// gen_corpus.go regenerates the checked-in seed corpus for
+// FuzzDecodeFrame from real encoded frames of every type (run with
+// `go run gen_corpus.go` in this directory). The corpus gives the CI
+// fuzz run structured starting points — length-prefixed frames with
+// valid varint fields, loop payloads and the optional trailing
+// extensions (HELLO flags, STATS recalibration pair) — instead of
+// making it rediscover the framing from empty input every run.
+// TestSeedCorpusDecodes keeps the files honest.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/engine"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+func main() {
+	l := trace.NewLoop("corpus", 64)
+	l.WorkPerIter = 2.5
+	l.Invocations = 3
+	l.AddIter(1, 5, 9)
+	l.AddIter(5, 5, 63)
+	l.AddIter(0)
+	l.AddIter(62, 2, 33, 7)
+
+	res := engine.Result{
+		Values: []float64{1.5, -2.25, 0, 3e9}, Scheme: "hash",
+		Why: "very sparse", CacheHit: true, BatchSize: 3,
+		Elapsed: 123456, Imbalance: 1.25,
+	}
+	stats := engine.Stats{
+		Jobs: 100, CacheHits: 80, CacheMisses: 20, Batches: 40, Coalesced: 60,
+		CacheEntries: 7, CacheEvictions: 2,
+		Schemes:        map[string]uint64{"rep": 60, "ll": 40},
+		BatchOccupancy: []uint64{0, 10, 15},
+	}
+	recal := stats
+	recal.Recalibrations, recal.SchemeSwitches = 9, 4
+
+	seeds := map[string][]byte{
+		"hello":       wire.AppendHello(nil, wire.Hello{Version: wire.ProtoVersion, Procs: 8, MaxInflight: 64}),
+		"hello-flags": wire.AppendHello(nil, wire.Hello{Version: wire.ProtoVersion, Procs: 8, MaxInflight: 64, Flags: wire.HelloFlagGateway}),
+		"submit":      wire.AppendSubmit(nil, 1, l),
+		"result":      wire.AppendResult(nil, 2, &res),
+		"error":       wire.AppendError(nil, 3, "loop rejected"),
+		"busy":        wire.AppendBusy(nil, 4, wire.BusyUpstream),
+		"statsreq":    wire.AppendStatsReq(nil, 5),
+		"stats":       wire.AppendStats(nil, 6, &stats),
+		"stats-recal": wire.AppendStats(nil, 7, &recal),
+	}
+	for name, b := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", b)
+		path := filepath.Join("testdata", "fuzz", "FuzzDecodeFrame", "seed-"+name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	}
+}

@@ -177,6 +177,56 @@ func TestStatsRoundTrip(t *testing.T) {
 	}
 }
 
+// TestStatsRecalCompat pins the optional-trailing-pair rule the
+// recalibration counters ride on, mirroring TestHelloFlagsCompat: a
+// frame without the tail (what a pre-recalibration peer emits) decodes
+// with both counters zero, a tailed frame round-trips, and the encoder
+// omits the pair when both are zero so old decoders that reject trailing
+// bytes would still accept it.
+func TestStatsRecalCompat(t *testing.T) {
+	legacy := AppendStats(nil, 9, &engine.Stats{Jobs: 5, Schemes: map[string]uint64{"rep": 5}})
+	tailed := AppendStats(nil, 9, &engine.Stats{
+		Jobs: 5, Schemes: map[string]uint64{"rep": 5},
+		Recalibrations: 7, SchemeSwitches: 2,
+	})
+	if len(tailed) != len(legacy)+2 {
+		t.Fatalf("tailed frame %d bytes vs legacy %d: recal pair not trailing", len(tailed), len(legacy))
+	}
+	f, _, err := DecodeFrame(legacy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := f.DecodeStats()
+	if err != nil || s.Recalibrations != 0 || s.SchemeSwitches != 0 {
+		t.Fatalf("legacy stats decoded to recal %d/%d, err %v (want 0/0)", s.Recalibrations, s.SchemeSwitches, err)
+	}
+	f, _, err = DecodeFrame(tailed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, err = f.DecodeStats(); err != nil || s.Recalibrations != 7 || s.SchemeSwitches != 2 {
+		t.Fatalf("tailed stats decoded to recal %d/%d, err %v (want 7/2)", s.Recalibrations, s.SchemeSwitches, err)
+	}
+	// A half-pair (recalibrations without switches) is corrupt.
+	f, _, err = DecodeFrame(halfPairStats(legacy), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.DecodeStats(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("half recal pair decoded without error: %v", err)
+	}
+}
+
+// halfPairStats rebuilds a legacy STATS frame with one extra trailing
+// uvarint — the invalid half of the recalibration pair.
+func halfPairStats(legacy []byte) []byte {
+	b := append([]byte(nil), legacy...)
+	b = append(b, 7) // one more uvarint in the payload
+	n := uint32(len(b) - 4)
+	b[0], b[1], b[2], b[3] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+	return b
+}
+
 func TestSmallFramesRoundTrip(t *testing.T) {
 	buf := AppendHello(nil, Hello{Version: ProtoVersion, Procs: 8, MaxInflight: 64})
 	buf = AppendError(buf, 7, "loop rejected")

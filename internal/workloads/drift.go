@@ -1,0 +1,159 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/trace"
+)
+
+// DriftStream is a deterministic piecewise-Zipf job stream whose hot-key
+// population changes pattern regime at phase boundaries — the traffic
+// shape of an application whose access pattern drifts mid-run (a moldyn
+// neighbor-list rebuild, a mesh refinement): the program keeps submitting
+// "the same" reduction loop, but the loop's measured metrics have moved
+// into a different scheme's sweet spot.
+//
+// The crucial property is that every phase variant of one hot key shares
+// the key's trace.Fingerprint. The fingerprint samples the subscript
+// stream at a fixed stride, so the generator pins the sampled positions
+// to a small per-key anchor set that every phase references identically,
+// and rewrites only the references between them. The engine's decision
+// cache therefore keeps serving the entry it decided in an earlier phase
+// — exactly the stale-decision hazard the recalibration subsystem
+// (internal/engine) exists to detect — while the loops' measured
+// sparsity and mobility genuinely shift across the recommendation
+// boundaries of internal/adapt.
+type DriftStream struct {
+	// Phases[p][k] is hot key k's loop during phase p. For every key,
+	// the loops of all phases share one fingerprint; their pattern
+	// regime alternates sparse/high-mobility (hash territory) on even
+	// phases and dense/low-contention (ll territory) on odd phases.
+	Phases [][]*trace.Loop
+	// Stream is the job sequence: PhaseLen jobs drawn Zipf-ranked from
+	// phase 0's population, then PhaseLen from phase 1's, and so on.
+	Stream []*trace.Loop
+	// PhaseLen is the number of jobs per phase.
+	PhaseLen int
+}
+
+// driftRefsPerIter is the reference count per iteration. It is chosen
+// above adapt's HashMinMO cut so the sparse phases clear the mobility
+// bar for hash.
+const driftRefsPerIter = 12
+
+// driftAnchors is the number of fingerprint anchor elements per key.
+const driftAnchors = 16
+
+// NewDriftStream builds a drifting hot-key workload: keys distinct
+// patterns, phases regime shifts, phaseLen jobs per phase, Zipf exponent
+// s (> 1) skewing traffic onto the hottest keys, scale multiplying the
+// trace size, and a seed making everything reproducible. The
+// construction panics if a phase variant fails to preserve its key's
+// fingerprint — that would silently turn the drift scenario into a
+// plain cache-miss scenario.
+func NewDriftStream(keys, phases, phaseLen int, s float64, scale float64, seed int64) *DriftStream {
+	if keys < 1 || phases < 1 || phaseLen < 1 {
+		panic(fmt.Sprintf("workloads: DriftStream needs positive keys/phases/phaseLen, got %d/%d/%d", keys, phases, phaseLen))
+	}
+	if scale <= 0 {
+		panic(fmt.Sprintf("workloads: scale must be positive, got %g", scale))
+	}
+	ds := &DriftStream{
+		Phases:   make([][]*trace.Loop, phases),
+		PhaseLen: phaseLen,
+	}
+	for p := range ds.Phases {
+		ds.Phases[p] = make([]*trace.Loop, keys)
+		for k := 0; k < keys; k++ {
+			ds.Phases[p][k] = driftLoop(k, p, scale, seed)
+			if p > 0 {
+				if got, want := ds.Phases[p][k].Fingerprint(), ds.Phases[0][k].Fingerprint(); got != want {
+					panic(fmt.Sprintf("workloads: drift key %d phase %d broke its fingerprint (%x != %x)", k, p, got, want))
+				}
+			}
+		}
+	}
+	// One Zipf rank sequence for the whole stream: the *traffic* skew is
+	// stable, only the patterns underneath it drift.
+	rng := rand.New(rand.NewSource(seed))
+	var z *rand.Zipf
+	if keys > 1 {
+		if s <= 1 {
+			panic(fmt.Sprintf("workloads: Zipf exponent must be > 1, got %g", s))
+		}
+		z = rand.NewZipf(rng, s, 1, uint64(keys-1))
+	}
+	ds.Stream = make([]*trace.Loop, phases*phaseLen)
+	for i := range ds.Stream {
+		rank := uint64(0)
+		if z != nil {
+			rank = z.Uint64()
+		}
+		ds.Stream[i] = ds.Phases[i/phaseLen][rank]
+	}
+	return ds
+}
+
+// driftLoop builds hot key k's loop for phase p. The iteration shape,
+// dimensions and total reference count are identical across phases (all
+// of them feed the fingerprint); only the subscript values between the
+// fingerprint-sampled anchor positions change regime:
+//
+//   - even phases reference a tiny hot set (~0.45% of the array) with
+//     high per-iteration mobility — adapt recommends hash,
+//   - odd phases reference a quarter of the array at low contention —
+//     adapt recommends ll.
+func driftLoop(k, p int, scale float64, seed int64) *trace.Loop {
+	// The sparse phases need a hot set big enough for per-iteration
+	// mobility to clear HashMinMO while staying under HashMaxSP percent
+	// of the array, so the dimension has a floor.
+	dim := scaleInt(16000, scale, 10000) + 64*k
+	iters := scaleInt(2000, scale, 256)
+	total := iters * driftRefsPerIter
+
+	// The fingerprint samples refs at this stride (trace.Fingerprint's
+	// samples constant); those positions always hold anchors.
+	stride := total / 256
+	if stride < 1 {
+		stride = 1
+	}
+	anchors := make([]int32, driftAnchors)
+	for j := range anchors {
+		anchors[j] = int32(j * dim / driftAnchors)
+	}
+
+	rng := rand.New(rand.NewSource(seed + int64(k)*1_000_003 + int64(p)*7919))
+	var hotLen int
+	if p%2 == 0 {
+		// Sparse regime: the hot set plus anchors stays below HashMaxSP
+		// (0.5%) of the array while leaving enough distinct elements for
+		// 12 draws to exceed HashMinMO (8) distinct references.
+		hotLen = dim*45/10000 - driftAnchors
+	} else {
+		// Dense regime: a quarter of the array, low contention.
+		hotLen = dim / 4
+	}
+	hot := make([]int32, hotLen)
+	hotStride := float64(dim) / float64(hotLen)
+	for j := range hot {
+		hot[j] = int32(float64(j) * hotStride)
+	}
+
+	l := trace.NewLoop(fmt.Sprintf("drift-%02d@p%d", k, p), dim)
+	l.WorkPerIter = 6
+	refs := make([]int32, driftRefsPerIter)
+	pos := 0
+	for i := 0; i < iters; i++ {
+		for j := 0; j < driftRefsPerIter; j++ {
+			if pos%stride == 0 {
+				refs[j] = anchors[(pos/stride)%driftAnchors]
+			} else {
+				refs[j] = hot[rng.Intn(hotLen)]
+			}
+			pos++
+		}
+		l.AddIter(refs...)
+	}
+	return l
+}

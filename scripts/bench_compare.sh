@@ -39,7 +39,10 @@ fi
 
 # Extract "name ns_per_op" pairs from the one-benchmark-per-line JSON that
 # bench_engine.sh writes, optionally normalized to the reference
-# benchmark's ns_per_op from the same file.
+# benchmark's ns_per_op from the same file. A record without an ns_per_op
+# value (a benchmark that errored out, or a hand-edited baseline) is
+# reported by name and skipped rather than silently dropped — a missing
+# key must never surface later as an inscrutable awk failure.
 extract() {
     awk -F'"' -v norm="$norm" '
     /"name":/ {
@@ -49,11 +52,13 @@ extract() {
             gsub(/[^0-9]/, "", v)
             names[++n] = name; vals[n] = v
             if (name == norm) ref = v
+        } else {
+            printf "bench_compare: %s in %s has no ns_per_op value; skipping it\n", name, FILENAME > "/dev/stderr"
         }
     }
     END {
         if (norm != "" && ref + 0 <= 0) {
-            printf "bench_compare: normalization benchmark %s not in %s\n", norm, FILENAME > "/dev/stderr"
+            printf "bench_compare: normalization benchmark %s has no ns_per_op in %s\n", norm, FILENAME > "/dev/stderr"
             exit 2
         }
         for (i = 1; i <= n; i++)
@@ -93,8 +98,9 @@ echo "bench_compare: throughput within ${tol}% of baseline (${unit})"
 # (default 80) percent of the single-daemon figure (RemoteZipf). This is
 # the mechanical check behind the claim that rendezvous routing
 # preserves batch coalescing at tier scale; it runs whenever the
-# candidate carries both metrics.
-awk -v minpct="${AFFINITY_MIN_PCT:-80}" '
+# candidate carries both metrics, and names the missing metric when it
+# cannot.
+awk -v minpct="${AFFINITY_MIN_PCT:-80}" -v cand="$cand" '
 /"name": "GatewayZipf"/ && match($0, /"jobs_per_batch": *[0-9.]+/) {
     gw = substr($0, RSTART, RLENGTH); gsub(/[^0-9.]/, "", gw)
 }
@@ -102,8 +108,12 @@ awk -v minpct="${AFFINITY_MIN_PCT:-80}" '
     remote = substr($0, RSTART, RLENGTH); gsub(/[^0-9.]/, "", remote)
 }
 END {
-    if (gw + 0 <= 0 || remote + 0 <= 0) {
-        print "bench_compare: affinity gate skipped (jobs_per_batch not in both GatewayZipf and RemoteZipf)"
+    if (gw + 0 <= 0) {
+        printf "bench_compare: affinity gate skipped: GatewayZipf jobs_per_batch missing from %s\n", cand
+        exit 0
+    }
+    if (remote + 0 <= 0) {
+        printf "bench_compare: affinity gate skipped: RemoteZipf jobs_per_batch missing from %s\n", cand
         exit 0
     }
     pct = 100 * gw / remote
@@ -113,3 +123,51 @@ END {
         exit 1
     }
 }' "$cand"
+
+# Drift-recovery gate: after the DriftRecovery phase shift, the measured
+# p95 must have returned to within RECOVERY_MAX_PCT (default 125) percent
+# of an independently measured steady state, within RECOVERY_MAX_JOBS
+# (default 1024) post-shift jobs — the mechanical check behind the
+# recalibration subsystem's claim that a stale decision cannot degrade a
+# drifted workload indefinitely (the measured figure is ~16 jobs; the
+# ceiling leaves room for runner noise, not for a regression to
+# thousands). Runs whenever the candidate carries the metric; a baseline
+# that has it while the fresh run does not is called out by name (the
+# benchmark was dropped or its run was too short to measure a
+# trajectory).
+awk -v maxpct="${RECOVERY_MAX_PCT:-125}" -v maxjobs="${RECOVERY_MAX_JOBS:-1024}" -v cand="$cand" -v base="$base" '
+# field(line, key) returns the numeric value of "key": <num>, or "".
+# The key name itself may contain digits (p95), so the prefix is
+# stripped explicitly rather than squeezed out character-wise.
+function field(line, key,    s) {
+    if (!match(line, "\"" key "\": *[0-9.]+")) return ""
+    s = substr(line, RSTART, RLENGTH)
+    sub("^\"" key "\": *", "", s)
+    return s
+}
+/"name": "DriftRecovery"/ {
+    if (FILENAME == cand) {
+        pct = field($0, "recovery_p95_pct")
+        jobs = field($0, "recovery_jobs")
+    }
+    if (FILENAME == base && /"recovery_p95_pct"/) inBase = 1
+}
+END {
+    if (pct + 0 <= 0) {
+        if (inBase) {
+            printf "bench_compare: recovery gate skipped: DriftRecovery recovery_p95_pct in baseline %s but missing from %s\n", base, cand
+        } else {
+            printf "bench_compare: recovery gate skipped: DriftRecovery recovery_p95_pct missing from %s\n", cand
+        }
+        exit 0
+    }
+    printf "bench_compare: drift recovery: post-shift p95 back to %.1f%% of steady state after %.0f jobs (ceilings %d%%, %d jobs)\n", pct, jobs, maxpct, maxjobs
+    if (pct + 0 > maxpct + 0) {
+        print "bench_compare: FAIL: drifted workload did not recover to steady-state latency"
+        exit 1
+    }
+    if (jobs + 0 > maxjobs + 0) {
+        print "bench_compare: FAIL: recovery took more post-shift jobs than the ceiling allows"
+        exit 1
+    }
+}' "$base" "$cand"

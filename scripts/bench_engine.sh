@@ -6,7 +6,7 @@ set -eu
 cd "$(dirname "$0")/.."
 out=BENCH_engine.json
 
-raw=$(go test -bench 'Engine|Scheme|Remote|Gateway' -benchmem -run '^$' -benchtime 1s . )
+raw=$(go test -bench 'Engine|Scheme|Remote|Gateway|Drift' -benchmem -run '^$' -benchtime 1s . )
 echo "$raw"
 
 # Parse benchmark lines by unit, not by column position, so custom
@@ -17,12 +17,14 @@ BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1; sub(/^Benchmark/, "", name); sub(/-[0-9]+$/, "", name)
     names[n] = name; iters[n] = $2
-    ns[n] = ""; bytes[n] = ""; allocs[n] = ""; jpb[n] = ""
+    ns[n] = ""; bytes[n] = ""; allocs[n] = ""; jpb[n] = ""; rpct[n] = ""; rjobs[n] = ""
     for (i = 3; i < NF; i++) {
         if ($(i+1) == "ns/op") ns[n] = $i
         else if ($(i+1) == "B/op") bytes[n] = $i
         else if ($(i+1) == "allocs/op") allocs[n] = $i
         else if ($(i+1) == "jobs/batch") jpb[n] = $i
+        else if ($(i+1) == "recovery%") rpct[n] = $i
+        else if ($(i+1) == "recovery-jobs") rjobs[n] = $i
     }
     n++
 }
@@ -32,6 +34,8 @@ END {
         printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
             names[i], iters[i], ns[i], bytes[i], allocs[i]
         if (jpb[i] != "") printf ", \"jobs_per_batch\": %s", jpb[i]
+        if (rpct[i] != "") printf ", \"recovery_p95_pct\": %s", rpct[i]
+        if (rjobs[i] != "") printf ", \"recovery_jobs\": %s", rjobs[i]
         printf "}%s\n", (i < n-1 ? "," : "")
     }
     printf "  ]\n}\n"

@@ -1,0 +1,39 @@
+#!/bin/sh
+# Runs go test -coverprofile across ./internal/... and fails when total
+# statement coverage drops below the committed floor — a ratchet, not a
+# target: when a PR raises the total comfortably above the floor, raise
+# the floor here to lock the gain in (keep ~1.5% headroom so timing-
+# dependent paths — drain races, reconnect loops — don't flake the gate).
+#
+# usage: coverage_gate.sh            (floor from the committed default)
+#        COVERAGE_FLOOR=85 coverage_gate.sh
+#
+# The -short suite is measured (what CI runs); the profile is left in
+# cover.out for `go tool cover -html=cover.out` spelunking.
+set -eu
+
+cd "$(dirname "$0")/.."
+floor="${COVERAGE_FLOOR:-83.0}"
+
+# Keep go test's output: a test failure must surface its diagnostics,
+# not just a bare nonzero exit from set -e.
+log=$(mktemp)
+trap 'rm -f "$log"' EXIT
+if ! go test -short -coverprofile=cover.out ./internal/... > "$log" 2>&1; then
+    cat "$log"
+    echo "coverage_gate: tests failed; coverage not evaluated" >&2
+    exit 1
+fi
+total=$(go tool cover -func=cover.out | awk '/^total:/ { gsub(/%/, "", $3); print $3 }')
+if [ -z "$total" ]; then
+    echo "coverage_gate: no total in cover.out" >&2
+    exit 2
+fi
+
+awk -v total="$total" -v floor="$floor" 'BEGIN {
+    printf "coverage_gate: %.1f%% of statements covered (floor %.1f%%)\n", total, floor
+    if (total + 0 < floor + 0) {
+        print "coverage_gate: FAIL: coverage dropped below the committed floor"
+        exit 1
+    }
+}'
