@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short race bench bench-smoke fmt vet ci serve loadtest loadtest-gateway fuzz cover docs-check
+.PHONY: build test test-short race bench bench-smoke fmt vet ci serve loadtest loadtest-gateway fuzz cover docs-check codegen portability
 
 build:
 	$(GO) build ./...
@@ -69,4 +69,18 @@ fuzz:
 cover:
 	./scripts/coverage_gate.sh
 
-ci: fmt vet build race bench-smoke fuzz cover loadtest loadtest-gateway docs-check
+# codegen compiles the reduction package with the compiler's bounds-check
+# diagnostic and fails when an unmarked check appears in the optimized
+# kernels (kernels.go) — the CI codegen job, runnable locally.
+codegen:
+	./scripts/bce_check.sh
+
+# portability cross-compiles for linux/arm64 and linux/amd64 at the v3
+# (AVX2) microarchitecture level, then runs the kernel-bearing packages'
+# tests shuffled twice — the CI portability job, runnable locally.
+portability:
+	GOOS=linux GOARCH=arm64 $(GO) build ./...
+	GOOS=linux GOARCH=amd64 GOAMD64=v3 $(GO) build ./...
+	$(GO) test -shuffle=on -count=2 -short ./internal/reduction/ ./internal/engine/
+
+ci: fmt vet build codegen portability race bench-smoke fuzz cover loadtest loadtest-gateway docs-check

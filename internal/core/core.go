@@ -213,7 +213,10 @@ func NewRuntime(p Platform) *Runtime {
 		Evaluator:    DefaultEvaluator(),
 		SampleStride: 8,
 		predictor:    Predictor{Procs: p.Procs, Cfg: cfg},
-		exec:         &reduction.Exec{Pool: reduction.NewBufferPool()},
+		exec: &reduction.Exec{
+			Pool:            reduction.NewBufferPool(),
+			MergeBlockElems: reduction.MergeBlockForCache(cfg.L2Bytes, p.Procs),
+		},
 	}
 }
 

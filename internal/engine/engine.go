@@ -343,7 +343,10 @@ type workerCtx struct {
 func (e *Engine) worker(id int) {
 	defer e.wg.Done()
 	w := &workerCtx{
-		ex:    &reduction.Exec{Pool: e.pool},
+		ex: &reduction.Exec{
+			Pool:            e.pool,
+			MergeBlockElems: reduction.MergeBlockForCache(e.cfg.Platform.Cfg.L2Bytes, e.cfg.Platform.Procs),
+		},
 		times: make([]float64, e.cfg.Platform.Procs),
 		stats: &e.statShards[id],
 	}

@@ -4,7 +4,15 @@ import (
 	"math/bits"
 	"sync"
 	"time"
+
+	"repro/internal/trace"
+	"repro/internal/vtime"
 )
+
+// defaultL2Bytes is the modeled per-processor L2 capacity (the paper's
+// Table 1 machine) used to size merge blocks when the caller installs no
+// platform-specific Exec.MergeBlockElems.
+var defaultL2Bytes = vtime.DefaultConfig().L2Bytes
 
 // BufferPool recycles the privatization buffers the schemes allocate per
 // execution (private replicated arrays, link/flag arrays, remap tables,
@@ -114,11 +122,54 @@ type Exec struct {
 	// value is still in a register; the others fan the finished result out
 	// with one copy per member.
 	BatchOut [][]float64
+	// MergeBlockElems overrides the element-block size the blocked tree
+	// merge (rep, and sel's conflicting set) processes per round, the
+	// per-block privatization sizing hook: a block of every private copy
+	// should stay L2-resident across all log2(procs) combine rounds.
+	// Zero picks a default from the modeled platform's L2 geometry; the
+	// engine sets it from its configured platform via MergeBlockForCache.
+	MergeBlockElems int
 
 	// scratch: per-processor slice headers reused across jobs.
 	f64Slots  [][]float64
 	i32Slots  [][]int32
 	hashSlots []hashTable
+
+	// naive forces the retained scalar reference kernels even for OpAdd;
+	// the property tests use it to compare fast and naive executions of
+	// identical structure. Never set on production paths.
+	naive bool
+}
+
+// MergeBlockForCache returns the tree-merge block size (in elements) for
+// a machine whose per-processor L2 holds l2Bytes: the largest block such
+// that procs private copies of it plus the output block fit in half the
+// cache (the other half is left to the subscript stream and the batch
+// fan-out destinations), floored so tiny caches still amortize the
+// per-block round setup.
+func MergeBlockForCache(l2Bytes, procs int) int {
+	if procs < 1 {
+		procs = 1
+	}
+	block := l2Bytes / 2 / 8 / (procs + 1)
+	if block < 256 {
+		block = 256
+	}
+	return block
+}
+
+// mergeBlock returns the context's tree-merge block size (nil-safe).
+func (ex *Exec) mergeBlock(procs int) int {
+	if ex != nil && ex.MergeBlockElems > 0 {
+		return ex.MergeBlockElems
+	}
+	return MergeBlockForCache(defaultL2Bytes, procs)
+}
+
+// fastAdd reports whether the loop takes the specialized OpAdd kernels in
+// kernels.go; everything else runs the retained references in naive.go.
+func (ex *Exec) fastAdd(l *trace.Loop) bool {
+	return l.Op == trace.OpAdd && (ex == nil || !ex.naive)
 }
 
 // iterBlock returns processor p's iteration range: the custom feedback

@@ -97,12 +97,16 @@ func (h Hash) Run(l *trace.Loop, procs int) []float64 {
 }
 
 // RunInto executes the loop with per-processor hash tables whose key and
-// value arrays come from the context's pool.
+// value arrays come from the context's pool. OpAdd loops run the
+// inlined-probe kernel; other operators take the retained scalar
+// reference (naive.go). Both build bit-identical table layouts.
 func (Hash) RunInto(l *trace.Loop, procs int, ex *Exec, out []float64) []float64 {
 	checkProcs(procs)
 	neutral := l.Op.Neutral()
 	pool := ex.pool()
 	tables := ex.hashTableSlots(procs)
+	fast := ex.fastAdd(l)
+	offsets, refs := l.Flat()
 
 	parallelFor(procs, ex.timedBody(procs, func(p int) {
 		t := &tables[p]
@@ -113,10 +117,10 @@ func (Hash) RunInto(l *trace.Loop, procs int, ex *Exec, out []float64) []float64
 		// feedback schedule hands this processor a far larger share of
 		// the references than the static partition would.
 		t.init(l.RefsInRange(lo, hi)+1, pool)
-		for i := lo; i < hi; i++ {
-			for k, idx := range l.Iter(i) {
-				t.update(idx, trace.Value(i, k, idx), l.Op)
-			}
+		if fast {
+			t.accumHashAdd(offsets, refs, lo, hi)
+		} else {
+			t.naiveAccumHash(l, lo, hi)
 		}
 	}))
 
@@ -124,10 +128,10 @@ func (Hash) RunInto(l *trace.Loop, procs int, ex *Exec, out []float64) []float64
 	initNeutral(out, neutral, fresh)
 	for p := range tables {
 		t := &tables[p]
-		for i, key := range t.keys {
-			if key >= 0 {
-				out[key] = l.Op.Apply(out[key], t.vals[i])
-			}
+		if fast {
+			mergeTableAdd(out, t.keys, t.vals)
+		} else {
+			naiveMergeTable(out, t.keys, t.vals, l.Op)
 		}
 		t.release(pool)
 	}

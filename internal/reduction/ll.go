@@ -28,11 +28,15 @@ func (s LinkedList) Run(l *trace.Loop, procs int) []float64 {
 }
 
 // RunInto executes the loop with lazily-initialized replicated buffers
-// whose value and link arrays come from the context's pool.
+// whose value and link arrays come from the context's pool. OpAdd loops
+// run the unrolled lazy-accumulation kernel; other operators take the
+// retained scalar reference (naive.go).
 func (LinkedList) RunInto(l *trace.Loop, procs int, ex *Exec, out []float64) []float64 {
 	checkProcs(procs)
 	neutral := l.Op.Neutral()
 	pool := ex.pool()
+	fast := ex.fastAdd(l)
+	offsets, refs := l.Flat()
 
 	vals := ex.float64Slots(procs)
 	nexts := ex.int32Slots(procs)
@@ -45,15 +49,10 @@ func (LinkedList) RunInto(l *trace.Loop, procs int, ex *Exec, out []float64) []f
 		fillInt32(next, -2) // -2 = untouched
 		head := int32(-1)
 		lo, hi := ex.iterBlock(l.NumIters(), procs, p)
-		for i := lo; i < hi; i++ {
-			for k, idx := range l.Iter(i) {
-				if next[idx] == -2 {
-					v[idx] = neutral
-					next[idx] = head
-					head = idx
-				}
-				v[idx] = l.Op.Apply(v[idx], trace.Value(i, k, idx))
-			}
+		if fast {
+			head = accumLazyAdd(v, next, head, offsets, refs, lo, hi)
+		} else {
+			head = naiveAccumLazy(v, next, head, l, lo, hi)
 		}
 		vals[p], nexts[p], heads[p] = v, next, head
 	}))
@@ -69,8 +68,10 @@ func (LinkedList) RunInto(l *trace.Loop, procs int, ex *Exec, out []float64) []f
 	initNeutral(out, neutral, fresh)
 	for p := 0; p < procs; p++ {
 		v, next := vals[p], nexts[p]
-		for e := heads[p]; e >= 0; e = next[e] {
-			out[e] = l.Op.Apply(out[e], v[e])
+		if fast {
+			mergeListAdd(out, v, next, heads[p])
+		} else {
+			naiveMergeList(out, v, next, heads[p], l.Op)
 		}
 	}
 	for p := 0; p < procs; p++ {

@@ -80,14 +80,14 @@ func (lw LocalWrite) RunInto(l *trace.Loop, procs int, ex *Exec, out []float64) 
 
 	out, fresh := ensureOut(out, l.NumElems)
 	initNeutral(out, neutral, fresh)
+	fast := ex.fastAdd(l)
+	offsets, refs := l.Flat()
 	parallelFor(procs, ex.timedBody(procs, func(p int) {
 		elemLo, elemHi := blockBounds(l.NumElems, procs, p)
-		for _, i := range iterLists[p] {
-			for k, idx := range l.Iter(int(i)) {
-				if int(idx) >= elemLo && int(idx) < elemHi {
-					out[idx] = l.Op.Apply(out[idx], trace.Value(int(i), k, idx))
-				}
-			}
+		if fast {
+			accumOwnedAdd(out, int32(elemLo), int32(elemHi), iterLists[p], offsets, refs)
+		} else {
+			naiveAccumOwned(out, elemLo, elemHi, iterLists[p], l)
 		}
 	}))
 	for p := range iterLists {

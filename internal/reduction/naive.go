@@ -1,0 +1,154 @@
+package reduction
+
+import "repro/internal/trace"
+
+// This file retains the scalar element-at-a-time reference kernels the
+// optimized loops in kernels.go replaced on the hot path. They serve
+// three roles:
+//
+//   - the execution path for the non-add operators (mul/max/min), which
+//     the paper's applications never use in anger,
+//   - the semantic oracle for the property tests in kernels_test.go:
+//     a fast kernel and its naive counterpart apply contributions in the
+//     same element-local order with the same operations, so their results
+//     must match bit-for-bit on every input,
+//   - readable documentation of what each scheme's hot loop computes.
+//
+// Any change to a kernel in kernels.go that is not mirrored here (or vice
+// versa) fails TestKernelsMatchNaive.
+
+// naiveAccumFlat is accumFlatAdd's reference: fold iterations [lo, hi)
+// into the private array w under op.
+func naiveAccumFlat(w []float64, l *trace.Loop, lo, hi int) {
+	op := l.Op
+	for i := lo; i < hi; i++ {
+		for k, idx := range l.Iter(i) {
+			w[idx] = op.Apply(w[idx], trace.Value(i, k, idx))
+		}
+	}
+}
+
+// naiveAccumLazy is accumLazyAdd's reference: lazy first-touch
+// initialization threading touched elements onto a private list.
+func naiveAccumLazy(v []float64, next []int32, head int32, l *trace.Loop, lo, hi int) int32 {
+	op := l.Op
+	neutral := op.Neutral()
+	for i := lo; i < hi; i++ {
+		for k, idx := range l.Iter(i) {
+			if next[idx] == -2 {
+				v[idx] = neutral
+				next[idx] = head
+				head = idx
+			}
+			v[idx] = op.Apply(v[idx], trace.Value(i, k, idx))
+		}
+	}
+	return head
+}
+
+// naiveMergeList is mergeListAdd's reference.
+func naiveMergeList(out, v []float64, next []int32, head int32, op trace.Op) {
+	for e := head; e >= 0; e = next[e] {
+		out[e] = op.Apply(out[e], v[e])
+	}
+}
+
+// naiveAccumSel is accumSelAdd's reference: conflicting elements fold
+// into the compact array through the remap table, exclusive elements
+// update out in place.
+func naiveAccumSel(out, compact []float64, remap []int32, l *trace.Loop, lo, hi int) {
+	op := l.Op
+	for i := lo; i < hi; i++ {
+		for k, idx := range l.Iter(i) {
+			v := trace.Value(i, k, idx)
+			if c := remap[idx]; c >= 0 {
+				compact[c] = op.Apply(compact[c], v)
+			} else {
+				out[idx] = op.Apply(out[idx], v)
+			}
+		}
+	}
+}
+
+// naiveAccumOwned is accumOwnedAdd's reference: execute the replicated
+// iteration list, applying only updates to owned elements.
+func naiveAccumOwned(out []float64, elemLo, elemHi int, iters []int32, l *trace.Loop) {
+	op := l.Op
+	for _, it := range iters {
+		i := int(it)
+		for k, idx := range l.Iter(i) {
+			if int(idx) >= elemLo && int(idx) < elemHi {
+				out[idx] = op.Apply(out[idx], trace.Value(i, k, idx))
+			}
+		}
+	}
+}
+
+// naiveAccumHash is accumHashAdd's reference: the hashTable.update path.
+// Same hash function, same linear probe, same insertion order — the
+// resulting table layout matches the fast kernel's exactly.
+func (t *hashTable) naiveAccumHash(l *trace.Loop, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		for k, idx := range l.Iter(i) {
+			t.update(idx, trace.Value(i, k, idx), l.Op)
+		}
+	}
+}
+
+// naiveMergeTable is mergeTableAdd's reference.
+func naiveMergeTable(out []float64, keys []int32, vals []float64, op trace.Op) {
+	for s, key := range keys {
+		if key >= 0 {
+			out[key] = op.Apply(out[key], vals[s])
+		}
+	}
+}
+
+// combineOp is combineAdd's reference: fold src into dst pairwise under
+// op.
+func combineOp(dst, src []float64, op trace.Op) {
+	if len(src) < len(dst) {
+		dst = dst[:len(src)]
+	}
+	for i := range dst {
+		dst[i] = op.Apply(dst[i], src[i])
+	}
+}
+
+// treeCombineRange combines the element range [lo, hi) of the procs
+// private copies pairwise into priv[0]: stride-doubling rounds fold
+// priv[q+m] into priv[q], so each element's combine is a balanced tree of
+// depth ceil(log2(procs)) instead of a procs-deep dependent chain. The
+// range is processed in blocks of block elements so that one block of
+// every copy stays resident in L2 across all log2(procs) rounds (the
+// privatization-block sizing the polyhedral-reduction literature calls
+// reuse-aware blocking); the association per element is identical for
+// every block size, so blocking never changes results.
+//
+// The contents of priv[1..procs) inside [lo, hi) are destroyed; callers
+// release the buffers to the pool afterwards. fast selects the unrolled
+// add kernel; the naive flag in Exec clears it so the property tests can
+// hold association constant while swapping every kernel.
+func treeCombineRange(priv [][]float64, lo, hi, block int, op trace.Op, fast bool) {
+	if lo >= hi {
+		return
+	}
+	if block <= 0 {
+		block = hi - lo
+	}
+	for blo := lo; blo < hi; blo += block {
+		bhi := blo + block
+		if bhi > hi {
+			bhi = hi
+		}
+		for m := 1; m < len(priv); m *= 2 {
+			for q := 0; q+m < len(priv); q += 2 * m {
+				if fast {
+					combineAdd(priv[q][blo:bhi], priv[q+m][blo:bhi])
+				} else {
+					combineOp(priv[q][blo:bhi], priv[q+m][blo:bhi], op)
+				}
+			}
+		}
+	}
+}

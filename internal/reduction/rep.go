@@ -30,42 +30,45 @@ func (r Rep) Run(l *trace.Loop, procs int) []float64 {
 
 // RunInto executes the loop with replicated private arrays drawn from the
 // context's buffer pool; steady-state repeated executions allocate nothing.
+// OpAdd loops run the unrolled flat-accumulation kernel; other operators
+// take the retained scalar reference (naive.go).
 func (Rep) RunInto(l *trace.Loop, procs int, ex *Exec, out []float64) []float64 {
 	checkProcs(procs)
 	neutral := l.Op.Neutral()
 	pool := ex.pool()
 	priv := ex.float64Slots(procs)
+	fast := ex.fastAdd(l)
+	offsets, refs := l.Flat()
 
 	// Init + Loop: each processor fills its private copy.
 	parallelFor(procs, ex.timedBody(procs, func(p int) {
 		w := pool.Float64(l.NumElems)
 		initNeutral(w, neutral, pool == nil)
 		lo, hi := ex.iterBlock(l.NumIters(), procs, p)
-		for i := lo; i < hi; i++ {
-			for k, idx := range l.Iter(i) {
-				w[idx] = l.Op.Apply(w[idx], trace.Value(i, k, idx))
-			}
+		if fast {
+			accumFlatAdd(w, offsets, refs, lo, hi)
+		} else {
+			naiveAccumFlat(w, l, lo, hi)
 		}
 		priv[p] = w
 	}))
 
-	// Merge: processors cooperatively combine element ranges (writing
-	// every element, so out needs no initialization). Fused batch members
-	// are written in the same sweep, while the combined value is still in
-	// a register.
+	// Merge: processors cooperatively tree-combine their element ranges
+	// across the P copies in L2-sized blocks (writing every element, so
+	// out needs no initialization), then copy the combined block to the
+	// primary and fused batch destinations while it is still cache-hot.
+	// The neutral element is exact under every operator (0+x, 1*x,
+	// max(-Inf,x), min(+Inf,x) all return x bit-for-bit), so the combined
+	// copy in priv[0] is the result.
 	out, _ = ensureOut(out, l.NumElems)
 	targets := ex.batchTargets()
+	block := ex.mergeBlock(procs)
 	parallelFor(procs, func(p int) {
 		lo, hi := blockBounds(l.NumElems, procs, p)
-		for e := lo; e < hi; e++ {
-			acc := neutral
-			for q := 0; q < procs; q++ {
-				acc = l.Op.Apply(acc, priv[q][e])
-			}
-			out[e] = acc
-			for _, t := range targets {
-				t[e] = acc
-			}
+		treeCombineRange(priv, lo, hi, block, l.Op, fast)
+		copy(out[lo:hi], priv[0][lo:hi])
+		for _, t := range targets {
+			copy(t[lo:hi], priv[0][lo:hi])
 		}
 	})
 	for p := range priv {

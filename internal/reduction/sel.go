@@ -72,6 +72,8 @@ func (s Selective) RunInto(l *trace.Loop, procs int, ex *Exec, out []float64) []
 	pool := ex.pool()
 	remap, numConflict := s.classify(l, procs, pool)
 	defer pool.PutInt32(remap)
+	fast := ex.fastAdd(l)
+	offsets, refs := l.Flat()
 
 	out, fresh := ensureOut(out, l.NumElems)
 	initNeutral(out, neutral, fresh)
@@ -81,21 +83,18 @@ func (s Selective) RunInto(l *trace.Loop, procs int, ex *Exec, out []float64) []
 		compact := pool.Float64(numConflict)
 		initNeutral(compact, neutral, pool == nil)
 		lo, hi := blockBounds(l.NumIters(), procs, p)
-		for i := lo; i < hi; i++ {
-			for k, idx := range l.Iter(i) {
-				v := trace.Value(i, k, idx)
-				if c := remap[idx]; c >= 0 {
-					compact[c] = l.Op.Apply(compact[c], v)
-				} else {
-					// Exclusive to this processor: update in place.
-					out[idx] = l.Op.Apply(out[idx], v)
-				}
-			}
+		if fast {
+			accumSelAdd(out, compact, remap, offsets, refs, lo, hi)
+		} else {
+			naiveAccumSel(out, compact, remap, l, lo, hi)
 		}
 		priv[p] = compact
 	}))
 
-	// Merge only the conflicting elements, parallel over element ranges.
+	// Merge only the conflicting elements: tree-combine the compact
+	// arrays in blocks (exact under every operator's neutral, as in rep),
+	// then scatter the combined column into the conflicting elements'
+	// shared slots, parallel over compact-index ranges.
 	if numConflict > 0 {
 		// Invert the remap for the conflicting set.
 		conflictElems := pool.Int32(numConflict)
@@ -104,15 +103,21 @@ func (s Selective) RunInto(l *trace.Loop, procs int, ex *Exec, out []float64) []
 				conflictElems[c] = int32(e)
 			}
 		}
+		block := ex.mergeBlock(procs)
 		parallelFor(procs, func(p int) {
 			lo, hi := blockBounds(numConflict, procs, p)
-			for c := lo; c < hi; c++ {
-				e := conflictElems[c]
-				acc := out[e]
-				for q := 0; q < procs; q++ {
-					acc = l.Op.Apply(acc, priv[q][c])
+			treeCombineRange(priv, lo, hi, block, l.Op, fast)
+			if fast {
+				combined := priv[0]
+				for c := lo; c < hi; c++ {
+					out[conflictElems[c]] += combined[c]
 				}
-				out[e] = acc
+			} else {
+				combined := priv[0]
+				for c := lo; c < hi; c++ {
+					e := conflictElems[c]
+					out[e] = l.Op.Apply(out[e], combined[c])
+				}
 			}
 		})
 		pool.PutInt32(conflictElems)

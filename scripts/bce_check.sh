@@ -1,0 +1,77 @@
+#!/bin/sh
+# Codegen gate for the optimized reduction kernels: compiles the package
+# with the compiler's bounds-check diagnostic (-d=ssa/check_bce) and fails
+# when a bounds check appears in internal/reduction/kernels.go on a line
+# that is not explicitly intentional. The kernels are written so the prove
+# pass discharges every check except the data-dependent gathers (w[idx]
+# with a runtime subscript — the in-range proof lives in trace.Loop
+# validation, outside the compiler's view); an unmarked check reappearing
+# means a refactor broke a BCE idiom and the hot loop silently slowed down.
+#
+# A check is intentional when either
+#   - its source line carries a //bce: marker (//bce:gather for
+#     data-dependent element accesses, //bce:slice for block sub-slicing), or
+#   - scripts/bce_allow.txt lists its "file:line" (for checks the marker
+#     cannot sit on, e.g. multi-line statements) with a trailing comment
+#     saying why.
+#
+# usage: bce_check.sh
+#
+# Go >= 1.21 replays compiler diagnostics from the build cache, so repeat
+# runs stay fast; the script fails loudly if the expected diagnostics are
+# missing entirely (a cache or toolchain anomaly would otherwise read as
+# a false pass, since the gathers guarantee at least one check).
+set -eu
+
+cd "$(dirname "$0")/.."
+gate=internal/reduction/kernels.go
+allow=scripts/bce_allow.txt
+
+if ! diag=$(go build -gcflags='-d=ssa/check_bce' ./internal/reduction/ 2>&1); then
+    echo "$diag"
+    echo "bce_check: go build failed" >&2
+    exit 2
+fi
+
+echo "$diag" | awk -v gate="$gate" -v allow="$allow" '
+BEGIN {
+    # Lines of the gated file carrying a //bce: marker are intentional.
+    n = 0
+    while ((getline line < gate) > 0) {
+        n++
+        if (line ~ /\/\/bce:/) marked[n] = 1
+    }
+    close(gate)
+    if (n == 0) { print "bce_check: cannot read " gate; exit 2 }
+    # Allowlisted "file:line" entries ("#" comments and blanks ignored).
+    while ((getline line < allow) > 0) {
+        sub(/[ \t]*#.*/, "", line)
+        gsub(/[ \t]/, "", line)
+        if (line != "") allowed[line] = 1
+    }
+    close(allow)
+}
+/ Found Is(Slice)?InBounds$/ {
+    split($1, loc, ":")
+    file = loc[1]; lineno = loc[2]
+    if (file != gate) next
+    total++
+    if (marked[lineno] || (file ":" lineno in allowed)) { ok++; next }
+    bad++
+    print "bce_check: UNMARKED bounds check at " file ":" lineno ":" loc[3]
+}
+END {
+    if (total == 0) {
+        print "bce_check: no bounds-check diagnostics for " gate " at all;"
+        print "bce_check: the gather checks make that impossible — stale build"
+        print "bce_check: cache or toolchain change. Try: go clean -cache"
+        exit 2
+    }
+    printf "bce_check: %d bounds check(s) in %s, %d intentional, %d unmarked\n", total, gate, ok, bad
+    if (bad) {
+        print "bce_check: FAIL: restore the BCE idiom (see kernels.go header),"
+        print "bce_check: or mark the line //bce:gather if the check is truly"
+        print "bce_check: data-dependent (or add file:line to " allow ")."
+        exit 1
+    }
+}'

@@ -93,6 +93,34 @@ END {
 
 echo "bench_compare: throughput within ${tol}% of baseline (${unit})"
 
+# Kernel-coverage check: the candidate must carry the per-scheme kernel
+# microbenchmarks (Kernel/<scheme>/...) for all five schemes, so a bench
+# suite edit cannot silently drop a kernel from the regression gate. The
+# check is skipped only when the baseline predates the kernel suite (no
+# Kernel entries at all) AND the candidate has none either — i.e. on
+# historical comparisons, not on fresh runs.
+awk -v cand="$cand" '
+FILENAME == cand && /"name": "Kernel\// {
+    split($0, q, "\"")
+    split(q[4], parts, "/")
+    if (!(parts[2] in seen)) nseen++
+    seen[parts[2]] = 1
+}
+END {
+    split("rep ll sel lw hash", want, " ")
+    missing = ""
+    for (i in want) if (!(want[i] in seen)) missing = missing " " want[i]
+    if (nseen == 0 && missing != "") {
+        printf "bench_compare: kernel coverage skipped: no Kernel benchmarks in %s (pre-kernel-suite run)\n", cand
+        exit 0
+    }
+    if (missing != "") {
+        printf "bench_compare: FAIL: kernel microbenchmarks missing for:%s\n", missing
+        exit 1
+    }
+    print "bench_compare: kernel coverage: all five schemes benchmarked"
+}' "$cand"
+
 # Pattern-affinity gate: the gateway's measured fusion occupancy
 # (GatewayZipf jobs_per_batch) must hold at least AFFINITY_MIN_PCT
 # (default 80) percent of the single-daemon figure (RemoteZipf). This is

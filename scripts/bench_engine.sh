@@ -9,6 +9,15 @@ out=BENCH_engine.json
 raw=$(go test -bench 'Engine|Scheme|Remote|Gateway|Drift' -benchmem -run '^$' -benchtime 1s . )
 echo "$raw"
 
+# Per-kernel microbenchmarks (reduction package): every scheme's RunInto,
+# pooled and cold, dense and sparse — so the normalized regression gate in
+# bench_compare.sh covers each kernel individually, not just the engine
+# aggregate. Shorter benchtime: 20+ sub-benchmarks, each already stable at
+# a few hundred iterations.
+rawk=$(go test -bench 'Kernel' -benchmem -run '^$' -benchtime 300ms ./internal/reduction/ )
+echo "$rawk"
+raw=$(printf '%s\n%s' "$raw" "$rawk")
+
 # Parse benchmark lines by unit, not by column position, so custom
 # metrics (e.g. BenchmarkRemoteZipf's jobs/batch) don't shift the
 # standard fields.
