@@ -9,6 +9,8 @@
 package main
 
 import (
+	"fmt"
+	"math"
 	"net"
 	"sort"
 	"sync"
@@ -516,5 +518,75 @@ func BenchmarkRemoteZipf(b *testing.B) {
 	s := eng.Stats()
 	if batches := s.Batches - warm.Batches; batches > 0 {
 		b.ReportMetric(float64(s.Jobs-warm.Jobs)/float64(batches), "jobs/batch")
+	}
+}
+
+// BenchmarkSimplifyOverlap measures an overlap batch of the shared-subrange
+// workload served both ways: direct per-member execution (the rep kernel
+// once per member — what each member costs without the simplification
+// layer) against one simplified plan paying exactly what the engine's
+// trySimplified pays per batch: the segment analysis sweep, each distinct
+// segment's partial sum once, and the per-member combine column. The cache
+// is cold on every iteration, so the measured win is pure shared-segment
+// reuse within one batch; incremental warm-cache reuse only widens it.
+// bench_compare.sh gates the per-job speedup at occupancy >= 4
+// (SIMPLIFY_MIN_SPEEDUP, default 1.5x).
+func BenchmarkSimplifyOverlap(b *testing.B) {
+	const procs = 8
+	pool := reduction.NewBufferPool()
+	for _, occ := range []int{4, 8} {
+		members := workloads.NewSharedSubrangeStream(occ, 0, 0.5, 21).Members
+		l0 := members[0]
+		segIters := reduction.DefaultSegIters(l0.NumIters(), procs)
+
+		// The simplified path must agree with per-member direct execution
+		// before its speed means anything. (Bit-for-bit equality against
+		// the segment-association oracle is the reduction package's
+		// property test; across associations only tolerance holds.)
+		plan, err := reduction.BuildSegPlan(members, segIters)
+		if err != nil {
+			b.Fatal(err)
+		}
+		check := make([][]float64, len(members))
+		for i := range check {
+			check[i] = make([]float64, l0.NumElems)
+		}
+		plan.Run(procs, nil, nil, check)
+		for m, l := range members {
+			want := reduction.Rep{}.RunInto(l, 1, nil, nil)
+			for e := range want {
+				if d := math.Abs(check[m][e] - want[e]); d > 1e-9*math.Max(1, math.Abs(want[e])) {
+					b.Fatalf("occ %d member %d element %d: simplified %g != direct %g", occ, m, e, check[m][e], want[e])
+				}
+			}
+		}
+
+		b.Run(fmt.Sprintf("direct-occ%d", occ), func(b *testing.B) {
+			ex := &reduction.Exec{Pool: pool}
+			dst := make([]float64, l0.NumElems)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, l := range members {
+					reduction.Rep{}.RunInto(l, procs, ex, dst)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("simplified-occ%d", occ), func(b *testing.B) {
+			ex := &reduction.Exec{Pool: pool}
+			dsts := make([][]float64, len(members))
+			for i := range dsts {
+				dsts[i] = make([]float64, l0.NumElems)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, err := reduction.BuildSegPlanProcs(members, segIters, procs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.Run(procs, ex, nil, dsts)
+			}
+		})
 	}
 }

@@ -110,6 +110,10 @@ func report(s engine.Stats, ss server.Stats) {
 		ss.Busy, ss.InternHits, ss.InternedLoops)
 	fmt.Printf("reduxd: recalibration: %d re-inspections, %d scheme switches\n",
 		s.Recalibrations, s.SchemeSwitches)
+	if s.SimplifiedBatches != 0 || s.SimplifyFallbacks != 0 {
+		fmt.Printf("reduxd: simplification: %d batches (%d declined), segments %d computed / %d reused\n",
+			s.SimplifiedBatches, s.SimplifyFallbacks, s.SegsComputed, s.SegsReused)
+	}
 	if len(s.Schemes) > 0 {
 		names := make([]string, 0, len(s.Schemes))
 		for name := range s.Schemes {

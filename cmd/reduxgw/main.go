@@ -117,6 +117,10 @@ func report(agg engine.Stats, aggErr error, ps cluster.PoolStats, ss server.Stat
 			agg.Jobs, agg.Batches, agg.Coalesced, agg.CacheHits, agg.CacheMisses, agg.CacheEntries)
 		fmt.Printf("reduxgw: tier recalibration: %d re-inspections, %d scheme switches\n",
 			agg.Recalibrations, agg.SchemeSwitches)
+		if agg.SimplifiedBatches != 0 || agg.SimplifyFallbacks != 0 {
+			fmt.Printf("reduxgw: tier simplification: %d batches (%d declined), segments %d computed / %d reused\n",
+				agg.SimplifiedBatches, agg.SimplifyFallbacks, agg.SegsComputed, agg.SegsReused)
+		}
 		if len(agg.Schemes) > 0 {
 			names := make([]string, 0, len(agg.Schemes))
 			for name := range agg.Schemes {

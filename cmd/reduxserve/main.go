@@ -102,6 +102,10 @@ type report struct {
 	CacheEvicts  uint64            `json:"cache_evictions"`
 	Recals       uint64            `json:"recalibrations"`
 	Switches     uint64            `json:"scheme_switches"`
+	SimpBatches  uint64            `json:"simplified_batches"`
+	SimpFalls    uint64            `json:"simplify_fallbacks"`
+	SegsComputed uint64            `json:"segments_computed"`
+	SegsReused   uint64            `json:"segments_reused"`
 	AllocPerJob  float64           `json:"client_alloc_bytes_per_job"`
 	Imbalance    float64           `json:"mean_imbalance"`
 	ImbalanceN   int64             `json:"imbalance_jobs"`
@@ -395,6 +399,10 @@ func main() {
 	rep.CacheEvicts = s.CacheEvictions
 	rep.Recals = s.Recalibrations
 	rep.Switches = s.SchemeSwitches
+	rep.SimpBatches = s.SimplifiedBatches
+	rep.SimpFalls = s.SimplifyFallbacks
+	rep.SegsComputed = s.SegsComputed
+	rep.SegsReused = s.SegsReused
 	rep.AllocPerJob = float64(after.TotalAlloc-before.TotalAlloc) / float64(*jobs)
 	if n := imbalanceN.Load(); n > 0 {
 		rep.Imbalance = float64(imbalanceSum.Load()) / 1000 / float64(n)
@@ -522,6 +530,10 @@ func printHuman(rep report) {
 	if rep.Recals > 0 || rep.Switches > 0 {
 		fmt.Printf("recalibration: %d re-inspections, %d scheme switches\n", rep.Recals, rep.Switches)
 	}
+	if rep.SimpBatches > 0 || rep.SimpFalls > 0 {
+		fmt.Printf("simplification: %d batches (%d declined), segments %d computed / %d reused\n",
+			rep.SimpBatches, rep.SimpFalls, rep.SegsComputed, rep.SegsReused)
+	}
 	fmt.Printf("alloc: %.1f KB/job client-side\n", rep.AllocPerJob/1024)
 	if rep.ImbalanceN > 0 {
 		fmt.Printf("mean measured imbalance: %.2fx over %d feedback-scheduled jobs\n",
@@ -551,8 +563,13 @@ func statsDelta(now, warm engine.Stats) engine.Stats {
 		CacheEvictions: now.CacheEvictions - warm.CacheEvictions,
 		Recalibrations: now.Recalibrations - warm.Recalibrations,
 		SchemeSwitches: now.SchemeSwitches - warm.SchemeSwitches,
-		Schemes:        make(map[string]uint64),
-		BatchOccupancy: make([]uint64, len(now.BatchOccupancy)),
+
+		SimplifiedBatches: now.SimplifiedBatches - warm.SimplifiedBatches,
+		SimplifyFallbacks: now.SimplifyFallbacks - warm.SimplifyFallbacks,
+		SegsComputed:      now.SegsComputed - warm.SegsComputed,
+		SegsReused:        now.SegsReused - warm.SegsReused,
+		Schemes:           make(map[string]uint64),
+		BatchOccupancy:    make([]uint64, len(now.BatchOccupancy)),
 	}
 	for k, v := range now.Schemes {
 		if v -= warm.Schemes[k]; v > 0 {

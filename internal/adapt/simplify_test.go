@@ -1,0 +1,110 @@
+package adapt
+
+import "testing"
+
+// Geometry of the shared-subrange workload (workloads.SharedSubrangeStream):
+// a dense loop whose reference stream dwarfs its output array — the shape
+// the simplification layer targets.
+func denseInput(occ, unique, cached int) SimplifyInput {
+	return SimplifyInput{
+		Occupancy:     occ,
+		Members:       occ,
+		Segments:      8,
+		Unique:        unique,
+		CachedTasks:   cached,
+		RefsPerMember: 32768,
+		NumElems:      2048,
+	}
+}
+
+func TestRecommendSimplifyOverlapWins(t *testing.T) {
+	th := DefaultSimplifyThresholds()
+	// Full overlap at the occupancy floor: 4 members share all 8
+	// segments, so the plan computes 8 partial sums instead of 4 full
+	// streams.
+	ok, why := RecommendSimplify(denseInput(4, 8, 0), th)
+	if !ok {
+		t.Errorf("full-overlap occupancy-4 batch not simplified: %s", why)
+	}
+	// More members only helps.
+	if ok, why := RecommendSimplify(denseInput(8, 8, 0), th); !ok {
+		t.Errorf("full-overlap occupancy-8 batch not simplified: %s", why)
+	}
+}
+
+func TestRecommendSimplifyOccupancyFloor(t *testing.T) {
+	th := DefaultSimplifyThresholds()
+	// Below the floor with a cold cache the sweep cannot amortize.
+	if ok, why := RecommendSimplify(denseInput(2, 2, 0), th); ok {
+		t.Errorf("occupancy-2 cold batch simplified: %s", why)
+	}
+	// A warm cache overrides the floor: a singleton whose segments are
+	// nearly all cached is the incremental re-reduction case.
+	if ok, why := RecommendSimplify(denseInput(1, 8, 7), th); !ok {
+		t.Errorf("warm singleton not simplified: %s", why)
+	}
+}
+
+func TestRecommendSimplifyDisjointStaysDirect(t *testing.T) {
+	th := DefaultSimplifyThresholds()
+	// Fully disjoint content: Unique == Members*Segments, the plan would
+	// do strictly more work than the direct path.
+	if ok, why := RecommendSimplify(denseInput(4, 32, 0), th); ok {
+		t.Errorf("disjoint batch simplified: %s", why)
+	}
+}
+
+func TestRecommendSimplifyConstRunsDiscountDirect(t *testing.T) {
+	th := DefaultSimplifyThresholds()
+	// A staircase batch near the boundary: 4 members, half the cells
+	// shared. Without constant runs it clears the margin; with the
+	// direct path discounted by near-total constant runs it no longer
+	// does.
+	in := denseInput(4, 16, 0)
+	if ok, why := RecommendSimplify(in, th); !ok {
+		t.Fatalf("half-shared batch without runs not simplified: %s", why)
+	}
+	in.ConstRunFrac = 0.95
+	if ok, why := RecommendSimplify(in, th); ok {
+		t.Errorf("constant-run batch simplified despite discounted direct cost: %s", why)
+	}
+}
+
+// TestRecommendSimplifyRejectsDriftGeometry pins the property the
+// engine's recalibration tests rely on: the drift workloads' loops have
+// an output dimension (16000 elements) on the order of their reference
+// stream (24000 refs), so the combine column alone eats the shared-work
+// win and those batches must stay on the direct path — their Result
+// schemes keep the Figure 3 names.
+func TestRecommendSimplifyRejectsDriftGeometry(t *testing.T) {
+	th := DefaultSimplifyThresholds()
+	in := SimplifyInput{
+		Occupancy: 4, Members: 4, Segments: 8,
+		Unique: 8, CachedTasks: 0,
+		RefsPerMember: 24000, NumElems: 16000,
+	}
+	if ok, why := RecommendSimplify(in, th); ok {
+		t.Errorf("drift-geometry batch simplified: %s", why)
+	}
+	if SimplifySeedWorthwhile(24000, 16000, 8, th) {
+		t.Error("drift-geometry singleton seeds a segment cache")
+	}
+}
+
+func TestSimplifySeedWorthwhile(t *testing.T) {
+	th := DefaultSimplifyThresholds()
+	// Dense loop: warm incremental cost is a fraction of the direct pass.
+	if !SimplifySeedWorthwhile(32768, 2048, 8, th) {
+		t.Error("dense singleton does not seed")
+	}
+	if SimplifySeedWorthwhile(0, 2048, 8, th) || SimplifySeedWorthwhile(32768, 2048, 0, th) {
+		t.Error("degenerate geometry seeds")
+	}
+}
+
+func TestRecommendSimplifyDegenerate(t *testing.T) {
+	th := DefaultSimplifyThresholds()
+	if ok, _ := RecommendSimplify(SimplifyInput{}, th); ok {
+		t.Error("zero input simplified")
+	}
+}

@@ -20,35 +20,57 @@ type job struct {
 // privatization and accumulation are paid once for all members. jobs[0] is
 // the leader whose execution produces the result; the other members
 // receive it through the reduction.Exec batch fan-out.
+//
+// ov holds overlap joiners: same-fingerprint jobs over distinct loop
+// objects with the leader's iteration geometry. They cannot share the
+// leader's execution (the fingerprint samples the trace, so distinct
+// objects may hold distinct content), but they are candidates for the
+// simplified plan — the segment analysis finds whatever subrange content
+// they do share and executes the batch as one set of partial sums.
 type batch struct {
 	fp uint64
+	// allowOv admits overlap joiners; set at registration when the engine
+	// has simplification enabled and the leader is an add reduction.
+	allowOv bool
 
 	mu     sync.Mutex
 	sealed bool
 	jobs   []*job
+	ov     []*job
 }
 
 // tryJoin appends j to the batch if it is still open, has room, and its
-// leader submitted the identical loop. Fingerprint equality alone is not
-// enough to share a result (the fingerprint samples the trace), so fusion
-// requires pointer-identical loops; same-fingerprint jobs over distinct
-// loop objects still share the cached decision, just not the execution.
+// leader submitted the identical loop — or, on an overlap-admitting
+// batch, a distinct loop with the leader's geometry (iteration shape,
+// dimension, operator), which rides as an overlap member instead.
 func (b *batch) tryJoin(j *job, maxBatch int) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.sealed || len(b.jobs) >= maxBatch || b.jobs[0].loop != j.loop {
+	if b.sealed || len(b.jobs)+len(b.ov) >= maxBatch {
 		return false
 	}
-	b.jobs = append(b.jobs, j)
+	lead := b.jobs[0].loop
+	switch {
+	case lead == j.loop:
+		b.jobs = append(b.jobs, j)
+	case b.allowOv && j.loop.Op == lead.Op &&
+		j.loop.NumElems == lead.NumElems &&
+		j.loop.NumIters() == lead.NumIters() &&
+		j.loop.TotalRefs() == lead.TotalRefs():
+		b.ov = append(b.ov, j)
+	default:
+		return false
+	}
 	return true
 }
 
-// seal closes the batch to joiners and returns its members.
-func (b *batch) seal() []*job {
+// seal closes the batch to joiners and returns its members and overlap
+// members.
+func (b *batch) seal() ([]*job, []*job) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.sealed = true
-	return b.jobs
+	return b.jobs, b.ov
 }
 
 // coalescer tracks open batches by fingerprint so same-pattern jobs fuse.
@@ -60,8 +82,11 @@ func (b *batch) seal() []*job {
 // lock.
 type coalescer struct {
 	maxBatch int
-	shards   []coalesceShard
-	mask     uint64
+	// allowOv marks new batches overlap-admitting when their leader is an
+	// add reduction (the simplified plan's fast path).
+	allowOv bool
+	shards  []coalesceShard
+	mask    uint64
 }
 
 type coalesceShard struct {
@@ -69,9 +94,10 @@ type coalesceShard struct {
 	pending map[uint64]*batch
 }
 
-func newCoalescer(shardCount, maxBatch int) *coalescer {
+func newCoalescer(shardCount, maxBatch int, allowOv bool) *coalescer {
 	c := &coalescer{
 		maxBatch: maxBatch,
+		allowOv:  allowOv,
 		shards:   make([]coalesceShard, shardCount),
 		mask:     uint64(shardCount - 1),
 	}
@@ -91,7 +117,7 @@ func (c *coalescer) add(fp uint64, j *job) (*batch, bool) {
 	if b, ok := s.pending[fp]; ok && b.tryJoin(j, c.maxBatch) {
 		return b, false
 	}
-	b := &batch{fp: fp, jobs: []*job{j}}
+	b := &batch{fp: fp, jobs: []*job{j}, allowOv: c.allowOv && j.loop.Op == trace.OpAdd}
 	s.pending[fp] = b
 	return b, true
 }
@@ -111,8 +137,12 @@ func (c *coalescer) remove(fp uint64, b *batch) {
 // runBatch executes one sealed batch through the cached adaptive path:
 // decision lookup, feedback-schedule installation, one scheme execution
 // with the members' destinations fanned out, one measurement fed back.
+// A batch carrying overlap members (or a seed-worthy singleton) first
+// offers itself to the simplification layer; when that declines, the
+// leader group runs the cached scheme directly and each overlap group
+// runs its own direct execution over the same decision.
 func (e *Engine) runBatch(w *workerCtx, b *batch) {
-	jobs := b.seal()
+	jobs, ov := b.seal()
 	if e.co != nil {
 		e.co.remove(b.fp, b)
 	}
@@ -128,6 +158,43 @@ func (e *Engine) runBatch(w *workerCtx, b *batch) {
 		}
 	}
 
+	if e.trySimplified(w, entry, hit, jobs, ov) {
+		return
+	}
+	e.runDirect(w, entry, jobs, hit, true)
+	for _, g := range groupByLoop(ov) {
+		// Overlap joiners that did not simplify reuse the cached decision
+		// (their fingerprint led them here) but execute per loop object.
+		e.runDirect(w, entry, g, true, false)
+	}
+}
+
+// groupByLoop partitions jobs into groups of pointer-identical loops,
+// preserving arrival order.
+func groupByLoop(jobs []*job) [][]*job {
+	var groups [][]*job
+	for _, j := range jobs {
+		placed := false
+		for gi := range groups {
+			if groups[gi][0].loop == j.loop {
+				groups[gi] = append(groups[gi], j)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, []*job{j})
+		}
+	}
+	return groups
+}
+
+// runDirect executes one pointer-identical job group through the entry's
+// cached scheme. feedCost gates the drift detector: only the batch's
+// primary group feeds it, so one queue batch contributes one cost sample
+// regardless of how many overlap groups fell back.
+func (e *Engine) runDirect(w *workerCtx, entry *cacheEntry, jobs []*job, hit bool, feedCost bool) {
+	l := jobs[0].loop
 	procs := e.cfg.Platform.Procs
 
 	// Snapshot the decision and install its feedback boundaries in one
@@ -219,7 +286,7 @@ func (e *Engine) runBatch(w *workerCtx, b *batch) {
 	// Feed the drift detector last: the periodic re-profile it may run is
 	// deliberately off the members' latency path — their results are
 	// already sent.
-	if e.recalEnabled() {
+	if feedCost && e.recalEnabled() {
 		e.recordCost(entry, l, elapsed, decSeen)
 	}
 }

@@ -64,6 +64,19 @@ type cacheEntry struct {
 	// replaced while they executed — a straggler's old-scheme cost must
 	// not seed the new scheme's freshly reset anchor.
 	decGen uint64
+
+	// Simplification-layer state (simplify.go), guarded by mu. segs is
+	// the entry's cached segment partial sums, segGen the decGen the
+	// current segment state was built under (a mismatch invalidates sums
+	// and re-arms the counters), segBusy grants one worker exclusive use
+	// of the cache per batch, segSeen counts seed-worthy singleton
+	// batches toward the seeding threshold, and segMiss counts
+	// consecutive declined analyses toward the shutoff limit.
+	segs    *reduction.SegCache
+	segGen  uint64
+	segBusy bool
+	segSeen int
+	segMiss int
 }
 
 // install points the entry at the configuration's executable scheme,

@@ -97,6 +97,11 @@ type Config struct {
 	DisablePool bool
 	// DisableFeedback turns off feedback-guided block scheduling.
 	DisableFeedback bool
+	// DisableSimplify turns off the algebraic simplification layer:
+	// batches never run as shared segment partial sums and no segment
+	// caches are seeded, so every job executes its full reference stream
+	// through the cached scheme (the pre-simplification behavior).
+	DisableSimplify bool
 }
 
 // Result is the outcome of one reduction job.
@@ -229,7 +234,7 @@ func New(cfg Config) (*Engine, error) {
 		statShards: newStatShards(cfg.Workers, cfg.MaxBatch),
 	}
 	if !cfg.DisableCoalesce && cfg.MaxBatch > 1 {
-		e.co = newCoalescer(cfg.CacheShards, cfg.MaxBatch)
+		e.co = newCoalescer(cfg.CacheShards, cfg.MaxBatch, !cfg.DisableSimplify)
 	}
 	if !cfg.DisablePool {
 		e.pool = reduction.NewBufferPool()

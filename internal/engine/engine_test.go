@@ -124,7 +124,10 @@ func TestEngineConcurrentSubmit(t *testing.T) {
 func TestEngineDecisionCacheHitsOnRepeatedPattern(t *testing.T) {
 	loops, _ := mixedLoops()
 	l := loops[0]
-	e := mustNew(t, Config{Workers: 2})
+	// The test pins the direct path's decision-cache accounting (one
+	// scheme, exact hit counts); the simplification layer would flip a
+	// repeated dense pattern to the simplified plan partway through.
+	e := mustNew(t, Config{Workers: 2, DisableSimplify: true})
 	defer e.Close()
 
 	for n := 0; n < 5; n++ {

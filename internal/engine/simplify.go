@@ -1,0 +1,230 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/adapt"
+	"repro/internal/reduction"
+	"repro/internal/trace"
+)
+
+// This file wires the algebraic simplification layer into the batch
+// path. A sealed batch that carries overlap members — or a singleton
+// whose geometry makes incremental re-reduction worthwhile — is analyzed
+// into a segment decomposition (pattern.AnalyzeSegments via
+// reduction.BuildSegPlan); when the decision boundary
+// (adapt.RecommendSimplify) finds the shared-segment work plus the
+// combine column cheaper than the members' direct executions, the batch
+// runs as one set of per-segment partial sums. Segment sums are cached
+// on the decision-cache entry between batches, so a stream that mutates
+// one window of an otherwise-stable loop recomputes only the affected
+// segments.
+//
+// The cache claim protocol mirrors the entry's other mutable state: all
+// segment fields live under entry.mu, and segBusy grants one worker at a
+// time exclusive use of the cache (a concurrent same-pattern batch falls
+// back to the direct path rather than wait). A recalibration scheme
+// switch bumps decGen; the claim compares it against the generation the
+// cache was built under and drops stale sums, so a workload that drifted
+// enough to change its scheme never reuses pre-drift partial sums.
+//
+// Simplified executions deliberately do not feed the drift detector's
+// cost EWMA: their cost tracks overlap and cache warmth, not the cached
+// scheme's fit, and one stray sample would poison the anchor the
+// detector compares direct executions against. Content drift is instead
+// handled inside the layer itself — every reuse is verified against the
+// submitted subscripts, and repeated decision declines shut the analysis
+// off (segMissLimit) until the entry's decision changes.
+
+const (
+	// segSeedAfter is how many singleton batches of a seed-worthy pattern
+	// must arrive before the engine pays one simplified execution to fill
+	// the entry's segment cache. The seed run costs about one direct
+	// execution plus the analysis sweep; every later submission with
+	// surviving content reuses its sums.
+	segSeedAfter = 2
+	// segMissLimit is how many consecutive declined analyses (cold or
+	// drifted content) turn the layer off for an entry; a recalibration
+	// scheme switch re-arms it.
+	segMissLimit = 3
+	// segCacheMaxBytes caps one entry's segment-cache footprint (sum
+	// buffers plus retained subscript content).
+	segCacheMaxBytes = 4 << 20
+)
+
+// trySimplified offers a sealed batch to the simplification layer. It
+// returns true when the batch was fully executed (results delivered,
+// stats recorded); false means the caller runs the direct path.
+func (e *Engine) trySimplified(w *workerCtx, entry *cacheEntry, hit bool, jobs, ov []*job) bool {
+	if e.cfg.DisableSimplify {
+		return false
+	}
+	l := jobs[0].loop
+	if l.Op != trace.OpAdd || l.NumIters() == 0 {
+		return false
+	}
+	procs := e.cfg.Platform.Procs
+	segIters := reduction.DefaultSegIters(l.NumIters(), procs)
+	segments := (l.NumIters() + segIters - 1) / segIters
+	th := adapt.DefaultSimplifyThresholds()
+	seedable := adapt.SimplifySeedWorthwhile(l.TotalRefs(), l.NumElems, segments, th) &&
+		reduction.SegCacheBytes(l, segIters) <= segCacheMaxBytes
+
+	ovGroups := groupByLoop(ov)
+	occ := 1 + len(ovGroups)
+
+	// Claim the entry's segment cache. Everything that can decline
+	// cheaply declines here, before the analysis sweep.
+	entry.mu.Lock()
+	if entry.segBusy {
+		entry.mu.Unlock()
+		return false
+	}
+	if entry.segGen != entry.decGen {
+		// The decision switched: the cached sums belong to a workload
+		// that no longer exists, and the decline counter re-arms with it.
+		entry.segs = nil
+		entry.segSeen, entry.segMiss = 0, 0
+		entry.segGen = entry.decGen
+	}
+	if entry.segMiss >= segMissLimit {
+		entry.mu.Unlock()
+		return false
+	}
+	if entry.segs != nil && !entry.segs.Matches(l, segIters) {
+		// The geometry moved on under a stable decision (possible when
+		// distinct same-fingerprint objects alternate): start over.
+		entry.segs = nil
+	}
+	warm := entry.segs != nil
+	if occ == 1 && !warm {
+		if !seedable {
+			entry.mu.Unlock()
+			return false
+		}
+		entry.segSeen++
+		if entry.segSeen < segSeedAfter {
+			entry.mu.Unlock()
+			return false
+		}
+	}
+	if entry.segs == nil && seedable {
+		entry.segs = reduction.NewSegCache(l, segIters)
+		entry.segGen = entry.decGen
+	}
+	cache := entry.segs
+	entry.segBusy = true
+	entry.mu.Unlock()
+
+	members := make([]*trace.Loop, 1, occ)
+	members[0] = l
+	for _, g := range ovGroups {
+		members = append(members, g[0].loop)
+	}
+	plan, err := reduction.BuildSegPlanProcs(members, segIters, procs)
+	if err != nil {
+		// Overlap joiners passed the cheap geometry gate but not the
+		// analysis's offsets check; the batch is not decomposable.
+		e.releaseSeg(entry, false)
+		w.stats.recordSimplify(false, 0, 0)
+		return false
+	}
+
+	why := "seeding segment cache for incremental re-reduction"
+	if !(occ == 1 && !warm) {
+		in := adapt.SimplifyInput{
+			Occupancy:     occ,
+			Members:       plan.Analysis.Members,
+			Segments:      plan.Analysis.Segments,
+			Unique:        plan.Analysis.Unique,
+			CachedTasks:   plan.CachedTasks(cache),
+			RefsPerMember: l.TotalRefs(),
+			NumElems:      l.NumElems,
+			ConstRunFrac:  plan.Analysis.ConstRunFrac,
+		}
+		ok, rationale := adapt.RecommendSimplify(in, th)
+		if !ok {
+			e.releaseSeg(entry, false)
+			w.stats.recordSimplify(false, 0, 0)
+			return false
+		}
+		why = rationale
+	}
+
+	// One destination per distinct loop; duplicate jobs get copies below,
+	// exactly like the direct path's batch fan-out.
+	dsts := make([][]float64, len(members))
+	dsts[0] = sizeDst(jobs[0].dst, l.NumElems)
+	for gi, g := range ovGroups {
+		dsts[gi+1] = sizeDst(g[0].dst, l.NumElems)
+	}
+
+	start := time.Now()
+	st := plan.Run(procs, w.ex, cache, dsts)
+	elapsed := time.Since(start)
+	e.releaseSeg(entry, true)
+
+	res := Result{
+		Scheme:    "simplify",
+		Why:       why,
+		CacheHit:  true,
+		Elapsed:   elapsed,
+		BatchSize: len(jobs) + len(ov),
+	}
+	// Materialize every member's values before sending any result: the
+	// first send wakes its client, which may legally resubmit its
+	// destination array — the one later copies still read from.
+	type delivery struct {
+		j *job
+		r Result
+	}
+	var out []delivery
+	collect := func(g []*job, src []float64, leader bool) {
+		for i, j := range g {
+			r := res
+			if leader && i == 0 {
+				r.CacheHit = hit
+			}
+			if i == 0 {
+				r.Values = src
+			} else {
+				d := sizeDst(j.dst, l.NumElems)
+				copy(d, src)
+				r.Values = d
+			}
+			out = append(out, delivery{j, r})
+		}
+	}
+	collect(jobs, dsts[0], true)
+	for gi, g := range ovGroups {
+		collect(g, dsts[gi+1], false)
+	}
+	for _, d := range out {
+		d.j.done <- d.r
+	}
+
+	w.stats.record("simplify", len(jobs)+len(ov), hit)
+	w.stats.recordSimplify(true, st.Computed, st.Reused)
+	return true
+}
+
+// releaseSeg returns the entry's segment-cache claim. A successful
+// simplified run re-arms the decline counter; a decline counts toward
+// segMissLimit and, at the limit, drops the cache so the entry stops
+// paying for analyses that never win.
+func (e *Engine) releaseSeg(entry *cacheEntry, success bool) {
+	entry.mu.Lock()
+	entry.segBusy = false
+	if success {
+		entry.segMiss = 0
+	} else {
+		entry.segMiss++
+		if entry.segMiss >= segMissLimit {
+			entry.segs = nil
+		}
+	}
+	if entry.segs != nil && entry.segGen != entry.decGen {
+		entry.segs = nil
+	}
+	entry.mu.Unlock()
+}

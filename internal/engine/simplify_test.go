@@ -1,0 +1,316 @@
+package engine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/reduction"
+	"repro/internal/trace"
+)
+
+// simpLoop builds a dense random loop sized so the simplification
+// boundary accepts it: the reference stream (iters*rpi) dwarfs the
+// output dimension. rpi must divide the fingerprint sample stride
+// evenly for mutateKeepingFingerprint to work (any rpi does; the helper
+// recomputes the stride from the loop).
+func simpLoop(name string, dim, iters, rpi int, seed int64) *trace.Loop {
+	rng := rand.New(rand.NewSource(seed))
+	l := trace.NewLoop(name, dim)
+	refs := make([]int32, rpi)
+	for i := 0; i < iters; i++ {
+		for j := range refs {
+			refs[j] = int32(rng.Intn(dim))
+		}
+		l.AddIter(refs...)
+	}
+	return l
+}
+
+// mutateKeepingFingerprint clones l and re-randomizes the subscript
+// content of every segment for which keep(s) is false — except at the
+// fingerprint's sample positions, which stay anchored so both loops
+// carry the same fingerprint and land on the same decision-cache entry
+// (the drift-stream construction).
+func mutateKeepingFingerprint(t *testing.T, l *trace.Loop, segIters int, seed int64, keep func(s int) bool) *trace.Loop {
+	t.Helper()
+	c := l.Clone()
+	offs, refs := c.Flat()
+	iters := c.NumIters()
+	segs := (iters + segIters - 1) / segIters
+	stride := len(refs) / 256
+	if stride < 1 {
+		stride = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for s := 0; s < segs; s++ {
+		if keep(s) {
+			continue
+		}
+		itHi := (s + 1) * segIters
+		if itHi > iters {
+			itHi = iters
+		}
+		for r := int(offs[s*segIters]); r < int(offs[itHi]); r++ {
+			if r%stride == 0 {
+				continue
+			}
+			refs[r] = int32(rng.Intn(c.NumElems))
+		}
+	}
+	if c.Fingerprint() != l.Fingerprint() {
+		t.Fatal("mutation broke the fingerprint anchor")
+	}
+	return c
+}
+
+// simpWorker builds a workerCtx over the engine's pool and stat shard 0,
+// for driving runBatch directly (no queue timing involved).
+func simpWorker(e *Engine) *workerCtx {
+	return &workerCtx{
+		ex:    &reduction.Exec{Pool: e.pool},
+		times: make([]float64, e.cfg.Platform.Procs),
+		stats: &e.statShards[0],
+	}
+}
+
+// overlapBatch hand-builds a sealed-ready batch: one leader job plus one
+// overlap job per extra loop, the shape the coalescer produces when
+// distinct same-fingerprint loops fuse.
+func overlapBatch(t *testing.T, e *Engine, loops []*trace.Loop) (*batch, []*job) {
+	t.Helper()
+	jobs := make([]*job, len(loops))
+	for i, l := range loops {
+		jobs[i] = &job{loop: l, dst: make([]float64, l.NumElems), done: make(chan Result, 1)}
+	}
+	b := &batch{fp: loops[0].Fingerprint(), allowOv: true, jobs: []*job{jobs[0]}}
+	for _, j := range jobs[1:] {
+		if !b.tryJoin(j, e.cfg.MaxBatch) {
+			t.Fatal("overlap member failed to join")
+		}
+	}
+	if len(b.ov) != len(loops)-1 {
+		t.Fatalf("overlap members = %d, want %d", len(b.ov), len(loops)-1)
+	}
+	return b, jobs
+}
+
+// TestEngineSimplifiedOverlapBatch runs a full-overlap batch (leader
+// plus three clones) through runBatch: it must execute as one simplified
+// plan, produce correct results for every member, and seed the entry's
+// segment cache so a later singleton submission reuses every segment.
+func TestEngineSimplifiedOverlapBatch(t *testing.T) {
+	const dim, iters, rpi = 512, 256, 16
+	l := simpLoop("simp", dim, iters, rpi, 1)
+	want := l.RunSequential()
+	e := mustNew(t, Config{Workers: 1})
+	defer e.Close()
+
+	loops := []*trace.Loop{l, l.Clone(), l.Clone(), l.Clone()}
+	b, jobs := overlapBatch(t, e, loops)
+	e.runBatch(simpWorker(e), b)
+	for i, j := range jobs {
+		res := <-j.done
+		if res.Scheme != "simplify" {
+			t.Fatalf("member %d ran %s, want simplify (%s)", i, res.Scheme, res.Why)
+		}
+		if res.BatchSize != len(loops) {
+			t.Errorf("member %d BatchSize = %d, want %d", i, res.BatchSize, len(loops))
+		}
+		if i > 0 && !res.CacheHit {
+			t.Errorf("member %d not reported as cache hit", i)
+		}
+		assertMatches(t, "overlap", res.Values, want)
+	}
+	s := e.Stats()
+	if s.SimplifiedBatches != 1 || s.SimplifyFallbacks != 0 {
+		t.Fatalf("simplified/fallbacks = %d/%d, want 1/0", s.SimplifiedBatches, s.SimplifyFallbacks)
+	}
+	// Full overlap: one partial sum per segment, none cached yet.
+	if s.SegsComputed != 8 || s.SegsReused != 0 {
+		t.Fatalf("computed/reused = %d/%d, want 8/0", s.SegsComputed, s.SegsReused)
+	}
+	if s.Jobs != 4 || s.Batches != 1 || s.Coalesced != 3 {
+		t.Fatalf("jobs/batches/coalesced = %d/%d/%d, want 4/1/3", s.Jobs, s.Batches, s.Coalesced)
+	}
+
+	// The batch seeded the segment cache: a singleton re-submission of
+	// the same content reuses every segment sum.
+	res, err := e.Submit(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != "simplify" {
+		t.Fatalf("warm singleton ran %s, want simplify (%s)", res.Scheme, res.Why)
+	}
+	assertMatches(t, "warm", res.Values, want)
+	s = e.Stats()
+	if s.SegsReused != 8 || s.SegsComputed != 8 {
+		t.Fatalf("after warm singleton computed/reused = %d/%d, want 8/8", s.SegsComputed, s.SegsReused)
+	}
+}
+
+// TestEngineSimplifyIncremental is the drift-stream property at the
+// engine level: a singleton stream that mutates one segment between
+// submissions recomputes only that segment once its cache is seeded.
+func TestEngineSimplifyIncremental(t *testing.T) {
+	const dim, iters, rpi = 512, 256, 16
+	segIters := reduction.DefaultSegIters(iters, 8)
+	l := simpLoop("inc", dim, iters, rpi, 2)
+	e := mustNew(t, Config{Workers: 1})
+	defer e.Close()
+
+	// Submissions 1..segSeedAfter-1 run direct while segSeen climbs; the
+	// seeding submission executes simplified to fill the cache.
+	for n := 0; n < segSeedAfter; n++ {
+		res, err := e.Submit(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeding := n == segSeedAfter-1
+		if simplified := res.Scheme == "simplify"; simplified != seeding {
+			t.Fatalf("submission %d ran %s", n, res.Scheme)
+		}
+	}
+	base := e.Stats()
+	if base.SimplifiedBatches != 1 {
+		t.Fatalf("SimplifiedBatches = %d after seeding, want 1", base.SimplifiedBatches)
+	}
+
+	// Mutate only segment 3; the rest must come from the cache.
+	drift := mutateKeepingFingerprint(t, l, segIters, 99, func(s int) bool { return s != 3 })
+	res, err := e.Submit(drift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != "simplify" {
+		t.Fatalf("drift submission ran %s, want simplify (%s)", res.Scheme, res.Why)
+	}
+	assertMatches(t, "drift", res.Values, drift.RunSequential())
+	s := e.Stats()
+	if got := s.SegsComputed - base.SegsComputed; got != 1 {
+		t.Errorf("drift submission computed %d segments, want 1", got)
+	}
+	if got := s.SegsReused - base.SegsReused; got != 7 {
+		t.Errorf("drift submission reused %d segments, want 7", got)
+	}
+}
+
+// TestEngineSimplifyFallbackDisjoint fuses four same-fingerprint loops
+// with (near-)fully disjoint content: the analysis finds no sharing, the
+// boundary declines, and every group falls back to a correct direct
+// execution under the cached decision.
+func TestEngineSimplifyFallbackDisjoint(t *testing.T) {
+	const dim, iters, rpi = 512, 256, 16
+	segIters := reduction.DefaultSegIters(iters, 8)
+	l := simpLoop("disjoint", dim, iters, rpi, 3)
+	loops := []*trace.Loop{l}
+	for m := 1; m < 4; m++ {
+		loops = append(loops, mutateKeepingFingerprint(t, l, segIters, int64(10+m), func(int) bool { return false }))
+	}
+	e := mustNew(t, Config{Workers: 1})
+	defer e.Close()
+
+	b, jobs := overlapBatch(t, e, loops)
+	e.runBatch(simpWorker(e), b)
+	for i, j := range jobs {
+		res := <-j.done
+		if res.Scheme == "simplify" {
+			t.Fatalf("disjoint member %d ran simplified", i)
+		}
+		if i > 0 && !res.CacheHit {
+			t.Errorf("overlap member %d not reported as cache hit", i)
+		}
+		assertMatches(t, loops[i].Name, res.Values, loops[i].RunSequential())
+	}
+	s := e.Stats()
+	if s.SimplifyFallbacks != 1 || s.SimplifiedBatches != 0 {
+		t.Fatalf("fallbacks/simplified = %d/%d, want 1/0", s.SimplifyFallbacks, s.SimplifiedBatches)
+	}
+	// One queue batch, four per-group executions: the occupancy ledger
+	// still accounts every job exactly once.
+	if s.Jobs != 4 || s.Coalesced != s.Jobs-s.Batches {
+		t.Fatalf("jobs/batches/coalesced = %d/%d/%d", s.Jobs, s.Batches, s.Coalesced)
+	}
+}
+
+// TestEngineSimplifyDisabled pins the opt-out: with DisableSimplify no
+// batch ever runs simplified and no cache is seeded, no matter how often
+// a seed-worthy pattern repeats.
+func TestEngineSimplifyDisabled(t *testing.T) {
+	l := simpLoop("off", 512, 256, 16, 4)
+	want := l.RunSequential()
+	e := mustNew(t, Config{Workers: 1, DisableSimplify: true})
+	defer e.Close()
+	for n := 0; n < segSeedAfter+2; n++ {
+		res, err := e.Submit(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Scheme == "simplify" {
+			t.Fatalf("submission %d ran simplified with the layer disabled", n)
+		}
+		assertMatches(t, "off", res.Values, want)
+	}
+	s := e.Stats()
+	if s.SimplifiedBatches != 0 || s.SimplifyFallbacks != 0 {
+		t.Fatalf("simplify counters moved while disabled: %d/%d", s.SimplifiedBatches, s.SimplifyFallbacks)
+	}
+}
+
+// TestEngineSimplifyMissShutoff drives consecutive declined analyses
+// past segMissLimit: the layer must stop analyzing (fallback counter
+// freezes) instead of paying the sweep on every batch forever.
+func TestEngineSimplifyMissShutoff(t *testing.T) {
+	const dim, iters, rpi = 512, 256, 16
+	segIters := reduction.DefaultSegIters(iters, 8)
+	l := simpLoop("missy", dim, iters, rpi, 5)
+	e := mustNew(t, Config{Workers: 1})
+	defer e.Close()
+
+	for n := 0; n < segMissLimit+3; n++ {
+		loops := []*trace.Loop{l}
+		for m := 1; m < 4; m++ {
+			loops = append(loops, mutateKeepingFingerprint(t, l, segIters, int64(100*n+m), func(int) bool { return false }))
+		}
+		b, jobs := overlapBatch(t, e, loops)
+		e.runBatch(simpWorker(e), b)
+		for _, j := range jobs {
+			<-j.done
+		}
+	}
+	s := e.Stats()
+	if s.SimplifyFallbacks != segMissLimit {
+		t.Fatalf("fallbacks = %d, want shutoff at %d", s.SimplifyFallbacks, segMissLimit)
+	}
+	if s.SimplifiedBatches != 0 {
+		t.Fatalf("SimplifiedBatches = %d, want 0", s.SimplifiedBatches)
+	}
+}
+
+// TestEngineSimplifyValuesMatchDirect cross-checks the two execution
+// paths end to end: the same overlap batch produces (tolerance-equal)
+// results with the layer on and off.
+func TestEngineSimplifyValuesMatchDirect(t *testing.T) {
+	const dim, iters, rpi = 512, 256, 16
+	segIters := reduction.DefaultSegIters(iters, 8)
+	l := simpLoop("xcheck", dim, iters, rpi, 6)
+	loops := []*trace.Loop{l}
+	for m := 1; m < 5; m++ {
+		keepUpTo := 8 - m
+		loops = append(loops, mutateKeepingFingerprint(t, l, segIters, int64(40+m), func(s int) bool { return s < keepUpTo }))
+	}
+	for _, disable := range []bool{false, true} {
+		e := mustNew(t, Config{Workers: 1, DisableSimplify: disable})
+		b, jobs := overlapBatch(t, e, loops)
+		e.runBatch(simpWorker(e), b)
+		for i, j := range jobs {
+			res := <-j.done
+			assertMatches(t, loops[i].Name, res.Values, loops[i].RunSequential())
+			if math.IsNaN(res.Values[0]) {
+				t.Fatal("NaN result")
+			}
+		}
+		e.Close()
+	}
+}

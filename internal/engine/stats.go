@@ -19,6 +19,15 @@ type Stats struct {
 	// counts the re-inspections that actually replaced an entry's scheme
 	// after the hysteresis threshold.
 	Recalibrations, SchemeSwitches uint64
+	// SimplifiedBatches counts batches executed through the simplified
+	// segment plan; SimplifyFallbacks counts batches whose segment
+	// analysis ran but whose decision (or decomposability) sent them back
+	// to the direct path. SegsComputed and SegsReused count the segment
+	// partial sums simplified executions accumulated fresh vs. served
+	// verified from an entry's segment cache — reuse is the incremental
+	// re-reduction win.
+	SimplifiedBatches, SimplifyFallbacks uint64
+	SegsComputed, SegsReused             uint64
 	// Schemes counts executed jobs per scheme name.
 	Schemes map[string]uint64
 	// BatchOccupancy[k] is the number of executed batches that fused
@@ -44,6 +53,10 @@ func (s *Stats) Merge(o Stats) {
 	s.CacheEvictions += o.CacheEvictions
 	s.Recalibrations += o.Recalibrations
 	s.SchemeSwitches += o.SchemeSwitches
+	s.SimplifiedBatches += o.SimplifiedBatches
+	s.SimplifyFallbacks += o.SimplifyFallbacks
+	s.SegsComputed += o.SegsComputed
+	s.SegsReused += o.SegsReused
 	if len(o.BatchOccupancy) > len(s.BatchOccupancy) {
 		grown := make([]uint64, len(o.BatchOccupancy))
 		copy(grown, s.BatchOccupancy)
@@ -74,6 +87,10 @@ type statShard struct {
 	coalesced uint64
 	recals    uint64
 	switches  uint64
+	simp      uint64
+	simpFalls uint64
+	segsComp  uint64
+	segsReuse uint64
 	schemes   map[string]uint64
 	occ       []uint64
 }
@@ -110,6 +127,21 @@ func (s *statShard) record(scheme string, n int, hit bool) {
 	s.mu.Unlock()
 }
 
+// recordSimplify accounts one simplification attempt that got as far as
+// the segment analysis: an executed simplified batch with its computed
+// and cache-reused segment counts, or a fallback to the direct path.
+func (s *statShard) recordSimplify(executed bool, computed, reused int) {
+	s.mu.Lock()
+	if executed {
+		s.simp++
+		s.segsComp += uint64(computed)
+		s.segsReuse += uint64(reused)
+	} else {
+		s.simpFalls++
+	}
+	s.mu.Unlock()
+}
+
 // recordRecal accounts one stale-entry re-inspection, and whether it
 // switched the entry's scheme.
 func (s *statShard) recordRecal(switched bool) {
@@ -134,6 +166,10 @@ func (e *Engine) Stats() Stats {
 		s.Coalesced += sh.coalesced
 		s.Recalibrations += sh.recals
 		s.SchemeSwitches += sh.switches
+		s.SimplifiedBatches += sh.simp
+		s.SimplifyFallbacks += sh.simpFalls
+		s.SegsComputed += sh.segsComp
+		s.SegsReused += sh.segsReuse
 		for k, v := range sh.schemes {
 			s.Schemes[k] += v
 		}

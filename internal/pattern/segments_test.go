@@ -1,0 +1,178 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// segLoop builds a loop of iters iterations × refsPerIter references over
+// dim elements, with content drawn from rng except where override returns
+// a non-negative subscript for the given global reference position.
+func segLoop(t *testing.T, name string, dim, iters, refsPerIter int, seed int64, override func(pos int) int32) *trace.Loop {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	l := trace.NewLoop(name, dim)
+	refs := make([]int32, refsPerIter)
+	pos := 0
+	for i := 0; i < iters; i++ {
+		for j := range refs {
+			refs[j] = int32(rng.Intn(dim))
+			if override != nil {
+				if v := override(pos); v >= 0 {
+					refs[j] = v
+				}
+			}
+			pos++
+		}
+		l.AddIter(refs...)
+	}
+	return l
+}
+
+func TestAnalyzeSegmentsFullOverlap(t *testing.T) {
+	base := segLoop(t, "base", 256, 64, 4, 1, nil)
+	members := []*trace.Loop{base, base.Clone(), base.Clone()}
+	a, err := AnalyzeSegments(members, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Segments != 4 || a.Members != 3 {
+		t.Fatalf("segments/members = %d/%d, want 4/3", a.Segments, a.Members)
+	}
+	if a.Unique != 4 {
+		t.Errorf("full overlap unique = %d, want 4 (one owner per segment)", a.Unique)
+	}
+	if a.SharedSegs != 4 {
+		t.Errorf("SharedSegs = %d, want 4", a.SharedSegs)
+	}
+	if want := 2.0 / 3.0; a.OverlapFrac < want-1e-12 || a.OverlapFrac > want+1e-12 {
+		t.Errorf("OverlapFrac = %g, want %g", a.OverlapFrac, want)
+	}
+	for m := range members {
+		for s := 0; s < a.Segments; s++ {
+			if a.OwnerOf[m][s] != 0 {
+				t.Fatalf("OwnerOf[%d][%d] = %d, want 0", m, s, a.OwnerOf[m][s])
+			}
+		}
+	}
+}
+
+func TestAnalyzeSegmentsDisjoint(t *testing.T) {
+	members := []*trace.Loop{
+		segLoop(t, "a", 256, 64, 4, 1, nil),
+		segLoop(t, "b", 256, 64, 4, 2, nil),
+	}
+	a, err := AnalyzeSegments(members, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Unique != 8 || a.SharedSegs != 0 || a.OverlapFrac != 0 {
+		t.Errorf("disjoint analysis: unique=%d shared=%d overlap=%g, want 8/0/0",
+			a.Unique, a.SharedSegs, a.OverlapFrac)
+	}
+}
+
+// TestAnalyzeSegmentsSharedPrefix checks the staircase shape: member m
+// shares the first 4-m segments with the leader and diverges after.
+func TestAnalyzeSegmentsSharedPrefix(t *testing.T) {
+	const dim, iters, rpi, segIters = 256, 64, 4, 16
+	refsPerSeg := segIters * rpi
+	lead := segLoop(t, "lead", dim, iters, rpi, 1, nil)
+	_, leadRefs := lead.Flat()
+	members := []*trace.Loop{lead}
+	for m := 1; m < 3; m++ {
+		sharedUpTo := (4 - m) * refsPerSeg
+		priv := segLoop(t, "m", dim, iters, rpi, int64(10+m), func(pos int) int32 {
+			if pos < sharedUpTo {
+				return leadRefs[pos]
+			}
+			return -1
+		})
+		members = append(members, priv)
+	}
+	a, err := AnalyzeSegments(members, segIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Member 1 shares segments 0-2, member 2 shares 0-1: unique tasks are
+	// leader's 4 + member 1's segment 3 + member 2's segments 2,3.
+	if a.Unique != 7 {
+		t.Errorf("staircase unique = %d, want 7", a.Unique)
+	}
+	if a.SharedSegs != 3 {
+		t.Errorf("staircase SharedSegs = %d, want 3", a.SharedSegs)
+	}
+	if a.OwnerOf[1][0] != 0 || a.OwnerOf[1][3] != 1 || a.OwnerOf[2][1] != 0 || a.OwnerOf[2][2] != 2 {
+		t.Errorf("staircase ownership wrong: %v", a.OwnerOf)
+	}
+}
+
+// TestAnalyzeSegmentsTransitiveOwner checks that two members sharing
+// content absent from the leader still share one owner.
+func TestAnalyzeSegmentsTransitiveOwner(t *testing.T) {
+	lead := segLoop(t, "lead", 256, 64, 4, 1, nil)
+	twinA := segLoop(t, "twinA", 256, 64, 4, 2, nil)
+	twinB := twinA.Clone()
+	a, err := AnalyzeSegments([]*trace.Loop{lead, twinA, twinB}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < a.Segments; s++ {
+		if a.OwnerOf[2][s] != 1 {
+			t.Fatalf("OwnerOf[2][%d] = %d, want 1 (twin ownership)", s, a.OwnerOf[2][s])
+		}
+	}
+	if a.Unique != 8 {
+		t.Errorf("unique = %d, want 8", a.Unique)
+	}
+}
+
+func TestAnalyzeSegmentsConstRunsAndIdempotence(t *testing.T) {
+	l := trace.NewLoop("const", 64)
+	for i := 0; i < 32; i++ {
+		l.AddIter(7, 7, 7, 7)
+	}
+	l.Op = trace.OpMax
+	a, err := AnalyzeSegments([]*trace.Loop{l}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 128 refs, 127 adjacent pairs equal.
+	if a.ConstRunFrac < 0.99 {
+		t.Errorf("ConstRunFrac = %g, want ~0.99", a.ConstRunFrac)
+	}
+	if !a.Idempotent {
+		t.Error("OpMax loop not flagged idempotent")
+	}
+	rnd := segLoop(t, "rnd", 256, 64, 4, 3, nil)
+	ar, err := AnalyzeSegments([]*trace.Loop{rnd}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ar.ConstRunFrac > 0.05 {
+		t.Errorf("random ConstRunFrac = %g, want ~0", ar.ConstRunFrac)
+	}
+	if ar.Idempotent {
+		t.Error("OpAdd loop flagged idempotent")
+	}
+}
+
+func TestAnalyzeSegmentsRejectsMismatchedGeometry(t *testing.T) {
+	a := segLoop(t, "a", 256, 64, 4, 1, nil)
+	b := segLoop(t, "b", 256, 64, 5, 1, nil) // different iteration shape
+	if _, err := AnalyzeSegments([]*trace.Loop{a, b}, 16); err == nil {
+		t.Error("mismatched iteration shape not rejected")
+	}
+	c := segLoop(t, "c", 128, 64, 4, 1, nil) // different dimension
+	if _, err := AnalyzeSegments([]*trace.Loop{a, c}, 16); err == nil {
+		t.Error("mismatched NumElems not rejected")
+	}
+	if _, err := AnalyzeSegments(nil, 16); err == nil {
+		t.Error("empty member list not rejected")
+	}
+	if _, err := AnalyzeSegments([]*trace.Loop{a}, 0); err == nil {
+		t.Error("non-positive segment width not rejected")
+	}
+}

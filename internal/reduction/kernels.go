@@ -160,6 +160,23 @@ func mergeListAdd(out, v []float64, next []int32, head int32) {
 	}
 }
 
+// mergeDenseAdd is ll's merge kernel for the dense regime: when a
+// processor touched a large fraction of the array, walking the
+// first-touch list chases one random pointer per touched element, while
+// a linear sweep over the link array streams sequentially and lets the
+// branch predictor settle. The result is bit-identical to mergeListAdd
+// — each touched element folds into out exactly once, and element order
+// never mixes contributions of different elements.
+func mergeDenseAdd(out, v []float64, next []int32) {
+	v = v[:len(next)]     //bce:slice
+	out = out[:len(next)] //bce:slice
+	for e, nx := range next {
+		if nx != -2 {
+			out[e] += v[e]
+		}
+	}
+}
+
 // accumSelAdd is sel's accumulation kernel: conflicting elements
 // (remap[idx] >= 0) fold into the compact private array, exclusive
 // elements update the shared out in place.

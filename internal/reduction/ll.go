@@ -66,11 +66,21 @@ func (LinkedList) RunInto(l *trace.Loop, procs int, ex *Exec, out []float64) []f
 	// parallel cost model described in the paper.
 	out, fresh := ensureOut(out, l.NumElems)
 	initNeutral(out, neutral, fresh)
+	// Dense references defeat the list walk's premise: with an eighth or
+	// more of the array touched per processor, chasing the first-touch
+	// list costs one random miss per element, while a sequential sweep of
+	// the link array streams at cache-line speed. The sweep applies the
+	// same one-add-per-touched-element in the same processor order, so
+	// the result is bit-identical either way.
+	denseMerge := fast && len(refs)/procs >= l.NumElems/8
 	for p := 0; p < procs; p++ {
 		v, next := vals[p], nexts[p]
-		if fast {
+		switch {
+		case denseMerge:
+			mergeDenseAdd(out, v, next)
+		case fast:
 			mergeListAdd(out, v, next, heads[p])
-		} else {
+		default:
 			naiveMergeList(out, v, next, heads[p], l.Op)
 		}
 	}

@@ -115,6 +115,35 @@ func combineOp(dst, src []float64, op trace.Op) {
 	}
 }
 
+// combineTreeOp is combineTreeAdd's reference: fold parts[*][e] into
+// dst[e] through the same stride-doubling pairwise tree, element by
+// element, under op. Non-destructive on parts, like the fast kernel.
+func combineTreeOp(dst []float64, parts [][]float64, lo, hi int, op trace.Op) {
+	n := len(parts)
+	if lo >= hi || n == 0 {
+		return
+	}
+	if n > maxSegTreeWidth {
+		panic("reduction: segment combine wider than maxSegTreeWidth")
+	}
+	if n == 1 {
+		copy(dst[lo:hi], parts[0][lo:hi])
+		return
+	}
+	var t [maxSegTreeWidth]float64
+	for e := lo; e < hi; e++ {
+		for k := 0; k < n; k++ {
+			t[k] = parts[k][e]
+		}
+		for m := 1; m < n; m *= 2 {
+			for q := 0; q+m < n; q += 2 * m {
+				t[q] = op.Apply(t[q], t[q+m])
+			}
+		}
+		dst[e] = t[0]
+	}
+}
+
 // treeCombineRange combines the element range [lo, hi) of the procs
 // private copies pairwise into priv[0]: stride-doubling rounds fold
 // priv[q+m] into priv[q], so each element's combine is a balanced tree of

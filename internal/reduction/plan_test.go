@@ -1,0 +1,311 @@
+package reduction
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// planLoop builds a deterministic random loop for the plan tests.
+func planLoop(name string, dim, iters, refsPerIter int, seed int64) *trace.Loop {
+	rng := rand.New(rand.NewSource(seed))
+	l := trace.NewLoop(name, dim)
+	refs := make([]int32, refsPerIter)
+	for i := 0; i < iters; i++ {
+		for j := range refs {
+			refs[j] = int32(rng.Intn(dim))
+		}
+		l.AddIter(refs...)
+	}
+	return l
+}
+
+// mutateSegments returns a copy of l whose reference content is
+// re-randomized on exactly the segments for which keep(s) is false; the
+// kept segments alias-equal content at the same positions.
+func mutateSegments(l *trace.Loop, segIters int, seed int64, keep func(s int) bool) *trace.Loop {
+	c := l.Clone()
+	offs, refs := c.Flat()
+	iters := c.NumIters()
+	segs := (iters + segIters - 1) / segIters
+	rng := rand.New(rand.NewSource(seed))
+	for s := 0; s < segs; s++ {
+		if keep(s) {
+			continue
+		}
+		itHi := (s + 1) * segIters
+		if itHi > iters {
+			itHi = iters
+		}
+		for r := offs[s*segIters]; r < offs[itHi]; r++ {
+			refs[r] = int32(rng.Intn(c.NumElems))
+		}
+	}
+	return c
+}
+
+// segOracle executes one member's segment decomposition entirely with
+// the scalar naive kernels and no sharing: per-segment partial sums in
+// iteration order, then the pairwise tree across segments. This is the
+// bit-for-bit reference the simplified plan must reproduce.
+func segOracle(l *trace.Loop, segIters int) []float64 {
+	iters := l.NumIters()
+	segs := (iters + segIters - 1) / segIters
+	parts := make([][]float64, segs)
+	neutral := l.Op.Neutral()
+	for s := range parts {
+		lo := s * segIters
+		hi := lo + segIters
+		if hi > iters {
+			hi = iters
+		}
+		buf := make([]float64, l.NumElems)
+		for i := range buf {
+			buf[i] = neutral
+		}
+		naiveAccumFlat(buf, l, lo, hi)
+		parts[s] = buf
+	}
+	dst := make([]float64, l.NumElems)
+	combineTreeOp(dst, parts, 0, l.NumElems, l.Op)
+	return dst
+}
+
+// planShapes are the overlap structures of the property test. Each
+// builds occ members over a common leader; segIters is 16 iterations
+// over 128, i.e. 8 segments.
+var planShapes = []struct {
+	name  string
+	build func(lead *trace.Loop, occ, segIters int) []*trace.Loop
+}{
+	{"full-overlap", func(lead *trace.Loop, occ, segIters int) []*trace.Loop {
+		ms := []*trace.Loop{lead}
+		for m := 1; m < occ; m++ {
+			ms = append(ms, lead.Clone())
+		}
+		return ms
+	}},
+	{"disjoint", func(lead *trace.Loop, occ, segIters int) []*trace.Loop {
+		ms := []*trace.Loop{lead}
+		for m := 1; m < occ; m++ {
+			ms = append(ms, mutateSegments(lead, segIters, int64(100+m), func(int) bool { return false }))
+		}
+		return ms
+	}},
+	{"staircase", func(lead *trace.Loop, occ, segIters int) []*trace.Loop {
+		// Member m keeps the leading 8-m segments.
+		ms := []*trace.Loop{lead}
+		for m := 1; m < occ; m++ {
+			keepUpTo := 8 - m
+			ms = append(ms, mutateSegments(lead, segIters, int64(200+m), func(s int) bool { return s < keepUpTo }))
+		}
+		return ms
+	}},
+	{"nested", func(lead *trace.Loop, occ, segIters int) []*trace.Loop {
+		// Member m keeps the nested window [m/2, 8-(m+1)/2).
+		ms := []*trace.Loop{lead}
+		for m := 1; m < occ; m++ {
+			lo, hi := m/2, 8-(m+1)/2
+			ms = append(ms, mutateSegments(lead, segIters, int64(300+m), func(s int) bool { return s >= lo && s < hi }))
+		}
+		return ms
+	}},
+}
+
+// TestSegPlanMatchesNaiveOracle is the simplification correctness
+// property: across overlap shapes and batch occupancies 1-8, the fast
+// simplified execution (shared partial sums, pooled buffers, unrolled
+// kernels) produces bit-for-bit the result of running each member's own
+// segment decomposition through the scalar naive path — sharing never
+// changes a single bit. Results also stay within tolerance of the
+// sequential reference.
+func TestSegPlanMatchesNaiveOracle(t *testing.T) {
+	const dim, iters, rpi, segIters = 192, 128, 4, 16
+	pool := NewBufferPool()
+	for _, shape := range planShapes {
+		for occ := 1; occ <= 8; occ++ {
+			t.Run(fmt.Sprintf("%s/occ%d", shape.name, occ), func(t *testing.T) {
+				lead := planLoop("lead", dim, iters, rpi, 1)
+				members := shape.build(lead, occ, segIters)
+				p, err := BuildSegPlan(members, segIters)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dsts := make([][]float64, len(members))
+				for m := range dsts {
+					dsts[m] = make([]float64, dim)
+				}
+				for _, procs := range []int{1, 3, 8} {
+					st := p.Run(procs, &Exec{Pool: pool}, nil, dsts)
+					if st.Computed != p.Analysis.Unique || st.Reused != 0 {
+						t.Fatalf("procs=%d computed/reused = %d/%d, want %d/0",
+							procs, st.Computed, st.Reused, p.Analysis.Unique)
+					}
+					for m, l := range members {
+						want := segOracle(l, segIters)
+						for e := range want {
+							if math.Float64bits(dsts[m][e]) != math.Float64bits(want[e]) {
+								t.Fatalf("procs=%d member %d elem %d = %v, oracle %v",
+									procs, m, e, dsts[m][e], want[e])
+							}
+						}
+						assertClose(t, dsts[m], l.RunSequential())
+					}
+				}
+			})
+		}
+	}
+}
+
+// assertClose checks the plan result against the sequential reference to
+// the same tolerance the scheme tests use for reassociated reductions.
+func assertClose(t *testing.T, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("length %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		diff := math.Abs(got[i] - want[i])
+		scale := math.Max(math.Abs(want[i]), 1)
+		if diff/scale > 1e-9 {
+			t.Fatalf("elem %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSegPlanNoOverlapHasNoSharing pins the disjoint case the decision
+// boundary falls back on: with fully distinct content every cell is its
+// own owner, so a simplified execution would do strictly more work than
+// the direct path — the planner reports that via the analysis, and
+// adapt.RecommendSimplify (tested in its own package) refuses it.
+func TestSegPlanNoOverlapHasNoSharing(t *testing.T) {
+	const segIters = 16
+	lead := planLoop("lead", 192, 128, 4, 1)
+	members := planShapes[1].build(lead, 4, segIters) // disjoint
+	p, err := BuildSegPlan(members, segIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Analysis
+	if a.SharedSegs != 0 || a.OverlapFrac != 0 {
+		t.Fatalf("disjoint batch reports sharing: SharedSegs=%d OverlapFrac=%g", a.SharedSegs, a.OverlapFrac)
+	}
+	if a.Unique != a.Members*a.Segments {
+		t.Fatalf("disjoint unique = %d, want %d", a.Unique, a.Members*a.Segments)
+	}
+}
+
+// TestSegPlanCacheIncremental checks incremental re-reduction: a second
+// batch whose stream mutated a single segment recomputes only that
+// segment, reuses the rest from the cache, and still matches the naive
+// oracle bit-for-bit.
+func TestSegPlanCacheIncremental(t *testing.T) {
+	const dim, iters, rpi, segIters = 192, 128, 4, 16
+	pool := NewBufferPool()
+	lead := planLoop("lead", dim, iters, rpi, 1)
+	cache := NewSegCache(lead, segIters)
+
+	p0, err := BuildSegPlan([]*trace.Loop{lead}, segIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := [][]float64{make([]float64, dim)}
+	st := p0.Run(4, &Exec{Pool: pool}, cache, dst)
+	if st.Computed != p0.Analysis.Segments || st.Reused != 0 {
+		t.Fatalf("cold run computed/reused = %d/%d, want %d/0", st.Computed, st.Reused, p0.Analysis.Segments)
+	}
+
+	// Mutate only segment 3; everything else must come from the cache.
+	drift := mutateSegments(lead, segIters, 99, func(s int) bool { return s != 3 })
+	p1, err := BuildSegPlan([]*trace.Loop{drift}, segIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = p1.Run(4, &Exec{Pool: pool}, cache, dst)
+	if st.Computed != 1 || st.Reused != p1.Analysis.Segments-1 {
+		t.Fatalf("incremental run computed/reused = %d/%d, want 1/%d", st.Computed, st.Reused, p1.Analysis.Segments-1)
+	}
+	want := segOracle(drift, segIters)
+	for e := range want {
+		if math.Float64bits(dst[0][e]) != math.Float64bits(want[e]) {
+			t.Fatalf("incremental elem %d = %v, oracle %v", e, dst[0][e], want[e])
+		}
+	}
+
+	// A third run with identical content reuses everything.
+	st = p1.Run(4, &Exec{Pool: pool}, cache, dst)
+	if st.Computed != 0 || st.Reused != p1.Analysis.Segments {
+		t.Fatalf("warm run computed/reused = %d/%d, want 0/%d", st.Computed, st.Reused, p1.Analysis.Segments)
+	}
+
+	// A mismatched-geometry cache is ignored, not misused.
+	other := planLoop("other", dim, iters/2, rpi, 7)
+	pOther, err := BuildSegPlan([]*trace.Loop{other}, segIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstO := [][]float64{make([]float64, dim)}
+	st = pOther.Run(4, &Exec{Pool: pool}, cache, dstO)
+	if st.Reused != 0 {
+		t.Fatalf("mismatched cache served %d segments", st.Reused)
+	}
+	wantO := segOracle(other, segIters)
+	for e := range wantO {
+		if math.Float64bits(dstO[0][e]) != math.Float64bits(wantO[e]) {
+			t.Fatalf("mismatched-cache elem %d = %v, oracle %v", e, dstO[0][e], wantO[e])
+		}
+	}
+}
+
+// TestSegPlanNonAddOp runs the naive-kernel path end to end for an
+// idempotent operator, where exact equality with the sequential
+// reference holds regardless of association.
+func TestSegPlanNonAddOp(t *testing.T) {
+	const segIters = 16
+	lead := planLoop("max", 128, 96, 3, 5)
+	lead.Op = trace.OpMax
+	members := []*trace.Loop{lead, lead.Clone()}
+	p, err := BuildSegPlan(members, segIters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Analysis.Idempotent {
+		t.Error("OpMax plan not flagged idempotent")
+	}
+	dsts := [][]float64{make([]float64, 128), make([]float64, 128)}
+	p.Run(4, nil, nil, dsts)
+	want := lead.RunSequential()
+	for m := range dsts {
+		for e := range want {
+			if math.Float64bits(dsts[m][e]) != math.Float64bits(want[e]) {
+				t.Fatalf("member %d elem %d = %v, want %v", m, e, dsts[m][e], want[e])
+			}
+		}
+	}
+}
+
+func TestDefaultSegIters(t *testing.T) {
+	cases := []struct {
+		iters, procs int
+		wantSegs     int
+	}{
+		{8192, 8, 8},
+		{8192, 16, 16},
+		{8192, 1, 8},
+		{100, 8, 4}, // 32-iteration floor wins: ceil(100/32)
+	}
+	for _, c := range cases {
+		si := DefaultSegIters(c.iters, c.procs)
+		segs := (c.iters + si - 1) / si
+		if segs != c.wantSegs {
+			t.Errorf("DefaultSegIters(%d,%d) = %d → %d segments, want %d",
+				c.iters, c.procs, si, segs, c.wantSegs)
+		}
+		if segs > maxSegTreeWidth {
+			t.Errorf("DefaultSegIters(%d,%d) exceeds combine width", c.iters, c.procs)
+		}
+	}
+}

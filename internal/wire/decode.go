@@ -365,6 +365,16 @@ func (f Frame) DecodeStats() (engine.Stats, error) {
 			return engine.Stats{}, fmt.Errorf("%w: scheme switches", ErrCorrupt)
 		}
 	}
+	// Optional simplification quad after the pair, same evolution rule:
+	// absent from older peers, complete when present.
+	if c.remaining() > 0 {
+		simp := []*uint64{&s.SimplifiedBatches, &s.SimplifyFallbacks, &s.SegsComputed, &s.SegsReused}
+		for _, p := range simp {
+			if *p, err = c.uvarint(); err != nil {
+				return engine.Stats{}, fmt.Errorf("%w: simplification counter", ErrCorrupt)
+			}
+		}
+	}
 	if c.remaining() != 0 {
 		return engine.Stats{}, fmt.Errorf("%w: %d trailing bytes after stats body", ErrCorrupt, c.remaining())
 	}

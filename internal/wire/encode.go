@@ -161,10 +161,21 @@ func AppendStats(dst []byte, jobID uint64, s *engine.Stats) []byte {
 	}
 	// Recalibration counters are an optional trailing pair, following the
 	// same evolution rule as the HELLO flags field: emitted only when
-	// non-zero, decoded as zero by peers that predate them.
-	if s.Recalibrations != 0 || s.SchemeSwitches != 0 {
+	// non-zero, decoded as zero by peers that predate them. The
+	// simplification quad extends the tail the same way; since optional
+	// tails decode positionally, emitting the quad forces the pair out
+	// too (zeros are fine — only the frame length carries meaning).
+	simpTail := s.SimplifiedBatches != 0 || s.SimplifyFallbacks != 0 ||
+		s.SegsComputed != 0 || s.SegsReused != 0
+	if simpTail || s.Recalibrations != 0 || s.SchemeSwitches != 0 {
 		dst = binary.AppendUvarint(dst, s.Recalibrations)
 		dst = binary.AppendUvarint(dst, s.SchemeSwitches)
+	}
+	if simpTail {
+		dst = binary.AppendUvarint(dst, s.SimplifiedBatches)
+		dst = binary.AppendUvarint(dst, s.SimplifyFallbacks)
+		dst = binary.AppendUvarint(dst, s.SegsComputed)
+		dst = binary.AppendUvarint(dst, s.SegsReused)
 	}
 	return endFrame(dst, p)
 }

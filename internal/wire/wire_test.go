@@ -227,6 +227,61 @@ func halfPairStats(legacy []byte) []byte {
 	return b
 }
 
+// TestStatsSimplifyCompat pins the second optional tail — the
+// simplification quad after the recalibration pair: pair-only frames
+// decode with the quad zero, a quad frame round-trips (forcing the pair
+// out even when it is zero, since tails decode positionally), and
+// legacy frames decode with everything zero.
+func TestStatsSimplifyCompat(t *testing.T) {
+	base := engine.Stats{Jobs: 5, Schemes: map[string]uint64{"rep": 5}}
+	legacy := AppendStats(nil, 9, &base)
+
+	quad := base
+	quad.SimplifiedBatches, quad.SimplifyFallbacks = 11, 3
+	quad.SegsComputed, quad.SegsReused = 40, 120
+	tailed := AppendStats(nil, 9, &quad)
+	// Zero recal pair (2 bytes) + four single-byte counters.
+	if len(tailed) != len(legacy)+6 {
+		t.Fatalf("quad frame %d bytes vs legacy %d: quad not trailing after the pair", len(tailed), len(legacy))
+	}
+	f, _, err := DecodeFrame(tailed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := f.DecodeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SimplifiedBatches != 11 || s.SimplifyFallbacks != 3 ||
+		s.SegsComputed != 40 || s.SegsReused != 120 {
+		t.Fatalf("quad round-trip = %d/%d/%d/%d", s.SimplifiedBatches, s.SimplifyFallbacks, s.SegsComputed, s.SegsReused)
+	}
+	if s.Recalibrations != 0 || s.SchemeSwitches != 0 {
+		t.Fatalf("zero recal pair decoded as %d/%d", s.Recalibrations, s.SchemeSwitches)
+	}
+
+	// A pair-only frame (a recalibrating peer without simplification)
+	// decodes with the quad zero.
+	pairOnly := base
+	pairOnly.Recalibrations = 7
+	f, _, err = DecodeFrame(AppendStats(nil, 9, &pairOnly), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, err = f.DecodeStats(); err != nil || s.SimplifiedBatches != 0 || s.SegsReused != 0 {
+		t.Fatalf("pair-only frame decoded quad %d/%d, err %v", s.SimplifiedBatches, s.SegsReused, err)
+	}
+
+	// A partial quad is corrupt.
+	f, _, err = DecodeFrame(halfPairStats(AppendStats(nil, 9, &pairOnly)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.DecodeStats(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("partial quad decoded without error: %v", err)
+	}
+}
+
 func TestSmallFramesRoundTrip(t *testing.T) {
 	buf := AppendHello(nil, Hello{Version: ProtoVersion, Procs: 8, MaxInflight: 64})
 	buf = AppendError(buf, 7, "loop rejected")

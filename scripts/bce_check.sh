@@ -1,12 +1,16 @@
 #!/bin/sh
 # Codegen gate for the optimized reduction kernels: compiles the package
 # with the compiler's bounds-check diagnostic (-d=ssa/check_bce) and fails
-# when a bounds check appears in internal/reduction/kernels.go on a line
-# that is not explicitly intentional. The kernels are written so the prove
-# pass discharges every check except the data-dependent gathers (w[idx]
+# when a bounds check appears in a gated file on a line that is not
+# explicitly intentional. The kernels are written so the prove pass
+# discharges every check except the data-dependent gathers (w[idx]
 # with a runtime subscript — the in-range proof lives in trace.Loop
 # validation, outside the compiler's view); an unmarked check reappearing
 # means a refactor broke a BCE idiom and the hot loop silently slowed down.
+#
+# Gated files: the accumulation kernels (kernels.go) and the segment
+# combine tree (segtree.go) the simplified execution plan folds partial
+# sums through.
 #
 # A check is intentional when either
 #   - its source line carries a //bce: marker (//bce:gather for
@@ -19,12 +23,13 @@
 #
 # Go >= 1.21 replays compiler diagnostics from the build cache, so repeat
 # runs stay fast; the script fails loudly if the expected diagnostics are
-# missing entirely (a cache or toolchain anomaly would otherwise read as
-# a false pass, since the gathers guarantee at least one check).
+# missing entirely for any gated file (a cache or toolchain anomaly would
+# otherwise read as a false pass, since the gathers guarantee at least
+# one check per file).
 set -eu
 
 cd "$(dirname "$0")/.."
-gate=internal/reduction/kernels.go
+gates="internal/reduction/kernels.go internal/reduction/segtree.go"
 allow=scripts/bce_allow.txt
 
 if ! diag=$(go build -gcflags='-d=ssa/check_bce' ./internal/reduction/ 2>&1); then
@@ -33,16 +38,21 @@ if ! diag=$(go build -gcflags='-d=ssa/check_bce' ./internal/reduction/ 2>&1); th
     exit 2
 fi
 
-echo "$diag" | awk -v gate="$gate" -v allow="$allow" '
+echo "$diag" | awk -v gates="$gates" -v allow="$allow" '
 BEGIN {
-    # Lines of the gated file carrying a //bce: marker are intentional.
-    n = 0
-    while ((getline line < gate) > 0) {
-        n++
-        if (line ~ /\/\/bce:/) marked[n] = 1
+    # Lines of each gated file carrying a //bce: marker are intentional.
+    ngates = split(gates, gate, " ")
+    for (g = 1; g <= ngates; g++) {
+        f = gate[g]
+        isGate[f] = 1
+        n = 0
+        while ((getline line < f) > 0) {
+            n++
+            if (line ~ /\/\/bce:/) marked[f ":" n] = 1
+        }
+        close(f)
+        if (n == 0) { print "bce_check: cannot read " f; exit 2 }
     }
-    close(gate)
-    if (n == 0) { print "bce_check: cannot read " gate; exit 2 }
     # Allowlisted "file:line" entries ("#" comments and blanks ignored).
     while ((getline line < allow) > 0) {
         sub(/[ \t]*#.*/, "", line)
@@ -54,20 +64,23 @@ BEGIN {
 / Found Is(Slice)?InBounds$/ {
     split($1, loc, ":")
     file = loc[1]; lineno = loc[2]
-    if (file != gate) next
-    total++
-    if (marked[lineno] || (file ":" lineno in allowed)) { ok++; next }
+    if (!(file in isGate)) next
+    total[file]++
+    if (marked[file ":" lineno] || (file ":" lineno in allowed)) { ok[file]++; next }
     bad++
     print "bce_check: UNMARKED bounds check at " file ":" lineno ":" loc[3]
 }
 END {
-    if (total == 0) {
-        print "bce_check: no bounds-check diagnostics for " gate " at all;"
-        print "bce_check: the gather checks make that impossible — stale build"
-        print "bce_check: cache or toolchain change. Try: go clean -cache"
-        exit 2
+    for (g = 1; g <= ngates; g++) {
+        f = gate[g]
+        if (total[f] == 0) {
+            print "bce_check: no bounds-check diagnostics for " f " at all;"
+            print "bce_check: the gather checks make that impossible — stale build"
+            print "bce_check: cache or toolchain change. Try: go clean -cache"
+            exit 2
+        }
+        printf "bce_check: %d bounds check(s) in %s, %d intentional, %d unmarked\n", total[f], f, ok[f], total[f] - ok[f]
     }
-    printf "bce_check: %d bounds check(s) in %s, %d intentional, %d unmarked\n", total, gate, ok, bad
     if (bad) {
         print "bce_check: FAIL: restore the BCE idiom (see kernels.go header),"
         print "bce_check: or mark the line //bce:gather if the check is truly"

@@ -4,6 +4,10 @@
 # (default 25). Benchmarks present in only one file are reported but not
 # gated, so adding or renaming benchmarks never breaks the gate.
 #
+# Every gate below runs even after an earlier one fails; the script
+# reports all failing gates for the run and exits nonzero if any failed,
+# so one broken floor never hides another.
+#
 # usage: bench_compare.sh [baseline.json [candidate.json]]
 #
 # With no baseline argument the committed HEAD version of BENCH_engine.json
@@ -69,6 +73,10 @@ extract() {
 extract "$base" > "$tmpdir/base"
 extract "$cand" > "$tmpdir/cand"
 
+# failed accumulates the names of failing gates so every floor is
+# checked and reported in one run.
+failed=""
+
 unit="ns/op"
 [ -n "$norm" ] && unit="x $norm"
 
@@ -89,9 +97,9 @@ END {
         printf "bench_compare: %d benchmark(s) regressed more than %d%%\n", bad, tol
         exit 1
     }
-}' "$tmpdir/base" "$tmpdir/cand"
-
-echo "bench_compare: throughput within ${tol}% of baseline (${unit})"
+}' "$tmpdir/base" "$tmpdir/cand" && \
+    echo "bench_compare: throughput within ${tol}% of baseline (${unit})" || \
+    failed="$failed throughput"
 
 # Kernel-coverage check: the candidate must carry the per-scheme kernel
 # microbenchmarks (Kernel/<scheme>/...) for all five schemes, so a bench
@@ -119,7 +127,7 @@ END {
         exit 1
     }
     print "bench_compare: kernel coverage: all five schemes benchmarked"
-}' "$cand"
+}' "$cand" || failed="$failed kernel-coverage"
 
 # Pattern-affinity gate: the gateway's measured fusion occupancy
 # (GatewayZipf jobs_per_batch) must hold at least AFFINITY_MIN_PCT
@@ -150,7 +158,7 @@ END {
         print "bench_compare: FAIL: pattern-affinity routing lost too much batch fusion"
         exit 1
     }
-}' "$cand"
+}' "$cand" || failed="$failed affinity"
 
 # Drift-recovery gate: after the DriftRecovery phase shift, the measured
 # p95 must have returned to within RECOVERY_MAX_PCT (default 125) percent
@@ -198,4 +206,54 @@ END {
         print "bench_compare: FAIL: recovery took more post-shift jobs than the ceiling allows"
         exit 1
     }
-}' "$base" "$cand"
+}' "$base" "$cand" || failed="$failed drift-recovery"
+
+# Simplification gate: the shared-subrange overlap benchmark
+# (SimplifyOverlap/{direct,simplified}-occN) must show at least
+# SIMPLIFY_MIN_SPEEDUP (default 1.5) per-job speedup of the simplified
+# plan over direct per-member execution at every recorded occupancy —
+# the mechanical check behind the claim that shared-segment partial-sum
+# reuse wins at batch occupancy >= 4. Both figures come from the same
+# file and machine, so no normalization is needed; the gate runs
+# whenever the candidate carries a direct/simplified pair and names the
+# lone half when it carries only one.
+awk -v minx="${SIMPLIFY_MIN_SPEEDUP:-1.5}" -v cand="$cand" '
+/"name": "SimplifyOverlap\// && match($0, /"ns_per_op": *[0-9]+/) {
+    v = substr($0, RSTART, RLENGTH); gsub(/[^0-9]/, "", v)
+    split($0, q, "\"")
+    split(q[4], parts, "/")
+    if (parts[2] ~ /^direct-/)          { sub(/^direct-/, "", parts[2]); direct[parts[2]] = v }
+    else if (parts[2] ~ /^simplified-/) { sub(/^simplified-/, "", parts[2]); simp[parts[2]] = v }
+}
+END {
+    npairs = 0
+    for (occ in direct) {
+        if (!(occ in simp)) {
+            printf "bench_compare: FAIL: SimplifyOverlap/direct-%s has no simplified counterpart in %s\n", occ, cand
+            bad++
+            continue
+        }
+        npairs++
+        x = direct[occ] / simp[occ]
+        printf "bench_compare: simplification %s: %.2fx per-job speedup over direct (floor %.2fx)\n", occ, x, minx
+        if (x < minx) {
+            printf "bench_compare: FAIL: simplified plan too slow at %s\n", occ
+            bad++
+        }
+    }
+    for (occ in simp) if (!(occ in direct)) {
+        printf "bench_compare: FAIL: SimplifyOverlap/simplified-%s has no direct counterpart in %s\n", occ, cand
+        bad++
+    }
+    if (npairs == 0 && !bad) {
+        printf "bench_compare: simplification gate skipped: no SimplifyOverlap benchmarks in %s\n", cand
+        exit 0
+    }
+    if (bad) exit 1
+}' "$cand" || failed="$failed simplification"
+
+if [ -n "$failed" ]; then
+    echo "bench_compare: FAILED gates:$failed"
+    exit 1
+fi
+echo "bench_compare: all gates passed"
