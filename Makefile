@@ -54,7 +54,7 @@ loadtest-gateway:
 # target, and every exported identifier in the network-facing packages
 # carries a doc comment (CI runs this as the docs job).
 docs-check:
-	$(GO) run ./cmd/doccheck ./internal/wire ./internal/client ./internal/server ./internal/cluster
+	$(GO) run ./cmd/doccheck ./internal/wire ./internal/client ./internal/server ./internal/cluster ./internal/obs ./internal/metrics
 	./scripts/md_links.sh
 
 # fuzz runs the wire-protocol decoder fuzz target for 10s under the race

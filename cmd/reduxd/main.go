@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -25,6 +26,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -43,6 +46,8 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 64, "in-flight job budget per connection (beyond it: BUSY)")
 	maxGlobal := flag.Int("max-global", 1024, "in-flight job budget across all connections")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
+	debugAddr := flag.String("debug-addr", "", "HTTP debug listen address serving /metrics, /tracez, /healthz and /debug/pprof (empty: disabled)")
+	traceSlow := flag.Duration("trace-slow", 0, "latency above which a job's stage timeline is kept for /tracez (0: 10ms default, negative: every job)")
 	flag.Parse()
 
 	if *procs < 1 || *procs > 64 {
@@ -71,6 +76,7 @@ func main() {
 	srv := server.New(eng, server.Config{
 		MaxInflightPerConn: *maxInflight,
 		MaxInflightGlobal:  *maxGlobal,
+		TraceSlow:          *traceSlow,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -79,6 +85,24 @@ func main() {
 	}
 	fmt.Printf("reduxd: listening on %s (%d workers x %d procs, %d in-flight/conn, %d global)\n",
 		ln.Addr(), *workers, *procs, *maxInflight, *maxGlobal)
+
+	if *debugAddr != "" {
+		mux := obs.NewDebugMux("reduxd", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := metrics.WriteEngineStats(w, eng.Stats()); err != nil {
+				return
+			}
+			metrics.WriteServerStats(w, srv)
+		}), srv.Traces)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reduxd: debug listener:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("reduxd: debug listening on %s\n", dln.Addr())
+		go http.Serve(dln, mux)
+		defer dln.Close()
+	}
 
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- srv.Serve(ln) }()

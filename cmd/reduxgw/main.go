@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -32,6 +33,8 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -45,6 +48,8 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 64, "in-flight job budget per client connection (beyond it: BUSY)")
 	maxGlobal := flag.Int("max-global", 4096, "in-flight job budget across all client connections")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
+	debugAddr := flag.String("debug-addr", "", "HTTP debug listen address serving /metrics, /tracez, /healthz and /debug/pprof (empty: disabled)")
+	traceSlow := flag.Duration("trace-slow", 0, "latency above which a job's stage timeline is kept for /tracez (0: 10ms default, negative: every job)")
 	flag.Parse()
 
 	addrs := strings.Split(*backends, ",")
@@ -74,6 +79,7 @@ func main() {
 	srv := server.NewWithDispatcher(pool, server.Config{
 		MaxInflightPerConn: *maxInflight,
 		MaxInflightGlobal:  *maxGlobal,
+		TraceSlow:          *traceSlow,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -82,6 +88,32 @@ func main() {
 	}
 	fmt.Printf("reduxgw: listening on %s fronting %d backends (%d in-flight/conn, %d global)\n",
 		ln.Addr(), len(cleaned), *maxInflight, *maxGlobal)
+
+	if *debugAddr != "" {
+		mux := obs.NewDebugMux("reduxgw", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			// The engine series are the tier-wide aggregate of every healthy
+			// backend's STATS answer; a tier with no backend up scrapes the
+			// gateway-local series only.
+			if agg, err := pool.Stats(); err == nil {
+				if err := metrics.WriteEngineStats(w, agg); err != nil {
+					return
+				}
+			}
+			if err := metrics.WriteServerStats(w, srv); err != nil {
+				return
+			}
+			metrics.WritePoolStats(w, pool.PoolStats())
+		}), srv.Traces)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reduxgw: debug listener:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("reduxgw: debug listening on %s\n", dln.Addr())
+		go http.Serve(dln, mux)
+		defer dln.Close()
+	}
 
 	serveDone := make(chan error, 1)
 	go func() { serveDone <- srv.Serve(ln) }()

@@ -45,6 +45,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -321,7 +322,12 @@ func main() {
 	var failures atomic.Int64
 	var imbalanceSum atomic.Int64 // milli-units, summed over measured jobs
 	var imbalanceN atomic.Int64
-	latencies := make([][]time.Duration, *clients)
+	// One shared log-bucketed histogram replaces the per-client latency
+	// slices: recording is a few atomic adds, and memory stays fixed no
+	// matter how many jobs the run drives (the old sorted-slice percentile
+	// path grew with -jobs). Quantiles come from the bucket walk, with
+	// bounded relative error instead of a full sort.
+	var latHist obs.Histogram
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
@@ -329,7 +335,6 @@ func main() {
 		go func(c int) {
 			defer wg.Done()
 			var dst []float64
-			lat := make([]time.Duration, 0, *jobs / *clients + 1)
 			for {
 				n := int(submitted.Add(1)) - 1
 				if n >= *jobs {
@@ -345,7 +350,7 @@ func main() {
 					failures.Add(1)
 					break
 				}
-				lat = append(lat, time.Since(t0))
+				latHist.Observe(time.Since(t0))
 				dst = res.Values
 				if res.Imbalance > 0 {
 					imbalanceSum.Add(int64(res.Imbalance * 1000))
@@ -357,7 +362,6 @@ func main() {
 					break
 				}
 			}
-			latencies[c] = lat
 		}(c)
 	}
 	wg.Wait()
@@ -375,16 +379,11 @@ func main() {
 		os.Exit(1)
 	}
 	s := statsDelta(now, warm)
-	all := make([]time.Duration, 0, *jobs)
-	for _, lat := range latencies {
-		all = append(all, lat...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	if len(all) > 0 {
-		rep.LatP50Ns = int64(percentile(all, 50))
-		rep.LatP95Ns = int64(percentile(all, 95))
-		rep.LatP99Ns = int64(percentile(all, 99))
-		rep.LatMaxNs = int64(all[len(all)-1])
+	if snap := latHist.Snapshot(); snap.Count > 0 {
+		rep.LatP50Ns = int64(snap.Quantile(0.50))
+		rep.LatP95Ns = int64(snap.Quantile(0.95))
+		rep.LatP99Ns = int64(snap.Quantile(0.99))
+		rep.LatMaxNs = int64(snap.MaxNs)
 	}
 	rep.JobsPerSec = float64(*jobs) / (float64(rep.ElapsedNs) / 1e9)
 	rep.Batches = s.Batches
@@ -583,22 +582,6 @@ func statsDelta(now, warm engine.Stats) engine.Stats {
 		d.BatchOccupancy[k] = v
 	}
 	return d
-}
-
-// percentile returns the p-th percentile of sorted latencies
-// (nearest-rank).
-func percentile(sorted []time.Duration, p int) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	rank := (p*len(sorted) + 99) / 100
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > len(sorted) {
-		rank = len(sorted)
-	}
-	return sorted[rank-1]
 }
 
 func matches(got, want []float64) bool {

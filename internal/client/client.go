@@ -132,6 +132,15 @@ func (c *Client) SubmitAsync(l *trace.Loop) (*Handle, error) {
 // SubmitAsyncInto is SubmitAsync with a caller-provided destination
 // array; dst must not be touched until Wait returns.
 func (c *Client) SubmitAsyncInto(l *trace.Loop, dst []float64) (*Handle, error) {
+	return c.SubmitAsyncIntoTraced(l, dst, 0)
+}
+
+// SubmitAsyncIntoTraced is SubmitAsyncInto carrying an end-to-end trace
+// ID: the server records the job's stage timeline under it (visible at
+// /tracez on every tier the job crosses). A zero ID omits the field from
+// the wire — the server then assigns its own — so untraced submission
+// stays byte-identical to older clients.
+func (c *Client) SubmitAsyncIntoTraced(l *trace.Loop, dst []float64, traceID uint64) (*Handle, error) {
 	if l == nil {
 		return nil, errors.New("client: nil loop")
 	}
@@ -139,7 +148,7 @@ func (c *Client) SubmitAsyncInto(l *trace.Loop, dst []float64) (*Handle, error) 
 	if err != nil {
 		return nil, err
 	}
-	return pc.submit(l, dst)
+	return pc.submit(l, dst, traceID)
 }
 
 // Stats fetches the server engine's statistics snapshot.
@@ -308,7 +317,7 @@ func (pc *poolConn) close() {
 // submit registers a pending job on the slot's session and writes its
 // SUBMIT frame. A write failure kills the session (failing its in-flight
 // jobs) and leaves the slot ready to redial.
-func (pc *poolConn) submit(l *trace.Loop, dst []float64) (*Handle, error) {
+func (pc *poolConn) submit(l *trace.Loop, dst []float64, traceID uint64) (*Handle, error) {
 	s, err := pc.ensure()
 	if err != nil {
 		return nil, err
@@ -319,7 +328,7 @@ func (pc *poolConn) submit(l *trace.Loop, dst []float64) (*Handle, error) {
 		return nil, err
 	}
 	buf := wire.GetBuffer()
-	buf.B = wire.AppendSubmit(buf.B, id, l)
+	buf.B = wire.AppendSubmitTraced(buf.B, id, l, traceID)
 	if err := s.write(buf); err != nil {
 		return nil, err
 	}

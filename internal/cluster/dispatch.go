@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -20,14 +21,20 @@ var _ server.Dispatcher = (*Pool)(nil)
 // backend and returns a Waiter that carries the bounded failover policy:
 // resubmit elsewhere on connection loss, retry-then-spill on BUSY, and
 // server.ErrOverloaded when every avenue is exhausted (which the gateway
-// front end answers as BUSY(BusyUpstream)).
-func (p *Pool) Dispatch(l *trace.Loop, dst []float64) (server.Waiter, error) {
+// front end answers as BUSY(BusyUpstream)). The timeline, when non-nil,
+// accumulates the gateway legs (route, backend_wait, retry_backoff) and
+// its TraceID rides the SUBMIT frame to the owning backend.
+func (p *Pool) Dispatch(l *trace.Loop, dst []float64, tl *obs.Timeline) (server.Waiter, error) {
 	w := &waiter{
 		p:        p,
 		l:        l,
 		dst:      dst,
 		fp:       l.Fingerprint(),
 		busyLeft: p.cfg.BusyRetries,
+		tl:       tl,
+	}
+	if tl != nil {
+		w.traceID = tl.TraceID
 	}
 	if err := w.submitNext(); err != nil {
 		return nil, err
@@ -145,6 +152,13 @@ type waiter struct {
 	tried    map[*backend]bool
 	busyLeft int
 
+	// tl, when non-nil, receives the gateway-leg stage durations; traceID
+	// is forwarded on every backend SUBMIT so both tiers record the job
+	// under one ID. Dispatch and Wait touch the timeline sequentially
+	// (the connection hands it off), so no locking is needed.
+	tl      *obs.Timeline
+	traceID uint64
+
 	cur *backend
 	h   *client.Handle
 }
@@ -161,13 +175,20 @@ func (w *waiter) markTried(b *backend) {
 // failover gives up on the current backend and re-places the job.
 func (w *waiter) failover() error {
 	w.markTried(w.cur)
+	if w.tl != nil {
+		w.tl.Failovers++
+	}
 	return w.submitNext()
 }
 
 // submitNext places the job on the best remaining backend, marking each
 // one that fails at submit time down. When no backend remains the job is
-// exhausted: explicit backpressure instead of internal queueing.
+// exhausted: explicit backpressure instead of internal queueing. The
+// whole placement — ranking plus however many submit attempts it takes —
+// is charged to the route stage.
 func (w *waiter) submitNext() error {
+	start := time.Now()
+	defer func() { w.tl.Add(obs.StageRoute, time.Since(start)) }()
 	for {
 		b := w.p.pick(w.fp, w.tried)
 		if b == nil {
@@ -190,7 +211,7 @@ func (w *waiter) submitTo(b *backend) bool {
 		w.p.markDown(b)
 		return false
 	}
-	h, err := cl.SubmitAsyncInto(w.l, w.dst)
+	h, err := cl.SubmitAsyncIntoTraced(w.l, w.dst, w.traceID)
 	if err != nil {
 		w.p.markDown(b)
 		return false
@@ -206,7 +227,9 @@ func (w *waiter) submitTo(b *backend) bool {
 // gateway admission slot holding it) forever.
 func (w *waiter) Wait() (engine.Result, error) {
 	for {
+		legStart := time.Now()
 		res, err := w.h.WaitTimeout(w.p.cfg.LegTimeout)
+		w.tl.Add(obs.StageBackendWait, time.Since(legStart))
 		switch {
 		case err == nil:
 			return res, nil
@@ -218,6 +241,9 @@ func (w *waiter) Wait() (engine.Result, error) {
 			if w.busyLeft > 0 {
 				w.busyLeft--
 				w.p.busyRetries.Add(1)
+				if w.tl != nil {
+					w.tl.Retries++
+				}
 				// Clamp the exponent, not the product: a large retry budget
 				// must saturate the backoff at 64x, not shift it into
 				// overflow.
@@ -225,7 +251,9 @@ func (w *waiter) Wait() (engine.Result, error) {
 				if exp > 6 {
 					exp = 6
 				}
-				time.Sleep(w.p.cfg.BusyBackoff << exp)
+				backoff := w.p.cfg.BusyBackoff << exp
+				time.Sleep(backoff)
+				w.tl.Add(obs.StageRetryWait, backoff)
 				if w.submitTo(w.cur) {
 					continue
 				}

@@ -1,0 +1,148 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/testkit"
+	"repro/internal/workloads"
+)
+
+func findTrace(traces []obs.JobTrace, id uint64) (obs.JobTrace, bool) {
+	for _, tr := range traces {
+		if tr.TraceID == id {
+			return tr, true
+		}
+	}
+	return obs.JobTrace{}, false
+}
+
+// TestCrossTierTraceStitching is the end-to-end tracing acceptance test:
+// a traced job submitted through the gateway must appear in BOTH tiers'
+// trace rings under the same trace ID — the client-assigned ID rides the
+// SUBMIT frame to the gateway and is forwarded on the backend leg. On
+// each tier the stage durations sum exactly to that tier's recorded
+// total, and the gateway's total (which brackets the whole journey) is
+// within the client's observed latency.
+func TestCrossTierTraceStitching(t *testing.T) {
+	b := startBackend(t, engine.Config{}, server.Config{TraceSlow: -1})
+	g := testkit.StartGateway(t, cluster.Config{},
+		server.Config{TraceSlow: -1}, b.addr)
+	cl := testkit.DialPool(t, g.Addr, client.Config{Conns: 1})
+
+	l := workloads.MixedSet(0.2)[0]
+	const wantID = uint64(0x5eed_cafe_f00d)
+	start := time.Now()
+	h, err := cl.SubmitAsyncIntoTraced(l, nil, wantID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	clientLatency := time.Since(start)
+
+	gwTrace, ok := findTrace(g.Srv.Traces(), wantID)
+	if !ok {
+		t.Fatalf("trace %#x not in gateway ring: %+v", wantID, g.Srv.Traces())
+	}
+	beTrace, ok := findTrace(b.d.Srv.Traces(), wantID)
+	if !ok {
+		t.Fatalf("trace %#x not in backend ring: %+v", wantID, b.d.Srv.Traces())
+	}
+
+	check := func(tier string, tr obs.JobTrace) map[string]int64 {
+		t.Helper()
+		byStage := map[string]int64{}
+		var sum int64
+		for _, st := range tr.Stages {
+			byStage[st.Stage] = st.Ns
+			sum += st.Ns
+		}
+		if sum != tr.TotalNs {
+			t.Fatalf("%s: stages sum to %dns, total %dns", tier, sum, tr.TotalNs)
+		}
+		return byStage
+	}
+	gwStages := check("gateway", gwTrace)
+	beStages := check("backend", beTrace)
+
+	// The gateway's journey includes routing and the backend leg; the
+	// backend's includes the engine stages. Each tier records the stages
+	// it owns.
+	for _, st := range []string{"route", "backend_wait"} {
+		if gwStages[st] <= 0 {
+			t.Fatalf("gateway trace missing %s leg: %v", st, gwStages)
+		}
+	}
+	for _, st := range []string{"decode", "intern", "execute"} {
+		if beStages[st] <= 0 {
+			t.Fatalf("backend trace missing %s stage: %v", st, beStages)
+		}
+	}
+
+	// The gateway total brackets the backend total and sits within the
+	// client's observed latency (client adds only encode + socket time on
+	// top, so the gateway must account for the bulk of it).
+	if gwTrace.TotalNs < beTrace.TotalNs {
+		t.Fatalf("gateway total %dns below backend total %dns", gwTrace.TotalNs, beTrace.TotalNs)
+	}
+	if gwTrace.TotalNs > clientLatency.Nanoseconds() {
+		t.Fatalf("gateway total %dns exceeds client latency %dns", gwTrace.TotalNs, clientLatency.Nanoseconds())
+	}
+}
+
+// TestGatewayRetryLegsTraced pins the retry accounting: a job that draws
+// BUSY from a saturated backend and retries records the retry count and
+// a retry_backoff leg on its gateway timeline.
+func TestGatewayRetryLegsTraced(t *testing.T) {
+	// One worker, queue depth 1 and a single in-flight slot make the
+	// backend answer BUSY under minimal pressure.
+	b := startBackend(t,
+		engine.Config{Workers: 1, QueueDepth: 1},
+		server.Config{MaxInflightPerConn: 1, MaxInflightGlobal: 1})
+	g := testkit.StartGateway(t,
+		cluster.Config{BusyRetries: 8, BusyBackoff: time.Millisecond},
+		server.Config{TraceSlow: -1, MaxInflightPerConn: 64}, b.addr)
+	cl := testkit.DialPool(t, g.Addr, client.Config{Conns: 1})
+
+	loops := workloads.MixedSet(0.2)[:4]
+	handles := make([]*client.Handle, 0, 16)
+	for i := 0; i < 16; i++ {
+		h, err := cl.SubmitAsync(loops[i%len(loops)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	for _, h := range handles {
+		// BUSY escaping to the client is fine here — saturation is the
+		// point; only successfully retried jobs are inspected below.
+		h.Wait()
+	}
+
+	var retried bool
+	for _, tr := range g.Srv.Traces() {
+		if tr.Retries > 0 {
+			retried = true
+			var backoff int64
+			for _, st := range tr.Stages {
+				if st.Stage == "retry_backoff" {
+					backoff = st.Ns
+				}
+			}
+			if backoff <= 0 {
+				t.Fatalf("trace %#x has %d retries but no retry_backoff leg: %+v",
+					tr.TraceID, tr.Retries, tr.Stages)
+			}
+		}
+	}
+	if !retried {
+		t.Skip("no job drew BUSY under this scheduling; retry path not exercised")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/trace"
 )
@@ -32,6 +33,9 @@ type batch struct {
 	// allowOv admits overlap joiners; set at registration when the engine
 	// has simplification enabled and the leader is an add reduction.
 	allowOv bool
+	// enq is when the batch entered the submission queue; the dequeuing
+	// worker reads it once to charge the queue_wait stage.
+	enq time.Time
 
 	mu     sync.Mutex
 	sealed bool
@@ -117,7 +121,7 @@ func (c *coalescer) add(fp uint64, j *job) (*batch, bool) {
 	if b, ok := s.pending[fp]; ok && b.tryJoin(j, c.maxBatch) {
 		return b, false
 	}
-	b := &batch{fp: fp, jobs: []*job{j}, allowOv: c.allowOv && j.loop.Op == trace.OpAdd}
+	b := &batch{fp: fp, jobs: []*job{j}, allowOv: c.allowOv && j.loop.Op == trace.OpAdd, enq: time.Now()}
 	s.pending[fp] = b
 	return b, true
 }
@@ -147,7 +151,23 @@ func (e *Engine) runBatch(w *workerCtx, b *batch) {
 		e.co.remove(b.fp, b)
 	}
 	l := jobs[0].loop
+
+	// Stage attribution: queue wait is the batch's queue residency up to
+	// this seal (batches hand-built by tests carry no enqueue time and
+	// charge nothing); inspect is the lookup latency when the decision
+	// cache missed and characterization ran inside it.
+	var qw time.Duration
+	if !b.enq.IsZero() {
+		qw = time.Since(b.enq)
+		w.stats.stages.Observe(obs.StageQueueWait, qw)
+	}
+	lookupStart := time.Now()
 	entry, hit := e.lookup(l, b.fp)
+	var insp time.Duration
+	if !hit {
+		insp = time.Since(lookupStart)
+		w.stats.stages.Observe(obs.StageInspect, insp)
+	}
 
 	// A stale entry revalidates before executing, so this batch already
 	// runs whatever the re-inspection concluded (old scheme while
@@ -158,14 +178,14 @@ func (e *Engine) runBatch(w *workerCtx, b *batch) {
 		}
 	}
 
-	if e.trySimplified(w, entry, hit, jobs, ov) {
+	if e.trySimplified(w, entry, hit, jobs, ov, qw, insp) {
 		return
 	}
-	e.runDirect(w, entry, jobs, hit, true)
+	e.runDirect(w, entry, jobs, hit, true, qw, insp)
 	for _, g := range groupByLoop(ov) {
 		// Overlap joiners that did not simplify reuse the cached decision
 		// (their fingerprint led them here) but execute per loop object.
-		e.runDirect(w, entry, g, true, false)
+		e.runDirect(w, entry, g, true, false, qw, 0)
 	}
 }
 
@@ -193,7 +213,7 @@ func groupByLoop(jobs []*job) [][]*job {
 // cached scheme. feedCost gates the drift detector: only the batch's
 // primary group feeds it, so one queue batch contributes one cost sample
 // regardless of how many overlap groups fell back.
-func (e *Engine) runDirect(w *workerCtx, entry *cacheEntry, jobs []*job, hit bool, feedCost bool) {
+func (e *Engine) runDirect(w *workerCtx, entry *cacheEntry, jobs []*job, hit bool, feedCost bool, qw, insp time.Duration) {
 	l := jobs[0].loop
 	procs := e.cfg.Platform.Procs
 
@@ -240,12 +260,15 @@ func (e *Engine) runDirect(w *workerCtx, entry *cacheEntry, jobs []*job, hit boo
 	out := scheme.RunInto(l, procs, w.ex, jobs[0].dst)
 	elapsed := time.Since(start)
 	w.ex.BatchOut = nil
+	w.stats.stages.Observe(obs.StageExecute, elapsed)
 
 	res := Result{
 		Scheme:    name,
 		Why:       why,
 		CacheHit:  hit,
 		Elapsed:   elapsed,
+		QueueWait: qw,
+		Inspect:   insp,
 		BatchSize: len(jobs),
 	}
 

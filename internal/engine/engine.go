@@ -123,6 +123,12 @@ type Result struct {
 	// Elapsed is the wall-clock execution time of the job's batch
 	// (excluding queueing).
 	Elapsed time.Duration
+	// QueueWait is how long the job's batch sat in the submission queue
+	// before a worker picked it up (the coalescing window).
+	QueueWait time.Duration
+	// Inspect is the pattern-characterization time this batch paid; zero
+	// on a decision-cache hit.
+	Inspect time.Duration
 	// Imbalance is max/mean of the per-processor accumulation times
 	// (1.0 = perfectly balanced, 0 when not measured).
 	Imbalance float64
@@ -308,7 +314,7 @@ func (e *Engine) SubmitAsyncInto(l *trace.Loop, dst []float64) (*Handle, error) 
 		return nil, ErrClosed
 	}
 	if e.co == nil {
-		e.jobs <- &batch{fp: fp, jobs: []*job{j}}
+		e.jobs <- &batch{fp: fp, jobs: []*job{j}, enq: time.Now()}
 	} else if b, isNew := e.co.add(fp, j); isNew {
 		// The batch stays open to joiners while this send waits for a
 		// queue slot and until a worker seals it — that queue residency is

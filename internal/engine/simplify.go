@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/adapt"
+	"repro/internal/obs"
 	"repro/internal/reduction"
 	"repro/internal/trace"
 )
@@ -55,7 +56,7 @@ const (
 // trySimplified offers a sealed batch to the simplification layer. It
 // returns true when the batch was fully executed (results delivered,
 // stats recorded); false means the caller runs the direct path.
-func (e *Engine) trySimplified(w *workerCtx, entry *cacheEntry, hit bool, jobs, ov []*job) bool {
+func (e *Engine) trySimplified(w *workerCtx, entry *cacheEntry, hit bool, jobs, ov []*job, qw, insp time.Duration) bool {
 	if e.cfg.DisableSimplify {
 		return false
 	}
@@ -163,12 +164,15 @@ func (e *Engine) trySimplified(w *workerCtx, entry *cacheEntry, hit bool, jobs, 
 	st := plan.Run(procs, w.ex, cache, dsts)
 	elapsed := time.Since(start)
 	e.releaseSeg(entry, true)
+	w.stats.stages.Observe(obs.StageExecute, elapsed)
 
 	res := Result{
 		Scheme:    "simplify",
 		Why:       why,
 		CacheHit:  true,
 		Elapsed:   elapsed,
+		QueueWait: qw,
+		Inspect:   insp,
 		BatchSize: len(jobs) + len(ov),
 	}
 	// Materialize every member's values before sending any result: the

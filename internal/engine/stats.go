@@ -1,6 +1,10 @@
 package engine
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
 
 // Stats is a snapshot of the engine's counters, aggregated over the
 // per-worker shards.
@@ -34,6 +38,11 @@ type Stats struct {
 	// exactly k jobs (index 0 is unused; the last bucket also absorbs any
 	// larger size).
 	BatchOccupancy []uint64
+	// Stages holds the engine's per-stage latency histograms (queue_wait,
+	// inspect, execute), merged across the worker shards; only stages
+	// with observations appear. Snapshots decoded off the wire may carry
+	// stage names this build does not know — Merge combines by name.
+	Stages []obs.StageSummary
 }
 
 // Merge adds o's counters into s — how a gateway aggregates the STATS
@@ -71,6 +80,7 @@ func (s *Stats) Merge(o Stats) {
 	for k, v := range o.Schemes {
 		s.Schemes[k] += v
 	}
+	s.Stages = obs.MergeStageSummaries(s.Stages, o.Stages)
 }
 
 // statShard is one worker's private counters. Every worker owns exactly
@@ -93,6 +103,11 @@ type statShard struct {
 	segsReuse uint64
 	schemes   map[string]uint64
 	occ       []uint64
+	// stages holds the shard's stage-latency histograms. It lives outside
+	// the mutex: the owning worker records through lock-free atomics and
+	// Stats() reads racy-but-consistent-enough snapshots, so instrumenting
+	// a stage never lengthens the critical section above.
+	stages obs.StageSet
 }
 
 func newStatShards(workers, maxBatch int) []statShard {
@@ -180,6 +195,7 @@ func (e *Engine) Stats() Stats {
 			s.BatchOccupancy[k] += v
 		}
 		sh.mu.Unlock()
+		s.Stages = obs.MergeStageSummaries(s.Stages, sh.stages.Snapshot())
 	}
 	s.CacheEntries, s.CacheEvictions = e.cache.counters()
 	return s

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux assembles the debug endpoint both daemons serve behind
+// -debug-addr:
+//
+//	/metrics      — Prometheus text exposition (caller-supplied handler)
+//	/healthz      — liveness: 200 "ok <component>\n"
+//	/tracez       — recent slow-job traces as JSON, newest first
+//	/debug/pprof  — the standard Go profiling handlers
+//
+// traces may be nil, in which case /tracez serves an empty list. The
+// pprof handlers are registered on this private mux rather than
+// http.DefaultServeMux so the debug surface only exists when the
+// operator asks for it.
+func NewDebugMux(component string, metrics http.Handler, traces func() []JobTrace) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok " + component + "\n"))
+	})
+	mux.HandleFunc("/tracez", func(w http.ResponseWriter, r *http.Request) {
+		var ts []JobTrace
+		if traces != nil {
+			ts = traces()
+		}
+		if ts == nil {
+			ts = []JobTrace{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(ts)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,183 @@
+// Package obs is the observability core shared by the engine, the
+// server tiers and the load drivers: log-bucketed latency histograms
+// cheap enough for the hot path (atomic bucket increments, no locks, no
+// allocation per observation), per-job stage timelines that attribute a
+// job's latency to pipeline legs (queue wait, inspection, execution,
+// encoding, gateway routing…), a fixed-size ring of slow-job traces, and
+// the Prometheus text writer plus debug HTTP mux that expose all of it.
+//
+// The package is a leaf: it imports nothing from the repository, so the
+// engine, wire, server and cluster layers can all depend on it without
+// cycles.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket geometry: values 0..15 ns get exact buckets, larger
+// values get histSub log-linear sub-buckets per power of two (relative
+// error <= 1/histSub within an octave). 64-bit values span octaves
+// 4..63, so the bucket count is fixed and small enough to embed.
+const (
+	histExact   = 16
+	histSubBits = 2
+	histSub     = 1 << histSubBits
+
+	// NumBuckets is the fixed bucket count covering the full uint64
+	// nanosecond range.
+	NumBuckets = histExact + (64-histExact/4)*histSub
+)
+
+// bucketIndex maps a nanosecond value to its histogram bucket.
+func bucketIndex(v uint64) int {
+	if v < histExact {
+		return int(v)
+	}
+	o := bits.Len64(v) - 1 // 4..63
+	sub := (v >> (uint(o) - histSubBits)) & (histSub - 1)
+	return histExact + (o-4)*histSub + int(sub)
+}
+
+// BucketBound returns the largest nanosecond value bucket i holds
+// (inclusive). The final bucket's bound saturates at MaxUint64.
+func BucketBound(i int) uint64 {
+	if i < histExact {
+		return uint64(i)
+	}
+	o := uint(4 + (i-histExact)/histSub)
+	sub := uint64((i - histExact) % histSub)
+	base := uint64(1) << o
+	step := uint64(1) << (o - histSubBits)
+	return base + step*(sub+1) - 1 // wraps to MaxUint64 for the last bucket
+}
+
+// Histogram is a concurrency-safe log-bucketed latency histogram. The
+// zero value is ready to use; every observation is a handful of atomic
+// adds (no locks, no allocation), so it can sit directly on a serving
+// hot path. Readers take Snapshot; a snapshot racing live observations
+// may be off by the in-flight handful, which is the usual monitoring
+// trade.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.ObserveNs(uint64(d))
+}
+
+// ObserveNs records one nanosecond value.
+func (h *Histogram) ObserveNs(ns uint64) {
+	h.buckets[bucketIndex(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Snapshot copies the histogram's current state, trimming trailing empty
+// buckets so an idle histogram costs nothing to ship or encode.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{
+		Count: h.count.Load(),
+		SumNs: h.sum.Load(),
+		MaxNs: h.max.Load(),
+	}
+	last := -1
+	var buckets [NumBuckets]uint64
+	for i := range h.buckets {
+		if buckets[i] = h.buckets[i].Load(); buckets[i] != 0 {
+			last = i
+		}
+	}
+	if last >= 0 {
+		s.Buckets = append([]uint64(nil), buckets[:last+1]...)
+	}
+	return s
+}
+
+// Snapshot is a point-in-time copy of a Histogram, the unit that crosses
+// package and wire boundaries: it merges with other snapshots (gateway
+// aggregation), extracts quantiles, and encodes compactly because
+// trailing empty buckets are trimmed.
+type Snapshot struct {
+	// Count is the number of observations.
+	Count uint64
+	// SumNs is the sum of all observed values in nanoseconds.
+	SumNs uint64
+	// MaxNs is the exact largest observed value in nanoseconds.
+	MaxNs uint64
+	// Buckets holds per-bucket counts (geometry per BucketBound), with
+	// trailing zero buckets trimmed; shorter and longer snapshots merge.
+	Buckets []uint64
+}
+
+// Merge adds o into s, growing the bucket slice to the longer of the
+// two — snapshots trimmed at different lengths (or recorded by a future
+// revision with more buckets) merge without loss.
+func (s *Snapshot) Merge(o Snapshot) {
+	s.Count += o.Count
+	s.SumNs += o.SumNs
+	if o.MaxNs > s.MaxNs {
+		s.MaxNs = o.MaxNs
+	}
+	if len(o.Buckets) > len(s.Buckets) {
+		grown := make([]uint64, len(o.Buckets))
+		copy(grown, s.Buckets)
+		s.Buckets = grown
+	}
+	for i, v := range o.Buckets {
+		s.Buckets[i] += v
+	}
+}
+
+// Quantile returns the q-th quantile (0 < q <= 1) in nanoseconds: the
+// upper bound of the bucket holding the q*Count-th observation, clamped
+// to the exact observed maximum so p99 of a uniform sample never exceeds
+// the slowest real event. Returns 0 when the snapshot is empty.
+func (s Snapshot) Quantile(q float64) uint64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, v := range s.Buckets {
+		cum += v
+		if cum >= rank {
+			b := BucketBound(i)
+			if b > s.MaxNs {
+				b = s.MaxNs
+			}
+			return b
+		}
+	}
+	return s.MaxNs
+}
+
+// MeanNs returns the mean observation in nanoseconds (0 when empty).
+func (s Snapshot) MeanNs() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.SumNs) / float64(s.Count)
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexMonotonic(t *testing.T) {
+	// Exact region.
+	for v := uint64(0); v < histExact; v++ {
+		if got := bucketIndex(v); got != int(v) {
+			t.Fatalf("bucketIndex(%d) = %d, want %d", v, got, v)
+		}
+	}
+	// Monotonic over a sweep of magnitudes.
+	prev := -1
+	for _, v := range []uint64{0, 1, 15, 16, 17, 19, 20, 31, 32, 63, 64, 100,
+		1000, 1 << 20, 1<<20 + 1, 1 << 40, 1<<63 - 1, 1 << 63, math.MaxUint64} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotonic at %d: %d < %d", v, idx, prev)
+		}
+		if idx < 0 || idx >= NumBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range [0,%d)", v, idx, NumBuckets)
+		}
+		prev = idx
+	}
+	if got := bucketIndex(math.MaxUint64); got != NumBuckets-1 {
+		t.Fatalf("max value bucket = %d, want %d", got, NumBuckets-1)
+	}
+}
+
+func TestBucketBoundContainsValue(t *testing.T) {
+	for _, v := range []uint64{0, 1, 7, 15, 16, 23, 31, 32, 48, 63, 64, 1000,
+		12345, 1 << 30, 1<<50 + 3, math.MaxUint64 / 2, math.MaxUint64} {
+		i := bucketIndex(v)
+		if b := BucketBound(i); v > b {
+			t.Fatalf("value %d exceeds its bucket bound %d (bucket %d)", v, b, i)
+		}
+		if i > 0 {
+			if lower := BucketBound(i - 1); v <= lower {
+				t.Fatalf("value %d within previous bucket's bound %d (bucket %d)", v, lower, i)
+			}
+		}
+	}
+	if BucketBound(NumBuckets-1) != math.MaxUint64 {
+		t.Fatalf("final bucket bound = %d, want MaxUint64", BucketBound(NumBuckets-1))
+	}
+	// Relative error within an octave is bounded by 1/histSub.
+	v := uint64(1_000_000)
+	b := BucketBound(bucketIndex(v))
+	if float64(b-v)/float64(v) > 1.0/histSub+1e-9 {
+		t.Fatalf("bucket bound %d too far above %d", b, v)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..1000 microseconds, uniformly.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	if s.MaxNs != 1_000_000 {
+		t.Fatalf("max = %d, want 1000000", s.MaxNs)
+	}
+	checks := []struct {
+		q    float64
+		want float64 // true value in ns
+	}{{0.50, 500_000}, {0.95, 950_000}, {0.99, 990_000}, {1.0, 1_000_000}}
+	for _, c := range checks {
+		got := float64(s.Quantile(c.q))
+		if got < c.want*0.95 || got > c.want*1.30 {
+			t.Errorf("q%.2f = %.0f, want within [0.95, 1.30]x of %.0f", c.q, got, c.want)
+		}
+	}
+	if s.Quantile(1.0) > s.MaxNs {
+		t.Fatalf("quantile exceeds exact max")
+	}
+	if (Snapshot{}).Quantile(0.5) != 0 {
+		t.Fatalf("empty snapshot quantile should be 0")
+	}
+	if got := s.MeanNs(); got < 400_000 || got > 700_000 {
+		t.Fatalf("mean = %f, want ~500500", got)
+	}
+}
+
+func TestHistogramNegativeClamps(t *testing.T) {
+	var h Histogram
+	h.Observe(-time.Second)
+	s := h.Snapshot()
+	if s.Count != 1 || s.SumNs != 0 || len(s.Buckets) != 1 {
+		t.Fatalf("negative observation not clamped to zero: %+v", s)
+	}
+}
+
+func TestSnapshotMergeMismatchedBuckets(t *testing.T) {
+	var small, large Histogram
+	small.ObserveNs(3) // trims to 4 buckets
+	large.ObserveNs(1_000_000)
+	a, b := small.Snapshot(), large.Snapshot()
+	if len(a.Buckets) >= len(b.Buckets) {
+		t.Fatalf("test setup: want mismatched lengths, got %d vs %d", len(a.Buckets), len(b.Buckets))
+	}
+
+	short := a
+	short.Merge(b) // grow
+	if short.Count != 2 || short.MaxNs != 1_000_000 || short.SumNs != 1_000_003 {
+		t.Fatalf("short.Merge(long) header wrong: %+v", short)
+	}
+	if len(short.Buckets) != len(b.Buckets) {
+		t.Fatalf("short.Merge(long) buckets = %d, want %d", len(short.Buckets), len(b.Buckets))
+	}
+
+	long := large.Snapshot()
+	long.Merge(small.Snapshot()) // no grow
+	if long.Count != 2 || long.Buckets[3] != 1 {
+		t.Fatalf("long.Merge(short) lost the small observation: %+v", long)
+	}
+
+	// Merging into an empty snapshot yields a copy.
+	var empty Snapshot
+	empty.Merge(b)
+	if empty.Count != 1 || len(empty.Buckets) != len(b.Buckets) {
+		t.Fatalf("empty.Merge broken: %+v", empty)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, per = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveNs(uint64(w*per + i))
+			}
+		}(w)
+	}
+	// Snapshot concurrently with writers to catch races under -race.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 50; i++ {
+			h.Snapshot()
+		}
+		close(done)
+	}()
+	wg.Wait()
+	<-done
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	if s.MaxNs != workers*per-1 {
+		t.Fatalf("max = %d, want %d", s.MaxNs, workers*per-1)
+	}
+	var total uint64
+	for _, b := range s.Buckets {
+		total += b
+	}
+	if total != s.Count {
+		t.Fatalf("bucket total %d != count %d", total, s.Count)
+	}
+}

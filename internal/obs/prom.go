@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MetricWriter emits Prometheus text exposition format (version 0.0.4).
+// It enforces the ordering the format requires — # HELP and # TYPE for a
+// family before any of its samples — by making the family declaration an
+// explicit call, and it sticks errors so callers can write a whole page
+// and check once at the end.
+type MetricWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewMetricWriter returns a writer emitting to w.
+func NewMetricWriter(w io.Writer) *MetricWriter {
+	return &MetricWriter{w: w}
+}
+
+// Err returns the first write error encountered, if any.
+func (m *MetricWriter) Err() error { return m.err }
+
+func (m *MetricWriter) printf(format string, args ...any) {
+	if m.err != nil {
+		return
+	}
+	_, m.err = fmt.Fprintf(m.w, format, args...)
+}
+
+// Family declares a metric family: typ is "counter", "gauge" or
+// "histogram". Always call it, even when no samples follow — a family
+// that disappears when idle breaks dashboards and the metrics lint.
+func (m *MetricWriter) Family(name, typ, help string) {
+	m.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// Sample emits one sample. labels is a flat key, value, key, value...
+// list (values are escaped); pass none for an unlabelled sample.
+func (m *MetricWriter) Sample(name string, v float64, labels ...string) {
+	m.printf("%s%s %s\n", name, labelString(labels), formatValue(v))
+}
+
+// Histogram emits a full Prometheus histogram (cumulative _bucket series
+// with le in seconds, plus _sum and _count) from a snapshot. Bucket
+// bounds come from the snapshot's trimmed bucket list; an explicit +Inf
+// bucket always closes the series.
+func (m *MetricWriter) Histogram(name string, s Snapshot, labels ...string) {
+	var cum uint64
+	for i, v := range s.Buckets {
+		cum += v
+		if v == 0 && i != len(s.Buckets)-1 {
+			continue // skip empty interior buckets; cumulative values don't change
+		}
+		le := strconv.FormatFloat(float64(BucketBound(i))/1e9, 'g', -1, 64)
+		m.printf("%s_bucket%s %d\n", name, labelString(append(labels, "le", le)), cum)
+	}
+	m.printf("%s_bucket%s %d\n", name, labelString(append(labels, "le", "+Inf")), s.Count)
+	m.printf("%s_sum%s %s\n", name, labelString(labels), formatValue(float64(s.SumNs)/1e9))
+	m.printf("%s_count%s %d\n", name, labelString(labels), s.Count)
+}
+
+// StageSet emits one histogram family with a stage label per summary.
+func (m *MetricWriter) StageSet(name, help string, sums []StageSummary) {
+	m.Family(name, "histogram", help)
+	for _, s := range sums {
+		m.Histogram(name, s.Snap, "stage", s.Name)
+	}
+}
+
+// MapCounter emits one counter family with one sample per map key,
+// keys sorted for deterministic output.
+func (m *MetricWriter) MapCounter(name, help, label string, vals map[string]uint64) {
+	m.Family(name, "counter", help)
+	keys := make([]string, 0, len(vals))
+	for k := range vals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		m.Sample(name, float64(vals[k]), label, k)
+	}
+}
+
+func labelString(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricWriterBasics(t *testing.T) {
+	var sb strings.Builder
+	m := NewMetricWriter(&sb)
+	m.Family("x_total", "counter", "a counter\nwith newline")
+	m.Sample("x_total", 3)
+	m.Family("y", "gauge", `back\slash`)
+	m.Sample("y", 1.5, "shard", `a"b`)
+	m.MapCounter("z_total", "per-key", "key", map[string]uint64{"b": 2, "a": 1})
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP x_total a counter\\nwith newline\n",
+		"# TYPE x_total counter\n",
+		"x_total 3\n",
+		`y{shard="a\"b"} 1.5` + "\n",
+		"# TYPE z_total counter\n",
+		`z_total{key="a"} 1` + "\n",
+		`z_total{key="b"} 2` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Sorted map keys: a before b.
+	if strings.Index(out, `key="a"`) > strings.Index(out, `key="b"`) {
+		t.Errorf("map keys not sorted:\n%s", out)
+	}
+}
+
+func TestMetricWriterHistogram(t *testing.T) {
+	var h Histogram
+	h.Observe(5 * time.Nanosecond)
+	h.Observe(100 * time.Microsecond)
+	var sb strings.Builder
+	m := NewMetricWriter(&sb)
+	m.StageSet("stage_seconds", "per-stage latency", []StageSummary{
+		{Name: "execute", Snap: h.Snapshot()},
+	})
+	if err := m.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE stage_seconds histogram\n",
+		`stage_seconds_bucket{stage="execute",le="+Inf"} 2`,
+		`stage_seconds_count{stage="execute"} 2`,
+		`stage_seconds_sum{stage="execute"} 0.000100005`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Buckets must be cumulative: the first emitted bucket holds 1, and
+	// every later one holds 2.
+	if !strings.Contains(out, `le="5e-09"} 1`) {
+		t.Errorf("missing first bucket:\n%s", out)
+	}
+	// Empty snapshot still emits a closed histogram.
+	sb.Reset()
+	m = NewMetricWriter(&sb)
+	m.Histogram("empty_seconds", Snapshot{})
+	out = sb.String()
+	if !strings.Contains(out, `empty_seconds_bucket{le="+Inf"} 0`) ||
+		!strings.Contains(out, "empty_seconds_count 0") {
+		t.Errorf("empty histogram malformed:\n%s", out)
+	}
+}
+
+func TestMetricWriterStickyError(t *testing.T) {
+	m := NewMetricWriter(failWriter{})
+	m.Family("a", "counter", "x")
+	m.Sample("a", 1)
+	if m.Err() == nil {
+		t.Fatal("expected sticky error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func TestDebugMux(t *testing.T) {
+	ring := NewTraceRing(4)
+	ring.Add(JobTrace{TraceID: 7, TotalNs: 123,
+		Stages: []StageNs{{Stage: "execute", Ns: 100}}})
+	metrics := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mw := NewMetricWriter(w)
+		mw.Family("up", "gauge", "always 1")
+		mw.Sample("up", 1)
+	})
+	mux := NewDebugMux("testd", metrics, ring.Snapshot)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if code, body := get("/healthz"); code != 200 || body != "ok testd\n" {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "up 1") {
+		t.Fatalf("metrics: %d %q", code, body)
+	}
+	code, body := get("/tracez")
+	if code != 200 {
+		t.Fatalf("tracez: %d", code)
+	}
+	var traces []JobTrace
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("tracez not JSON: %v\n%s", err, body)
+	}
+	if len(traces) != 1 || traces[0].TraceID != 7 || traces[0].Stages[0].Stage != "execute" {
+		t.Fatalf("tracez content wrong: %+v", traces)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("pprof cmdline: %d", code)
+	}
+
+	// A mux with no trace source serves an empty list.
+	mux2 := NewDebugMux("d", metrics, nil)
+	rec := httptest.NewRecorder()
+	mux2.ServeHTTP(rec, httptest.NewRequest("GET", "/tracez", nil))
+	if strings.TrimSpace(rec.Body.String()) != "[]" {
+		t.Fatalf("nil-source tracez = %q, want []", rec.Body.String())
+	}
+}

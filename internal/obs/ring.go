@@ -1,0 +1,82 @@
+package obs
+
+import "sync"
+
+// StageNs is one stage entry of a recorded job trace.
+type StageNs struct {
+	// Stage is the stage label.
+	Stage string `json:"stage"`
+	// Ns is the accumulated time in nanoseconds.
+	Ns int64 `json:"ns"`
+}
+
+// JobTrace is a frozen job timeline as served by /tracez.
+type JobTrace struct {
+	// TraceID stitches the trace across tiers.
+	TraceID uint64 `json:"trace_id"`
+	// TotalNs is the job's end-to-end latency as seen by the recording
+	// tier, in nanoseconds.
+	TotalNs int64 `json:"total_ns"`
+	// Retries counts same-backend BUSY retries (gateway tier).
+	Retries int `json:"retries,omitempty"`
+	// Failovers counts backend failovers (gateway tier).
+	Failovers int `json:"failovers,omitempty"`
+	// Stages lists the stages that accumulated time, pipeline order.
+	Stages []StageNs `json:"stages"`
+}
+
+// TraceRing is a fixed-size ring of recent slow-job traces. Writers
+// overwrite the oldest entry; memory is bounded at construction and
+// never grows. Add is a TryLock: when writers collide — a saturated
+// server where every job crosses the slow threshold — the losing trace
+// is dropped rather than serializing job goroutines on the ring. The
+// ring is a bounded sample of recent slow jobs either way, so dropping
+// under contention changes nothing it promises.
+type TraceRing struct {
+	mu   sync.Mutex
+	buf  []JobTrace
+	next int
+	n    int
+}
+
+// NewTraceRing returns a ring holding up to size traces (minimum 1).
+func NewTraceRing(size int) *TraceRing {
+	if size < 1 {
+		size = 1
+	}
+	return &TraceRing{buf: make([]JobTrace, size)}
+}
+
+// Add records a trace, evicting the oldest when full. When the ring is
+// contended the trace is dropped (see the type comment); Add reports
+// whether the trace was kept.
+func (r *TraceRing) Add(t JobTrace) bool {
+	if !r.mu.TryLock() {
+		return false
+	}
+	r.buf[r.next] = t
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+	r.mu.Unlock()
+	return true
+}
+
+// Snapshot returns the recorded traces, newest first.
+func (r *TraceRing) Snapshot() []JobTrace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]JobTrace, 0, r.n)
+	for i := 1; i <= r.n; i++ {
+		out = append(out, r.buf[(r.next-i+len(r.buf))%len(r.buf)])
+	}
+	return out
+}
+
+// Len reports how many traces the ring currently holds.
+func (r *TraceRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

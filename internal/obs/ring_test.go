@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTraceRingEvictionOrder(t *testing.T) {
+	r := NewTraceRing(3)
+	if r.Len() != 0 || len(r.Snapshot()) != 0 {
+		t.Fatalf("fresh ring not empty")
+	}
+	for i := uint64(1); i <= 5; i++ {
+		r.Add(JobTrace{TraceID: i})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+	got := r.Snapshot()
+	want := []uint64{5, 4, 3} // newest first, oldest evicted
+	for i, w := range want {
+		if got[i].TraceID != w {
+			t.Fatalf("snapshot[%d] = %d, want %d (full: %+v)", i, got[i].TraceID, w, got)
+		}
+	}
+}
+
+func TestTraceRingMinSize(t *testing.T) {
+	r := NewTraceRing(0)
+	r.Add(JobTrace{TraceID: 1})
+	r.Add(JobTrace{TraceID: 2})
+	if got := r.Snapshot(); len(got) != 1 || got[0].TraceID != 2 {
+		t.Fatalf("min-size ring wrong: %+v", got)
+	}
+}
+
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Add(JobTrace{TraceID: uint64(w*1000 + i)})
+				r.Snapshot()
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Contended adds may drop (TryLock), so the concurrent phase only
+	// bounds the length; an uncontended fill must then land every trace.
+	if n := r.Len(); n > 16 {
+		t.Fatalf("len = %d, want <= 16", n)
+	}
+	for i := 0; i < 16; i++ {
+		if !r.Add(JobTrace{TraceID: uint64(9000 + i)}) {
+			t.Fatalf("uncontended Add %d dropped", i)
+		}
+	}
+	if r.Len() != 16 {
+		t.Fatalf("len = %d after sequential fill, want 16", r.Len())
+	}
+}
+
+func TestTraceRingAddDropsWhenContended(t *testing.T) {
+	r := NewTraceRing(4)
+	r.mu.Lock()
+	if r.Add(JobTrace{TraceID: 1}) {
+		t.Fatal("Add succeeded while the ring lock was held")
+	}
+	r.mu.Unlock()
+	if !r.Add(JobTrace{TraceID: 2}) {
+		t.Fatal("Add dropped on a free ring")
+	}
+	if snap := r.Snapshot(); len(snap) != 1 || snap[0].TraceID != 2 {
+		t.Fatalf("snapshot = %+v, want only trace 2", snap)
+	}
+}

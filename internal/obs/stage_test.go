@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStageStrings(t *testing.T) {
+	for s := Stage(0); s < Stage(NumStages()); s++ {
+		if s.String() == "" || s.String() == "unknown" {
+			t.Fatalf("stage %d has no name", s)
+		}
+	}
+	if Stage(200).String() != "unknown" {
+		t.Fatalf("out-of-range stage should be unknown")
+	}
+}
+
+func TestTimelineNilSafe(t *testing.T) {
+	var tl *Timeline
+	tl.Add(StageDecode, time.Millisecond) // must not panic
+	if tl.Get(StageDecode) != 0 || tl.TotalNs() != 0 {
+		t.Fatalf("nil timeline should read zero")
+	}
+}
+
+func TestTimelineAccumulateAndTrace(t *testing.T) {
+	tl := &Timeline{TraceID: 42, Retries: 1, Failovers: 2}
+	tl.Add(StageDecode, 10*time.Microsecond)
+	tl.Add(StageDecode, 5*time.Microsecond)
+	tl.Add(StageExecute, time.Millisecond)
+	tl.Add(StageEncode, -time.Second) // dropped
+	if got := tl.Get(StageDecode); got != 15*time.Microsecond {
+		t.Fatalf("decode = %v, want 15µs", got)
+	}
+	if tl.TotalNs() != int64(15*time.Microsecond+time.Millisecond) {
+		t.Fatalf("total = %d", tl.TotalNs())
+	}
+	jt := tl.Trace(2 * time.Millisecond)
+	if jt.TraceID != 42 || jt.TotalNs != int64(2*time.Millisecond) ||
+		jt.Retries != 1 || jt.Failovers != 2 {
+		t.Fatalf("trace header wrong: %+v", jt)
+	}
+	if len(jt.Stages) != 2 || jt.Stages[0].Stage != "decode" || jt.Stages[1].Stage != "execute" {
+		t.Fatalf("trace stages wrong: %+v", jt.Stages)
+	}
+}
+
+func TestStageSetSnapshotAndObserveTimeline(t *testing.T) {
+	var ss StageSet
+	ss.Observe(StageQueueWait, 100*time.Nanosecond)
+	tl := &Timeline{}
+	tl.Add(StageQueueWait, 200*time.Nanosecond)
+	tl.Add(StageExecute, time.Microsecond)
+	ss.ObserveTimeline(tl)
+	ss.ObserveTimeline(nil) // no-op
+
+	sums := ss.Snapshot()
+	if len(sums) != 2 {
+		t.Fatalf("want 2 stage summaries, got %d: %+v", len(sums), sums)
+	}
+	if sums[0].Name != "queue_wait" || sums[0].Snap.Count != 2 {
+		t.Fatalf("queue_wait summary wrong: %+v", sums[0])
+	}
+	if sums[1].Name != "execute" || sums[1].Snap.Count != 1 {
+		t.Fatalf("execute summary wrong: %+v", sums[1])
+	}
+}
+
+func TestMergeStageSummaries(t *testing.T) {
+	var a, b StageSet
+	a.Observe(StageExecute, time.Microsecond)
+	a.Observe(StageQueueWait, time.Microsecond)
+	b.Observe(StageExecute, 2*time.Microsecond)
+	b.Observe(StageInspect, time.Microsecond)
+
+	merged := MergeStageSummaries(a.Snapshot(), b.Snapshot())
+	byName := map[string]Snapshot{}
+	for _, s := range merged {
+		byName[s.Name] = s.Snap
+	}
+	if byName["execute"].Count != 2 {
+		t.Fatalf("execute count = %d, want 2", byName["execute"].Count)
+	}
+	if byName["queue_wait"].Count != 1 || byName["inspect"].Count != 1 {
+		t.Fatalf("disjoint stages lost: %+v", byName)
+	}
+
+	// Merging into nil clones buckets: mutating the result must not
+	// corrupt the source.
+	src := b.Snapshot()
+	cloned := MergeStageSummaries(nil, src)
+	if len(cloned[0].Snap.Buckets) > 0 {
+		cloned[0].Snap.Buckets[0] += 99
+		if len(src[0].Snap.Buckets) > 0 && src[0].Snap.Buckets[0] == cloned[0].Snap.Buckets[0] {
+			t.Fatalf("merge aliased source buckets")
+		}
+	}
+}
+
+func TestNewTraceIDUniqueNonzero(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		id := NewTraceID()
+		if id == 0 {
+			t.Fatalf("zero trace id")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %d", id)
+		}
+		seen[id] = true
+	}
+}

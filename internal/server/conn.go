@@ -10,6 +10,7 @@ import (
 
 	"net"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -18,6 +19,11 @@ import (
 // before sending its magic, so dead or misdirected connections cannot
 // hold sockets open forever.
 const preambleTimeout = 10 * time.Second
+
+// tlPool recycles per-job stage timelines. A timeline's lifetime is
+// strictly handleSubmit → waiter goroutine → observe, so the goroutine
+// that calls observe is the last holder and returns it here.
+var tlPool = sync.Pool{New: func() any { return new(obs.Timeline) }}
 
 // conn is one client connection: a read loop decoding submissions into
 // the shared engine, one waiter goroutine per in-flight job, and a write
@@ -192,6 +198,7 @@ func (c *conn) handleStatsReq(jobID uint64) {
 // the server spends decode work or intern-table mutations (and evictions)
 // on a job it will not run.
 func (c *conn) handleSubmit(f wire.Frame) {
+	t0 := time.Now()
 	if c.inflight.Load() >= int64(c.srv.cfg.MaxInflightPerConn) {
 		c.sendBusy(f.JobID, wire.BusyConn)
 		return
@@ -208,7 +215,8 @@ func (c *conn) handleSubmit(f wire.Frame) {
 	}
 
 	var err error
-	c.scratchOff, c.scratchRefs, err = f.DecodeSubmitInto(&c.scratch, c.scratchOff, c.scratchRefs, c.srv.cfg.MaxElems)
+	var traceID uint64
+	c.scratchOff, c.scratchRefs, traceID, err = f.DecodeSubmitInto(&c.scratch, c.scratchOff, c.scratchRefs, c.srv.cfg.MaxElems)
 	if err != nil {
 		// The frame itself was well-delimited, so the stream stays in
 		// sync: reject the job, keep the connection.
@@ -216,13 +224,27 @@ func (c *conn) handleSubmit(f wire.Frame) {
 		c.sendError(f.JobID, err.Error())
 		return
 	}
+	decodeDone := time.Now()
 	canon, hit := c.srv.intern.canonical(c.scratch.Fingerprint(), &c.scratch)
 	if hit {
 		c.srv.interned.Add(1)
 	}
 
-	w, err := c.srv.disp.Dispatch(canon, c.srv.getDst(canon.NumElems))
+	// Every accepted job carries a timeline. A submitter-assigned trace ID
+	// (a tracing client, or the gateway forwarding its own) is kept so the
+	// job's timelines stitch across tiers; otherwise one is generated here.
+	if traceID == 0 {
+		traceID = obs.NewTraceID()
+	}
+	tl := tlPool.Get().(*obs.Timeline)
+	tl.Reset()
+	tl.TraceID = traceID
+	tl.Add(obs.StageDecode, decodeDone.Sub(t0))
+	tl.Add(obs.StageIntern, time.Since(decodeDone))
+
+	w, err := c.srv.disp.Dispatch(canon, c.srv.getDst(canon.NumElems), tl)
 	if err != nil {
+		tlPool.Put(tl)
 		release()
 		if errors.Is(err, ErrOverloaded) {
 			c.sendBusy(f.JobID, wire.BusyUpstream)
@@ -241,6 +263,7 @@ func (c *conn) handleSubmit(f wire.Frame) {
 			// Exhaustion becomes BUSY (back off and retry); anything else
 			// is a job-scoped ERROR. Either way the destination array may
 			// still be referenced by a failed leg, so it is not recycled.
+			tlPool.Put(tl)
 			if errors.Is(err, ErrOverloaded) {
 				c.sendBusy(jobID, wire.BusyUpstream)
 			} else {
@@ -249,7 +272,16 @@ func (c *conn) handleSubmit(f wire.Frame) {
 			return
 		}
 		buf := wire.GetBuffer()
+		encStart := time.Now()
 		buf.B = wire.AppendResult(buf.B, jobID, &res)
+		tl.Add(obs.StageEncode, time.Since(encStart))
+		// Whatever the attributed stages did not cover — result hand-off,
+		// destination copies, waiter scheduling — is the merge/fan-out leg,
+		// so the stage durations always sum to the job's total.
+		total := time.Since(t0)
+		tl.Add(obs.StageMerge, total-time.Duration(tl.TotalNs()))
+		c.srv.observe(tl, total)
+		tlPool.Put(tl)
 		c.send(buf)
 		// The result array is fully encoded into buf; recycle it for a
 		// later submission's destination.

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -20,7 +21,12 @@ type Dispatcher interface {
 	// dst, when non-nil, should receive the result values if it has the
 	// capacity. Dispatch must not block on job completion — the read loop
 	// calls it inline and pipelining depends on it returning promptly.
-	Dispatch(l *trace.Loop, dst []float64) (Waiter, error)
+	// tl, when non-nil, is the job's stage timeline: the dispatcher
+	// attributes its legs to it (engine stages for the daemon, routing
+	// legs for the gateway) and forwards tl.TraceID across tiers. The
+	// timeline is handed off, not shared — only the dispatch path and,
+	// after Wait returns, the caller touch it.
+	Dispatch(l *trace.Loop, dst []float64, tl *obs.Timeline) (Waiter, error)
 	// Stats snapshots the engine counters this dispatcher serves from (a
 	// gateway returns the aggregate over its backends).
 	Stats() (engine.Stats, error)
@@ -50,12 +56,12 @@ var ErrOverloaded = errors.New("server: overloaded")
 // into the local shared engine.
 type engineDispatcher struct{ eng *engine.Engine }
 
-func (d engineDispatcher) Dispatch(l *trace.Loop, dst []float64) (Waiter, error) {
+func (d engineDispatcher) Dispatch(l *trace.Loop, dst []float64, tl *obs.Timeline) (Waiter, error) {
 	h, err := d.eng.SubmitAsyncInto(l, dst)
 	if err != nil {
 		return nil, err
 	}
-	return engineWaiter{h}, nil
+	return engineWaiter{h, tl}, nil
 }
 
 func (d engineDispatcher) Stats() (engine.Stats, error) { return d.eng.Stats(), nil }
@@ -63,7 +69,17 @@ func (d engineDispatcher) Procs() int                   { return d.eng.Procs() }
 func (d engineDispatcher) HelloFlags() uint64           { return 0 }
 
 // engineWaiter adapts engine.Handle (whose Wait cannot fail once the
-// submission was accepted) to the Waiter interface.
-type engineWaiter struct{ h *engine.Handle }
+// submission was accepted) to the Waiter interface, copying the
+// engine-attributed stage durations onto the job's timeline.
+type engineWaiter struct {
+	h  *engine.Handle
+	tl *obs.Timeline
+}
 
-func (w engineWaiter) Wait() (engine.Result, error) { return w.h.Wait(), nil }
+func (w engineWaiter) Wait() (engine.Result, error) {
+	res := w.h.Wait()
+	w.tl.Add(obs.StageQueueWait, res.QueueWait)
+	w.tl.Add(obs.StageInspect, res.Inspect)
+	w.tl.Add(obs.StageExecute, res.Elapsed)
+	return res, nil
+}

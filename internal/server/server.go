@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -57,6 +58,13 @@ type Config struct {
 	// MaxInternedLoops bounds the canonical-loop intern table (default
 	// 4096 across all shards); beyond it the owning shard evicts by CLOCK.
 	MaxInternedLoops int
+	// TraceSlow is the end-to-end latency threshold at which a job's
+	// stage timeline is recorded in the trace ring served at /tracez.
+	// 0 means the 10ms default; negative records every job (what tests
+	// and short debugging sessions use).
+	TraceSlow time.Duration
+	// TraceRingSize is the slow-job trace ring capacity (default 64).
+	TraceRingSize int
 }
 
 func (c *Config) fill() {
@@ -74,6 +82,12 @@ func (c *Config) fill() {
 	}
 	if c.MaxInternedLoops <= 0 {
 		c.MaxInternedLoops = 4096
+	}
+	if c.TraceSlow == 0 {
+		c.TraceSlow = 10 * time.Millisecond
+	}
+	if c.TraceRingSize <= 0 {
+		c.TraceRingSize = 64
 	}
 }
 
@@ -99,6 +113,11 @@ type Server struct {
 	// counts submissions that mapped onto an already-canonical loop.
 	busy     atomic.Uint64
 	interned atomic.Uint64
+
+	// stages aggregates every served job's stage timeline; ring keeps the
+	// timelines of jobs slower than cfg.TraceSlow for /tracez.
+	stages obs.StageSet
+	ring   *obs.TraceRing
 }
 
 // New returns a server front end for eng. The engine is borrowed: the
@@ -119,6 +138,7 @@ func NewWithDispatcher(d Dispatcher, cfg Config) *Server {
 		intern: newInternTable(16, cfg.MaxInternedLoops),
 		lns:    make(map[net.Listener]struct{}),
 		conns:  make(map[*conn]struct{}),
+		ring:   obs.NewTraceRing(cfg.TraceRingSize),
 	}
 }
 
@@ -230,5 +250,29 @@ func (s *Server) Stats() Stats {
 		Busy:          s.busy.Load(),
 		InternHits:    s.interned.Load(),
 		InternedLoops: s.intern.len(),
+	}
+}
+
+// StageStats snapshots the per-stage latency histograms of every job the
+// server finished, in pipeline order, stages without observations
+// omitted. The engine's own stages (queue_wait, inspect, execute) appear
+// here too — the dispatch waiter copies them onto each job's timeline.
+func (s *Server) StageStats() []obs.StageSummary { return s.stages.Snapshot() }
+
+// Traces snapshots the slow-job trace ring, newest first (the /tracez
+// payload).
+func (s *Server) Traces() []obs.JobTrace { return s.ring.Snapshot() }
+
+// Inflight reports the jobs currently in flight across all connections —
+// the live queue-depth signal /metrics exports.
+func (s *Server) Inflight() int64 { return s.inflight.Load() }
+
+// observe folds one finished job's timeline into the server's stage
+// histograms and, when the job was slow (or TraceSlow is negative,
+// meaning trace everything), into the trace ring.
+func (s *Server) observe(tl *obs.Timeline, total time.Duration) {
+	s.stages.ObserveTimeline(tl)
+	if s.cfg.TraceSlow < 0 || total >= s.cfg.TraceSlow {
+		s.ring.Add(tl.Trace(total))
 	}
 }

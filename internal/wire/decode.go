@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -116,7 +117,7 @@ func (f Frame) DecodeHello() (Hello, error) {
 // rejecting loops wider than maxElems elements (DefaultMaxElems when 0).
 func (f Frame) DecodeSubmit(maxElems int) (*trace.Loop, error) {
 	l := &trace.Loop{}
-	if _, _, err := f.DecodeSubmitInto(l, nil, nil, maxElems); err != nil {
+	if _, _, _, err := f.DecodeSubmitInto(l, nil, nil, maxElems); err != nil {
 		return nil, err
 	}
 	return l, nil
@@ -126,56 +127,57 @@ func (f Frame) DecodeSubmit(maxElems int) (*trace.Loop, error) {
 // structure in the provided scratch slices (grown as needed and returned,
 // so a connection loop can reuse them frame after frame; l takes
 // ownership until the next decode). maxElems caps the loop's reduction
-// array dimension; 0 means DefaultMaxElems.
-func (f Frame) DecodeSubmitInto(l *trace.Loop, offsets, refs []int32, maxElems int) ([]int32, []int32, error) {
+// array dimension; 0 means DefaultMaxElems. The third return is the
+// frame's optional trailing trace ID (0 when the submitter sent none).
+func (f Frame) DecodeSubmitInto(l *trace.Loop, offsets, refs []int32, maxElems int) ([]int32, []int32, uint64, error) {
 	if maxElems <= 0 {
 		maxElems = DefaultMaxElems
 	}
 	if err := f.expect(FrameSubmit); err != nil {
-		return offsets, refs, err
+		return offsets, refs, 0, err
 	}
 	c := cur{b: f.Body}
 	name, err := c.str(maxStringLen)
 	if err != nil {
-		return offsets, refs, err
+		return offsets, refs, 0, err
 	}
 	numElems, err := c.intField("NumElems", maxElems)
 	if err != nil {
-		return offsets, refs, err
+		return offsets, refs, 0, err
 	}
 	if numElems == 0 {
-		return offsets, refs, fmt.Errorf("%w: zero NumElems", ErrCorrupt)
+		return offsets, refs, 0, fmt.Errorf("%w: zero NumElems", ErrCorrupt)
 	}
 	elemBytes, err := c.intField("ElemBytes", 1<<16)
 	if err != nil {
-		return offsets, refs, err
+		return offsets, refs, 0, err
 	}
 	op, err := c.intField("Op", int(trace.OpMin))
 	if err != nil {
-		return offsets, refs, err
+		return offsets, refs, 0, err
 	}
 	work, err := c.f64()
 	if err != nil {
-		return offsets, refs, err
+		return offsets, refs, 0, err
 	}
 	dataRefs, err := c.f64()
 	if err != nil {
-		return offsets, refs, err
+		return offsets, refs, 0, err
 	}
 	invocations, err := c.intField("Invocations", math.MaxInt32)
 	if err != nil {
-		return offsets, refs, err
+		return offsets, refs, 0, err
 	}
 	// Each iteration length and each reference delta occupies at least one
 	// encoded byte, so the remaining payload bounds both counts — a frame
 	// cannot make the decoder allocate more than it shipped.
 	numIters, err := c.intField("NumIters", c.remaining())
 	if err != nil {
-		return offsets, refs, err
+		return offsets, refs, 0, err
 	}
 	numRefs, err := c.intField("NumRefs", c.remaining())
 	if err != nil {
-		return offsets, refs, err
+		return offsets, refs, 0, err
 	}
 
 	if cap(offsets) < numIters+1 {
@@ -187,16 +189,16 @@ func (f Frame) DecodeSubmitInto(l *trace.Loop, offsets, refs []int32, maxElems i
 	for i := 0; i < numIters; i++ {
 		n, err := c.intField("iteration length", numRefs)
 		if err != nil {
-			return offsets, refs, err
+			return offsets, refs, 0, err
 		}
 		total += n
 		if total > numRefs {
-			return offsets, refs, fmt.Errorf("%w: iteration lengths exceed NumRefs %d", ErrCorrupt, numRefs)
+			return offsets, refs, 0, fmt.Errorf("%w: iteration lengths exceed NumRefs %d", ErrCorrupt, numRefs)
 		}
 		offsets = append(offsets, int32(total))
 	}
 	if total != numRefs {
-		return offsets, refs, fmt.Errorf("%w: iteration lengths sum to %d, want NumRefs %d", ErrCorrupt, total, numRefs)
+		return offsets, refs, 0, fmt.Errorf("%w: iteration lengths sum to %d, want NumRefs %d", ErrCorrupt, total, numRefs)
 	}
 
 	if cap(refs) < numRefs {
@@ -207,16 +209,24 @@ func (f Frame) DecodeSubmitInto(l *trace.Loop, offsets, refs []int32, maxElems i
 	for i := 0; i < numRefs; i++ {
 		d, err := c.varint()
 		if err != nil {
-			return offsets, refs, err
+			return offsets, refs, 0, err
 		}
 		prev += d
 		if prev < 0 || prev >= int64(numElems) {
-			return offsets, refs, fmt.Errorf("%w: ref %d out of range [0,%d)", ErrCorrupt, prev, numElems)
+			return offsets, refs, 0, fmt.Errorf("%w: ref %d out of range [0,%d)", ErrCorrupt, prev, numElems)
 		}
 		refs = append(refs, int32(prev))
 	}
+	// Optional trailing trace ID (HELLO-flags evolution rule): absent from
+	// peers that predate it, decoded as 0.
+	var traceID uint64
+	if c.remaining() > 0 {
+		if traceID, err = c.uvarint(); err != nil {
+			return offsets, refs, 0, fmt.Errorf("%w: trace id", ErrCorrupt)
+		}
+	}
 	if c.remaining() != 0 {
-		return offsets, refs, fmt.Errorf("%w: %d trailing bytes after submit body", ErrCorrupt, c.remaining())
+		return offsets, refs, 0, fmt.Errorf("%w: %d trailing bytes after submit body", ErrCorrupt, c.remaining())
 	}
 
 	l.Name = name
@@ -230,7 +240,7 @@ func (f Frame) DecodeSubmitInto(l *trace.Loop, offsets, refs []int32, maxElems i
 	// (offsets start at 0, grow monotonically to numRefs; refs bounded by
 	// numElems), so install without a second O(refs) walk.
 	l.SetFlatUnchecked(offsets, refs)
-	return offsets, refs, nil
+	return offsets, refs, traceID, nil
 }
 
 // DecodeResult decodes a RESULT frame. The reduction array is written
@@ -373,6 +383,43 @@ func (f Frame) DecodeStats() (engine.Stats, error) {
 			if *p, err = c.uvarint(); err != nil {
 				return engine.Stats{}, fmt.Errorf("%w: simplification counter", ErrCorrupt)
 			}
+		}
+	}
+	// Optional stage-latency histogram tail, third in the positional
+	// chain: stage count, then per stage a name and histogram snapshot.
+	if c.remaining() > 0 {
+		nstages, err := c.intField("stage count", c.remaining())
+		if err != nil {
+			return engine.Stats{}, err
+		}
+		s.Stages = make([]obs.StageSummary, 0, nstages)
+		for i := 0; i < nstages; i++ {
+			var st obs.StageSummary
+			if st.Name, err = c.str(maxStringLen); err != nil {
+				return engine.Stats{}, err
+			}
+			if st.Snap.Count, err = c.uvarint(); err != nil {
+				return engine.Stats{}, fmt.Errorf("%w: stage observation count", ErrCorrupt)
+			}
+			if st.Snap.SumNs, err = c.uvarint(); err != nil {
+				return engine.Stats{}, fmt.Errorf("%w: stage sum", ErrCorrupt)
+			}
+			if st.Snap.MaxNs, err = c.uvarint(); err != nil {
+				return engine.Stats{}, fmt.Errorf("%w: stage max", ErrCorrupt)
+			}
+			nbuckets, err := c.intField("stage bucket count", c.remaining())
+			if err != nil {
+				return engine.Stats{}, err
+			}
+			if nbuckets > 0 {
+				st.Snap.Buckets = make([]uint64, nbuckets)
+				for b := range st.Snap.Buckets {
+					if st.Snap.Buckets[b], err = c.uvarint(); err != nil {
+						return engine.Stats{}, fmt.Errorf("%w: stage bucket", ErrCorrupt)
+					}
+				}
+			}
+			s.Stages = append(s.Stages, st)
 		}
 	}
 	if c.remaining() != 0 {

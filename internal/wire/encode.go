@@ -60,6 +60,15 @@ func AppendHello(dst []byte, h Hello) []byte {
 // zigzag-varint deltas — irregular but locality-bearing subscript streams
 // (the paper's Table 2 loops) compress to one or two bytes per reference.
 func AppendSubmit(dst []byte, jobID uint64, l *trace.Loop) []byte {
+	return AppendSubmitTraced(dst, jobID, l, 0)
+}
+
+// AppendSubmitTraced is AppendSubmit with an end-to-end trace ID carried
+// as an optional trailing field (the HELLO-flags evolution rule: emitted
+// only when non-zero, decoded as zero by peers that predate it). The
+// gateway uses it to forward a job's trace ID to the owning backend so
+// one slow job's timeline can be stitched across tiers.
+func AppendSubmitTraced(dst []byte, jobID uint64, l *trace.Loop, traceID uint64) []byte {
 	dst, p := beginFrame(dst, FrameSubmit, jobID)
 	dst = appendString(dst, l.Name)
 	dst = binary.AppendUvarint(dst, uint64(l.NumElems))
@@ -78,6 +87,9 @@ func AppendSubmit(dst []byte, jobID uint64, l *trace.Loop) []byte {
 	for _, r := range refs {
 		dst = binary.AppendVarint(dst, int64(r)-prev)
 		prev = int64(r)
+	}
+	if traceID != 0 {
+		dst = binary.AppendUvarint(dst, traceID)
 	}
 	return endFrame(dst, p)
 }
@@ -167,15 +179,37 @@ func AppendStats(dst []byte, jobID uint64, s *engine.Stats) []byte {
 	// too (zeros are fine — only the frame length carries meaning).
 	simpTail := s.SimplifiedBatches != 0 || s.SimplifyFallbacks != 0 ||
 		s.SegsComputed != 0 || s.SegsReused != 0
-	if simpTail || s.Recalibrations != 0 || s.SchemeSwitches != 0 {
+	histTail := len(s.Stages) != 0
+	if histTail || simpTail || s.Recalibrations != 0 || s.SchemeSwitches != 0 {
 		dst = binary.AppendUvarint(dst, s.Recalibrations)
 		dst = binary.AppendUvarint(dst, s.SchemeSwitches)
 	}
-	if simpTail {
+	if histTail || simpTail {
 		dst = binary.AppendUvarint(dst, s.SimplifiedBatches)
 		dst = binary.AppendUvarint(dst, s.SimplifyFallbacks)
 		dst = binary.AppendUvarint(dst, s.SegsComputed)
 		dst = binary.AppendUvarint(dst, s.SegsReused)
+	}
+	// Stage-latency histogram tail, third in the positional chain: a
+	// stage count, then per stage its name and histogram snapshot (count,
+	// sum, max, then the trimmed bucket list). An engine that has served
+	// nothing has no stage summaries and emits no tail.
+	if histTail {
+		dst = binary.AppendUvarint(dst, uint64(len(s.Stages)))
+		for _, st := range s.Stages {
+			name := st.Name
+			if len(name) > maxStringLen {
+				name = name[:maxStringLen]
+			}
+			dst = appendString(dst, name)
+			dst = binary.AppendUvarint(dst, st.Snap.Count)
+			dst = binary.AppendUvarint(dst, st.Snap.SumNs)
+			dst = binary.AppendUvarint(dst, st.Snap.MaxNs)
+			dst = binary.AppendUvarint(dst, uint64(len(st.Snap.Buckets)))
+			for _, b := range st.Snap.Buckets {
+				dst = binary.AppendUvarint(dst, b)
+			}
+		}
 	}
 	return endFrame(dst, p)
 }

@@ -7,7 +7,10 @@
 // valid varint fields, loop payloads and the optional trailing
 // extensions (HELLO flags, STATS recalibration pair) — instead of
 // making it rediscover the framing from empty input every run.
-// TestSeedCorpusDecodes keeps the files honest.
+// TestSeedCorpusDecodes keeps the files honest. The tail variants
+// (HELLO flags, SUBMIT trace ID, the STATS recal/simplify/histogram
+// chain) each get their own seed so the mutator starts from every
+// frame length the protocol can produce.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"path/filepath"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -42,17 +46,28 @@ func main() {
 	}
 	recal := stats
 	recal.Recalibrations, recal.SchemeSwitches = 9, 4
+	simp := recal
+	simp.SimplifiedBatches, simp.SimplifyFallbacks = 12, 1
+	simp.SegsComputed, simp.SegsReused = 30, 18
+	hist := simp
+	hist.Stages = []obs.StageSummary{
+		{Name: "queue_wait", Snap: obs.Snapshot{Count: 90, SumNs: 81000, MaxNs: 4000, Buckets: []uint64{2, 0, 0, 5, 83}}},
+		{Name: "execute", Snap: obs.Snapshot{Count: 100, SumNs: 2_500_000, MaxNs: 90_000, Buckets: []uint64{0, 0, 0, 0, 0, 0, 0, 0, 1, 4, 95}}},
+	}
 
 	seeds := map[string][]byte{
-		"hello":       wire.AppendHello(nil, wire.Hello{Version: wire.ProtoVersion, Procs: 8, MaxInflight: 64}),
-		"hello-flags": wire.AppendHello(nil, wire.Hello{Version: wire.ProtoVersion, Procs: 8, MaxInflight: 64, Flags: wire.HelloFlagGateway}),
-		"submit":      wire.AppendSubmit(nil, 1, l),
-		"result":      wire.AppendResult(nil, 2, &res),
-		"error":       wire.AppendError(nil, 3, "loop rejected"),
-		"busy":        wire.AppendBusy(nil, 4, wire.BusyUpstream),
-		"statsreq":    wire.AppendStatsReq(nil, 5),
-		"stats":       wire.AppendStats(nil, 6, &stats),
-		"stats-recal": wire.AppendStats(nil, 7, &recal),
+		"hello":          wire.AppendHello(nil, wire.Hello{Version: wire.ProtoVersion, Procs: 8, MaxInflight: 64}),
+		"hello-flags":    wire.AppendHello(nil, wire.Hello{Version: wire.ProtoVersion, Procs: 8, MaxInflight: 64, Flags: wire.HelloFlagGateway}),
+		"submit":         wire.AppendSubmit(nil, 1, l),
+		"submit-traced":  wire.AppendSubmitTraced(nil, 1, l, 0x9e3779b97f4a7c15),
+		"result":         wire.AppendResult(nil, 2, &res),
+		"error":          wire.AppendError(nil, 3, "loop rejected"),
+		"busy":           wire.AppendBusy(nil, 4, wire.BusyUpstream),
+		"statsreq":       wire.AppendStatsReq(nil, 5),
+		"stats":          wire.AppendStats(nil, 6, &stats),
+		"stats-recal":    wire.AppendStats(nil, 7, &recal),
+		"stats-simplify": wire.AppendStats(nil, 8, &simp),
+		"stats-hist":     wire.AppendStats(nil, 9, &hist),
 	}
 	for name, b := range seeds {
 		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", b)

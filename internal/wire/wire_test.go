@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -78,7 +79,7 @@ func TestSubmitDecodeIntoReusesScratch(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		offsets, refs, err = f.DecodeSubmitInto(l, offsets, refs, 0)
+		offsets, refs, _, err = f.DecodeSubmitInto(l, offsets, refs, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -279,6 +280,158 @@ func TestStatsSimplifyCompat(t *testing.T) {
 	}
 	if _, err := f.DecodeStats(); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("partial quad decoded without error: %v", err)
+	}
+}
+
+// TestSubmitTraceCompat pins the SUBMIT frame's optional trailing trace
+// ID on the HELLO-flags rule: untraced frames are byte-identical to the
+// pre-trace encoding and decode with trace ID 0; traced frames
+// round-trip; a truncated trace ID is corrupt.
+func TestSubmitTraceCompat(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	l := randomLoop(rng)
+	legacy := AppendSubmit(nil, 1, l)
+	zeroTraced := AppendSubmitTraced(nil, 1, l, 0)
+	if !bytes.Equal(legacy, zeroTraced) {
+		t.Fatal("zero trace ID changed the SUBMIT encoding")
+	}
+	traced := AppendSubmitTraced(nil, 1, l, 0xdeadbeef)
+	if len(traced) <= len(legacy) {
+		t.Fatalf("traced frame (%d bytes) not longer than legacy (%d)", len(traced), len(legacy))
+	}
+
+	f, _, err := DecodeFrame(legacy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := &trace.Loop{}
+	_, _, id, err := f.DecodeSubmitInto(got, nil, nil, 0)
+	if err != nil || id != 0 {
+		t.Fatalf("legacy submit decoded trace id %d, err %v (want 0)", id, err)
+	}
+
+	f, _, err = DecodeFrame(traced, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, id, err = f.DecodeSubmitInto(got, nil, nil, 0); err != nil || id != 0xdeadbeef {
+		t.Fatalf("traced submit decoded trace id %#x, err %v (want 0xdeadbeef)", id, err)
+	}
+	if !l.EqualPattern(got) {
+		t.Fatal("traced submit corrupted the loop pattern")
+	}
+
+	// A truncated trace ID (multi-byte uvarint cut before its terminator)
+	// is corrupt, not silently zero. 0xdeadbeef encodes to 5 bytes, so
+	// dropping the last byte leaves a dangling continuation bit.
+	cut := append([]byte(nil), traced[:len(traced)-1]...)
+	n := uint32(len(cut) - 4)
+	cut[0], cut[1], cut[2], cut[3] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+	f, _, err = DecodeFrame(cut, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := f.DecodeSubmitInto(got, nil, nil, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated trace id decoded without error: %v", err)
+	}
+}
+
+// TestStatsHistCompat pins the third optional STATS tail — the
+// stage-latency histogram summary after the simplification quad. The
+// matrix: legacy (no tails), pair-only, quad, and hist frames all decode
+// with the correct fields zero or present; a hist frame forces the pair
+// and quad out even when zero (positional tails); truncated hist tails
+// are corrupt.
+func TestStatsHistCompat(t *testing.T) {
+	base := engine.Stats{Jobs: 5, Schemes: map[string]uint64{"rep": 5}}
+	stages := []obs.StageSummary{
+		{Name: "execute", Snap: obs.Snapshot{Count: 3, SumNs: 3000, MaxNs: 1500, Buckets: []uint64{0, 1, 2}}},
+		{Name: "queue_wait", Snap: obs.Snapshot{Count: 2, SumNs: 10, MaxNs: 7, Buckets: []uint64{1, 0, 0, 1}}},
+	}
+
+	legacy := AppendStats(nil, 9, &base)
+	withHist := base
+	withHist.Stages = stages
+	tailed := AppendStats(nil, 9, &withHist)
+	if len(tailed) <= len(legacy)+6 {
+		t.Fatalf("hist frame %d bytes vs legacy %d: hist tail (and forced pair+quad) missing", len(tailed), len(legacy))
+	}
+
+	decode := func(buf []byte) (engine.Stats, error) {
+		f, _, err := DecodeFrame(buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.DecodeStats()
+	}
+
+	// Legacy decodes with no stages.
+	s, err := decode(legacy)
+	if err != nil || len(s.Stages) != 0 {
+		t.Fatalf("legacy stats decoded %d stages, err %v", len(s.Stages), err)
+	}
+	// Pair-only and quad frames (earlier tails) decode with no stages.
+	pairOnly := base
+	pairOnly.Recalibrations = 7
+	if s, err = decode(AppendStats(nil, 9, &pairOnly)); err != nil || len(s.Stages) != 0 {
+		t.Fatalf("pair-only stats decoded %d stages, err %v", len(s.Stages), err)
+	}
+	quad := base
+	quad.SegsReused = 11
+	if s, err = decode(AppendStats(nil, 9, &quad)); err != nil || len(s.Stages) != 0 {
+		t.Fatalf("quad stats decoded %d stages, err %v", len(s.Stages), err)
+	}
+
+	// The hist frame round-trips, zero pair and quad included.
+	s, err = decode(tailed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Recalibrations != 0 || s.SimplifiedBatches != 0 {
+		t.Fatalf("forced-out zero tails decoded as %d/%d", s.Recalibrations, s.SimplifiedBatches)
+	}
+	if len(s.Stages) != 2 {
+		t.Fatalf("hist round-trip: %d stages", len(s.Stages))
+	}
+	for i, want := range stages {
+		got := s.Stages[i]
+		if got.Name != want.Name || got.Snap.Count != want.Snap.Count ||
+			got.Snap.SumNs != want.Snap.SumNs || got.Snap.MaxNs != want.Snap.MaxNs {
+			t.Fatalf("stage %d = %+v, want %+v", i, got, want)
+		}
+		if len(got.Snap.Buckets) != len(want.Snap.Buckets) {
+			t.Fatalf("stage %d buckets %v, want %v", i, got.Snap.Buckets, want.Snap.Buckets)
+		}
+		for b := range want.Snap.Buckets {
+			if got.Snap.Buckets[b] != want.Snap.Buckets[b] {
+				t.Fatalf("stage %d bucket %d = %d, want %d", i, b, got.Snap.Buckets[b], want.Snap.Buckets[b])
+			}
+		}
+	}
+	// Every earlier tail rides along undisturbed when also set.
+	full := withHist
+	full.Recalibrations, full.SegsReused = 7, 11
+	if s, err = decode(AppendStats(nil, 9, &full)); err != nil ||
+		s.Recalibrations != 7 || s.SegsReused != 11 || len(s.Stages) != 2 {
+		t.Fatalf("full-tails frame decoded %d/%d/%d stages, err %v", s.Recalibrations, s.SegsReused, len(s.Stages), err)
+	}
+
+	// Truncating the hist tail anywhere inside it is corrupt. The tailed
+	// frame's prefix through the forced-out zero tails is the legacy
+	// encoding plus 2 bytes of zero pair and 4 of zero quad; cutting
+	// exactly there is a valid quad frame, so start one byte past it.
+	histStart := len(legacy) + 6
+	for n := histStart + 1; n < len(tailed); n++ {
+		cut := append([]byte(nil), tailed[:n]...)
+		ln := uint32(len(cut) - 4)
+		cut[0], cut[1], cut[2], cut[3] = byte(ln), byte(ln>>8), byte(ln>>16), byte(ln>>24)
+		f, _, err := DecodeFrame(cut, 0)
+		if err != nil {
+			continue // header-level truncation already rejected
+		}
+		if _, err := f.DecodeStats(); err == nil {
+			t.Fatalf("hist tail truncated to %d bytes decoded without error", n)
+		}
 	}
 }
 

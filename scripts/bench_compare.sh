@@ -252,6 +252,30 @@ END {
     if (bad) exit 1
 }' "$cand" || failed="$failed simplification"
 
+# Observability-overhead gate: the pooled steady-state hot path
+# (SchemeRunColdVsPooled/pooled) must stay within OBS_MAX_OVERHEAD_PCT
+# (default 3) percent of the committed baseline — a much tighter ceiling
+# than the general throughput tolerance. This is the budget for the
+# stage-latency instrumentation: histograms and timelines must never
+# leak measurable cost into the reduction hot path. The gate reuses the
+# extracted (possibly normalized) pairs, so it respects BENCH_NORMALIZE
+# on foreign hardware.
+awk -v maxpct="${OBS_MAX_OVERHEAD_PCT:-3}" '
+NR == FNR { if ($1 == "SchemeRunColdVsPooled/pooled") base = $2; next }
+$1 == "SchemeRunColdVsPooled/pooled" { cand = $2 }
+END {
+    if (base + 0 <= 0 || cand + 0 <= 0) {
+        print "bench_compare: obs-overhead gate skipped: SchemeRunColdVsPooled/pooled missing from baseline or candidate"
+        exit 0
+    }
+    pct = (cand / base - 1) * 100
+    printf "bench_compare: observability overhead on pooled hot path: %+.2f%% (ceiling %s%%)\n", pct, maxpct
+    if (pct > maxpct + 0) {
+        print "bench_compare: FAIL: instrumentation cost on the pooled hot path exceeds the budget"
+        exit 1
+    }
+}' "$tmpdir/base" "$tmpdir/cand" || failed="$failed obs-overhead"
+
 if [ -n "$failed" ]; then
     echo "bench_compare: FAILED gates:$failed"
     exit 1

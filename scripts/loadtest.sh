@@ -40,12 +40,14 @@ go build $build_flags -o "$work/reduxserve" ./cmd/reduxserve
 [ "$gateway" -gt 0 ] && go build $build_flags -o "$work/reduxgw" ./cmd/reduxgw
 
 # wait_addr LOGFILE PID: scrape "listening on <addr>" from a daemon's log
-# (both reduxd and reduxgw print it once their listener is up).
+# (both reduxd and reduxgw print it once their listener is up). The debug
+# listener prints its own "debug listening on" line, excluded here and
+# scraped by wait_debug below.
 wait_addr() {
     log="$1"; pid="$2"; addr=""
     i=0
     while [ $i -lt 100 ]; do
-        addr=$(awk '/listening on/ {print $4; exit}' "$log" 2>/dev/null || true)
+        addr=$(awk '/listening on/ && !/debug/ {print $4; exit}' "$log" 2>/dev/null || true)
         [ -n "$addr" ] && break
         if ! kill -0 "$pid" 2>/dev/null; then
             echo "loadtest: $(basename "$log" .log) exited before listening:" >&2
@@ -62,32 +64,97 @@ wait_addr() {
     fi
 }
 
+# wait_debug LOGFILE: scrape "debug listening on <addr>" (printed right
+# after the main listener line, so no liveness loop is needed by then).
+wait_debug() {
+    i=0; dbg=""
+    while [ $i -lt 100 ]; do
+        dbg=$(awk '/debug listening on/ {print $NF; exit}' "$1" 2>/dev/null || true)
+        [ -n "$dbg" ] && return
+        sleep 0.1
+        i=$((i + 1))
+    done
+    echo "loadtest: $(basename "$1" .log) never reported its debug address" >&2
+    exit 1
+}
+
+# Every daemon gets a debug listener and traces every job (-trace-slow
+# negative), so the run doubles as the end-to-end check of the
+# observability surface: /metrics, /tracez and pprof are curled below.
 backend_addrs=""
+backend_dbgs=""
 n=0
 while [ $n -lt "$gateway" ] || { [ "$gateway" -eq 0 ] && [ $n -lt 1 ]; }; do
-    "$work/reduxd" -addr 127.0.0.1:0 > "$work/reduxd$n.log" 2>&1 &
+    "$work/reduxd" -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 -trace-slow -1ns > "$work/reduxd$n.log" 2>&1 &
     pid=$!
     pids="$pids $pid"
     wait_addr "$work/reduxd$n.log" "$pid"
+    wait_debug "$work/reduxd$n.log"
     backend_addrs="$backend_addrs,$addr"
+    backend_dbgs="$backend_dbgs $dbg"
     n=$((n + 1))
 done
 backend_addrs=${backend_addrs#,}
 
 if [ "$gateway" -gt 0 ]; then
-    "$work/reduxgw" -addr 127.0.0.1:0 -backends "$backend_addrs" > "$work/reduxgw.log" 2>&1 &
+    "$work/reduxgw" -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 -trace-slow -1ns \
+        -backends "$backend_addrs" > "$work/reduxgw.log" 2>&1 &
     gw_pid=$!
     pids="$pids $gw_pid"
     wait_addr "$work/reduxgw.log" "$gw_pid"
+    wait_debug "$work/reduxgw.log"
     target="$addr"
+    front_dbg="$dbg"
     echo "loadtest: reduxgw on $target fronting $gateway backends ($backend_addrs), driving $jobs jobs from $clients clients"
 else
     target="$backend_addrs"
+    front_dbg="${backend_dbgs# }"
     echo "loadtest: reduxd on $target, driving $jobs jobs from $clients clients"
 fi
 
 "$work/reduxserve" -remote "$target" -jobs "$jobs" -clients "$clients" \
-    -zipf -scale 0.3 -json > "$work/report.json"
+    -zipf -scale 0.3 -json > "$work/report.json" &
+serve_pid=$!
+
+# Mid-run observability: scrape /metrics and take a 1-second CPU profile
+# while traffic is flowing (the profile outlives short runs — the daemon
+# stays up until the drain below, so the curls can never miss).
+curl -fsS "http://$front_dbg/metrics" > "$work/metrics_midrun.txt" \
+    || { echo "loadtest: FAIL: mid-run /metrics scrape" >&2; exit 1; }
+curl -fsS -o "$work/profile.pb.gz" "http://$front_dbg/debug/pprof/profile?seconds=1" \
+    || { echo "loadtest: FAIL: mid-run pprof profile" >&2; exit 1; }
+[ -s "$work/profile.pb.gz" ] || { echo "loadtest: FAIL: empty pprof profile" >&2; exit 1; }
+
+wait "$serve_pid" || { echo "loadtest: reduxserve failed" >&2; exit 1; }
+
+# Post-run, pre-drain: the rings are frozen. Lint the full /metrics page
+# and check cross-tier trace stitching on the real wire path.
+curl -fsS "http://$front_dbg/metrics" > "$work/metrics.txt"
+scripts/metrics_lint.sh "$work/metrics.txt"
+
+curl -fsS "http://$front_dbg/tracez" > "$work/tracez.json"
+grep -q '"trace_id"' "$work/tracez.json" \
+    || { echo "loadtest: FAIL: /tracez has no traces despite -trace-slow -1ns" >&2; exit 1; }
+
+if [ "$gateway" -gt 0 ]; then
+    # A recent gateway trace's backend leg must sit in the owning
+    # backend's ring under the same forwarded trace ID. Ring adds drop
+    # under write contention (TryLock sampling), so try the newest few
+    # gateway IDs rather than demanding exactly the newest survived on
+    # both tiers.
+    for d in $backend_dbgs; do
+        curl -fsS "http://$d/tracez" > "$work/tracez-backend-${d##*:}.json"
+    done
+    found=""
+    for tid in $(awk -F'[:,]' '/"trace_id"/ {gsub(/ /, "", $2); print $2}' "$work/tracez.json" | head -10); do
+        if grep -q "\"trace_id\": $tid" "$work"/tracez-backend-*.json; then
+            found=$tid
+            break
+        fi
+    done
+    [ -n "$found" ] || { echo "loadtest: FAIL: none of the gateway's newest traces found on any backend" >&2; exit 1; }
+    echo "loadtest: trace $found stitched across gateway and backend tiers"
+fi
 
 # Graceful drain, front tier first: TERM each daemon and wait; each
 # prints its lifetime stats.

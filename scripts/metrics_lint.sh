@@ -1,0 +1,148 @@
+#!/bin/sh
+# Validates a /metrics dump against two contracts:
+#
+#  1. Prometheus text exposition format (0.0.4): every sample's family
+#     has a preceding # HELP and # TYPE line, TYPE is a known kind,
+#     sample values are numeric, and every histogram family is complete —
+#     its _bucket series end with le="+Inf", and _sum and _count are
+#     present with _count equal to the +Inf bucket.
+#
+#  2. Engine-counter coverage: every field of engine.Stats (parsed from
+#     internal/engine/stats.go) appears as a series in the dump, via the
+#     field -> series mapping below (kept in lockstep with
+#     internal/metrics/metrics.go, whose reflection test enforces the
+#     same completeness from the Go side). A counter added to the engine
+#     without a series therefore fails CI twice — once here, once there.
+#
+# usage: metrics_lint.sh <metrics-dump-file>
+set -eu
+
+cd "$(dirname "$0")/.."
+
+[ $# -eq 1 ] || { echo "usage: metrics_lint.sh <metrics-dump-file>" >&2; exit 2; }
+dump="$1"
+[ -s "$dump" ] || { echo "metrics_lint: $dump missing or empty" >&2; exit 1; }
+
+# --- 1. exposition format ---------------------------------------------------
+awk '
+function fam(name) {
+    # The family of a histogram child series is the name minus the
+    # _bucket/_sum/_count suffix, when that family was declared a
+    # histogram.
+    if (name ~ /_(bucket|sum|count)$/) {
+        base = name
+        sub(/_(bucket|sum|count)$/, "", base)
+        if (type[base] == "histogram") return base
+    }
+    return name
+}
+/^# HELP / { help[$3] = 1; next }
+/^# TYPE / {
+    type[$3] = $4
+    if ($4 != "counter" && $4 != "gauge" && $4 != "histogram" && $4 != "summary" && $4 != "untyped") {
+        printf "metrics_lint: line %d: unknown TYPE %s for %s\n", NR, $4, $3; bad++
+    }
+    next
+}
+/^#/ { next }
+/^$/ { next }
+{
+    # A sample line: name{labels} value  or  name value.
+    name = $1
+    sub(/\{.*/, "", name)
+    f = fam(name)
+    if (!(f in type)) { printf "metrics_lint: line %d: sample %s has no TYPE\n", NR, name; bad++ }
+    if (!(f in help)) { printf "metrics_lint: line %d: sample %s has no HELP\n", NR, name; bad++ }
+    if ($NF !~ /^[-+]?([0-9]*\.)?[0-9]+([eE][-+]?[0-9]+)?$/ && $NF !~ /^[-+]?Inf$/ && $NF != "NaN") {
+        printf "metrics_lint: line %d: non-numeric value %s\n", NR, $NF; bad++
+    }
+
+    if (f != name) {
+        # Histogram child series: key on family + labels minus the le
+        # pair, so each labelled histogram is checked independently.
+        labels = $1
+        if (match(labels, /\{.*\}/)) { labels = substr(labels, RSTART, RLENGTH) } else labels = ""
+        gsub(/le="[^"]*",?/, "", labels)
+        gsub(/,\}/, "}", labels); gsub(/\{\}/, "", labels)
+        k = f labels
+        if (name ~ /_bucket$/) {
+            nbuckets[k]++
+            if ($1 ~ /le="\+Inf"/) { hasinf[k] = 1; infval[k] = $NF }
+        }
+        if (name ~ /_sum$/)   hassum[k] = 1
+        if (name ~ /_count$/) { hascount[k] = 1; countval[k] = $NF }
+    }
+}
+END {
+    for (k in nbuckets) {
+        if (!(k in hasinf))   { printf "metrics_lint: histogram %s has no +Inf bucket\n", k; bad++ }
+        if (!(k in hassum))   { printf "metrics_lint: histogram %s has no _sum\n", k; bad++ }
+        if (!(k in hascount)) { printf "metrics_lint: histogram %s has no _count\n", k; bad++ }
+        if ((k in hasinf) && (k in hascount) && infval[k] != countval[k]) {
+            printf "metrics_lint: histogram %s: +Inf bucket %s != _count %s\n", k, infval[k], countval[k]; bad++
+        }
+    }
+    if (bad) { printf "metrics_lint: %d exposition-format error(s)\n", bad; exit 1 }
+}' "$dump"
+
+# --- 2. engine.Stats coverage -----------------------------------------------
+# Parse the exported field names of engine.Stats straight from the
+# source, so the check tracks the struct without a hand-kept list.
+fields=$(awk '
+/^type Stats struct/ { instruct = 1; next }
+instruct && /^}/ { exit }
+instruct && /^\t[A-Z]/ {
+    line = $0
+    sub(/\/\/.*/, "", line)          # strip trailing comment
+    sub(/\t/, "", line)
+    n = split(line, parts, /,?[ \t]+/)
+    for (i = 1; i < n; i++)          # last part is the type
+        if (parts[i] ~ /^[A-Z]/) print parts[i]
+    # single "Name Type" declarations: the loop above already printed
+    # the name and stopped before the type.
+}' internal/engine/stats.go)
+
+[ -n "$fields" ] || { echo "metrics_lint: failed to parse engine.Stats fields" >&2; exit 1; }
+
+series_for() {
+    case "$1" in
+        Jobs)              echo redux_engine_jobs_total ;;
+        CacheHits)         echo redux_engine_cache_hits_total ;;
+        CacheMisses)       echo redux_engine_cache_misses_total ;;
+        Batches)           echo redux_engine_batches_total ;;
+        Coalesced)         echo redux_engine_coalesced_jobs_total ;;
+        CacheEntries)      echo redux_engine_cache_entries ;;
+        CacheEvictions)    echo redux_engine_cache_evictions_total ;;
+        Recalibrations)    echo redux_engine_recalibrations_total ;;
+        SchemeSwitches)    echo redux_engine_scheme_switches_total ;;
+        SimplifiedBatches) echo redux_engine_simplified_batches_total ;;
+        SimplifyFallbacks) echo redux_engine_simplify_fallbacks_total ;;
+        SegsComputed)      echo redux_engine_segments_computed_total ;;
+        SegsReused)        echo redux_engine_segments_reused_total ;;
+        Schemes)           echo redux_engine_scheme_jobs_total ;;
+        BatchOccupancy)    echo redux_engine_batch_occupancy_total ;;
+        Stages)            echo redux_engine_stage_latency_seconds ;;
+        *)                 echo "" ;;
+    esac
+}
+
+missing=""
+for f in $fields; do
+    s=$(series_for "$f")
+    if [ -z "$s" ]; then
+        echo "metrics_lint: engine.Stats.$f has no series mapping — update metrics_lint.sh and internal/metrics" >&2
+        missing="$missing $f"
+        continue
+    fi
+    if ! grep -q "^# TYPE $s " "$dump"; then
+        echo "metrics_lint: engine.Stats.$f: series $s not declared in $dump" >&2
+        missing="$missing $f"
+    fi
+done
+
+if [ -n "$missing" ]; then
+    echo "metrics_lint: FAIL: unscraped engine.Stats fields:$missing" >&2
+    exit 1
+fi
+
+echo "metrics_lint: OK ($(grep -c '^# TYPE ' "$dump") families, all engine.Stats fields covered)"
