@@ -590,3 +590,81 @@ func BenchmarkSimplifyOverlap(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkSessionDelta measures what the streaming-session path saves
+// over the stateless alternative for the same access-pattern churn. Both
+// sub-benchmarks serve the identical workloads.DeltaStream step sequence
+// — a long-lived loop absorbing a small subscript update batch per step
+// and needing the new reduction after each one:
+//
+//   - delta: one OPEN_SESSION, then Session.Apply per step — the engine
+//     recomputes only the segments each batch touched and re-combines.
+//   - resubmit: the pre-session protocol — every step re-submits the
+//     whole mutated loop (pre-built mirrors, so trace construction is
+//     off the clock and the measured cost is pure engine work; decisions
+//     are warmed first, so the cache is as kind to this path as it can be).
+//
+// scripts/bench_compare.sh gates the ratio at SESSION_MIN_SPEEDUP
+// (default 2x): if incremental re-reduction ever degenerates to full
+// recompute cost, the session subsystem has lost its reason to exist.
+func BenchmarkSessionDelta(b *testing.B) {
+	const steps = 64
+	ds := workloads.NewDeltaStream(steps, 4, 0.25, 11)
+	// 32 segments balances touched-segment recompute against the
+	// combine sweep for this stream's shape (4 scattered deltas, 128
+	// refs per element).
+	segIters := (ds.Base.NumIters() + 31) / 32
+	cfg := engine.Config{Workers: 1, Platform: core.DefaultPlatform(8)}
+
+	b.Run("delta", func(b *testing.B) {
+		e, err := engine.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+		sess, res, err := e.OpenSession(ds.Base, segIters, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer sess.Close()
+		dst := res.Values
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r, err := sess.Apply(ds.Batches[i%steps], dst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst = r.Values
+		}
+	})
+
+	b.Run("resubmit", func(b *testing.B) {
+		mirrors := make([]*trace.Loop, steps)
+		for i := range mirrors {
+			mirrors[i] = ds.MirrorAt(i + 1)
+		}
+		e, err := engine.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+		var dst []float64
+		for _, m := range mirrors { // warm decisions and pools
+			res, err := e.Submit(m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst = res.Values
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := e.SubmitInto(mirrors[i%steps], dst)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst = res.Values
+		}
+	})
+}

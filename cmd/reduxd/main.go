@@ -45,6 +45,9 @@ func main() {
 	norecal := flag.Bool("norecal", false, "disable online recalibration of cached decisions")
 	maxInflight := flag.Int("max-inflight", 64, "in-flight job budget per connection (beyond it: BUSY)")
 	maxGlobal := flag.Int("max-global", 1024, "in-flight job budget across all connections")
+	maxSessions := flag.Int("max-sessions", 0, "resident streaming-session budget (0 = default 256; beyond it: evict or BUSY)")
+	sessionTTL := flag.Duration("session-ttl", 0, "idle streaming-session expiry (0 = default 2m)")
+	sessionBytes := flag.Int64("session-bytes", 0, "resident session state budget in bytes (0 = default 64 MiB)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
 	debugAddr := flag.String("debug-addr", "", "HTTP debug listen address serving /metrics, /tracez, /healthz and /debug/pprof (empty: disabled)")
 	traceSlow := flag.Duration("trace-slow", 0, "latency above which a job's stage timeline is kept for /tracez (0: 10ms default, negative: every job)")
@@ -76,6 +79,9 @@ func main() {
 	srv := server.New(eng, server.Config{
 		MaxInflightPerConn: *maxInflight,
 		MaxInflightGlobal:  *maxGlobal,
+		MaxSessions:        *maxSessions,
+		SessionTTL:         *sessionTTL,
+		MaxSessionBytes:    *sessionBytes,
 		TraceSlow:          *traceSlow,
 	})
 	ln, err := net.Listen("tcp", *addr)
@@ -137,6 +143,10 @@ func report(s engine.Stats, ss server.Stats) {
 	if s.SimplifiedBatches != 0 || s.SimplifyFallbacks != 0 {
 		fmt.Printf("reduxd: simplification: %d batches (%d declined), segments %d computed / %d reused\n",
 			s.SimplifiedBatches, s.SimplifyFallbacks, s.SegsComputed, s.SegsReused)
+	}
+	if s.SessionOpens != 0 || ss.SessionEvictions != 0 {
+		fmt.Printf("reduxd: sessions: %d opened (%d still resident, %d evicted), %d delta batches, segments %d recomputed / %d reused\n",
+			s.SessionOpens, ss.Sessions, ss.SessionEvictions, s.SessionJobs, s.SessionSegsComputed, s.SessionSegsReused)
 	}
 	if len(s.Schemes) > 0 {
 		names := make([]string, 0, len(s.Schemes))

@@ -153,6 +153,12 @@ func report(agg engine.Stats, aggErr error, ps cluster.PoolStats, ss server.Stat
 			fmt.Printf("reduxgw: tier simplification: %d batches (%d declined), segments %d computed / %d reused\n",
 				agg.SimplifiedBatches, agg.SimplifyFallbacks, agg.SegsComputed, agg.SegsReused)
 		}
+		if agg.SessionOpens != 0 {
+			// Sessions opened directly against the backends; the gateway
+			// itself answers OPEN_SESSION with "sessions unsupported".
+			fmt.Printf("reduxgw: tier sessions: %d opened, %d delta batches, segments %d recomputed / %d reused\n",
+				agg.SessionOpens, agg.SessionJobs, agg.SessionSegsComputed, agg.SessionSegsReused)
+		}
 		if len(agg.Schemes) > 0 {
 			names := make([]string, 0, len(agg.Schemes))
 			for name := range agg.Schemes {

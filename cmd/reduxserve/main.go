@@ -46,24 +46,42 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/reduction"
 	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
 // backend abstracts where jobs execute: the in-process engine or a remote
-// reduxd. Both expose the engine-shaped submit call and a counters
-// snapshot, so the streaming and reporting code is identical.
+// reduxd. Both expose the engine-shaped submit call, the streaming
+// session open, and a counters snapshot, so the streaming and reporting
+// code is identical.
 type backend interface {
 	SubmitInto(l *trace.Loop, dst []float64) (engine.Result, error)
+	OpenSession(l *trace.Loop) (sessionHandle, engine.Result, error)
 	Stats() (engine.Stats, error)
 	Close()
+}
+
+// sessionHandle is the common surface of engine.Session and
+// client.Session the -sessions driver streams through.
+type sessionHandle interface {
+	Apply(deltas []reduction.RefDelta, dst []float64) (engine.Result, error)
+	Close() error
+	Gen() uint64
 }
 
 type localBackend struct{ e *engine.Engine }
 
 func (b localBackend) SubmitInto(l *trace.Loop, dst []float64) (engine.Result, error) {
 	return b.e.SubmitInto(l, dst)
+}
+func (b localBackend) OpenSession(l *trace.Loop) (sessionHandle, engine.Result, error) {
+	s, res, err := b.e.OpenSession(l, 0, nil)
+	if err != nil {
+		return nil, res, err
+	}
+	return s, res, nil
 }
 func (b localBackend) Stats() (engine.Stats, error) { return b.e.Stats(), nil }
 func (b localBackend) Close()                       { b.e.Close() }
@@ -73,8 +91,25 @@ type remoteBackend struct{ c *client.Client }
 func (b remoteBackend) SubmitInto(l *trace.Loop, dst []float64) (engine.Result, error) {
 	return b.c.SubmitInto(l, dst)
 }
+func (b remoteBackend) OpenSession(l *trace.Loop) (sessionHandle, engine.Result, error) {
+	s, res, err := b.c.OpenSession(l)
+	if err != nil {
+		return nil, res, err
+	}
+	return remoteSession{s}, res, nil
+}
 func (b remoteBackend) Stats() (engine.Stats, error) { return b.c.Stats() }
 func (b remoteBackend) Close()                       { b.c.Close() }
+
+// remoteSession renames client.Session's SubmitDeltaInto to the
+// engine-shaped Apply the driver calls.
+type remoteSession struct{ s *client.Session }
+
+func (r remoteSession) Apply(deltas []reduction.RefDelta, dst []float64) (engine.Result, error) {
+	return r.s.SubmitDeltaInto(deltas, dst)
+}
+func (r remoteSession) Close() error { return r.s.Close() }
+func (r remoteSession) Gen() uint64  { return r.s.Gen() }
 
 // report is the run summary, printable as text or JSON.
 type report struct {
@@ -107,6 +142,12 @@ type report struct {
 	SimpFalls    uint64            `json:"simplify_fallbacks"`
 	SegsComputed uint64            `json:"segments_computed"`
 	SegsReused   uint64            `json:"segments_reused"`
+	Sessions     int               `json:"sessions,omitempty"`
+	SessOpens    uint64            `json:"session_opens,omitempty"`
+	SessJobs     uint64            `json:"session_jobs,omitempty"`
+	SessComputed uint64            `json:"session_segments_computed,omitempty"`
+	SessReused   uint64            `json:"session_segments_reused,omitempty"`
+	ShadowChecks int64             `json:"shadow_checks,omitempty"`
 	AllocPerJob  float64           `json:"client_alloc_bytes_per_job"`
 	Imbalance    float64           `json:"mean_imbalance"`
 	ImbalanceN   int64             `json:"imbalance_jobs"`
@@ -132,6 +173,7 @@ func main() {
 	nocoalesce := flag.Bool("nocoalesce", false, "disable batch coalescing (per-job execution path)")
 	queue := flag.Int("queue", 0, "submission queue depth in batches (0 = 2*workers)")
 	verify := flag.Bool("verify", true, "check a sample of results against the sequential reference")
+	sessions := flag.Int("sessions", 0, "drive this many concurrent streaming sessions (OPEN_SESSION + SUBMIT_DELTA) instead of the one-shot job stream; -jobs counts delta batches across all sessions")
 	remote := flag.String("remote", "", "drive a reduxd server at this address instead of an in-process engine")
 	gateway := flag.Int("gateway", 0, "spawn this many in-process reduxd backends behind a pattern-routing gateway and drive it")
 	conns := flag.Int("conns", 4, "client connection pool size (remote mode)")
@@ -163,6 +205,18 @@ func main() {
 	case *gateway > 0 && *remote != "":
 		fmt.Fprintf(os.Stderr, "reduxserve: -gateway spawns its own backends; it cannot be combined with -remote\n")
 		os.Exit(2)
+	case *sessions < 0:
+		fmt.Fprintf(os.Stderr, "reduxserve: -sessions must be non-negative, got %d\n", *sessions)
+		os.Exit(2)
+	case *sessions > 0 && (*zipf || *drift):
+		fmt.Fprintf(os.Stderr, "reduxserve: -sessions is its own stream shape; it cannot be combined with -zipf or -drift\n")
+		os.Exit(2)
+	case *sessions > 0 && *gateway > 0:
+		fmt.Fprintf(os.Stderr, "reduxserve: the gateway tier does not forward sessions; drive reduxd directly\n")
+		os.Exit(2)
+	case *sessions > *jobs:
+		fmt.Fprintf(os.Stderr, "reduxserve: -sessions (%d) needs at least one delta batch each, but -jobs is %d\n", *sessions, *jobs)
+		os.Exit(2)
 	}
 	if *remote != "" {
 		// Engine-shape flags configure the in-process engine only; in
@@ -190,6 +244,9 @@ func main() {
 	var verifyLoops []*trace.Loop
 	phaseLen := *driftPhase
 	switch {
+	case *sessions > 0:
+		// Session mode builds per-session DeltaStreams in the measured
+		// phase itself; there is no one-shot population to warm or verify.
 	case *zipf:
 		loops = workloads.HotKeySet(*patterns, *scale)
 		stream = workloads.ZipfStream(loops, *jobs, *zipfS, 1)
@@ -280,6 +337,10 @@ func main() {
 	if *drift {
 		rep.Mode = fmt.Sprintf("drift(s=%g, %d patterns, %d-job phases)", *zipfS, *patterns, phaseLen)
 	}
+	if *sessions > 0 {
+		rep.Mode = fmt.Sprintf("sessions(%d streams, %d deltas/batch)", *sessions, sessionDeltaBatch)
+		rep.Sessions = *sessions
+	}
 	if *remote == "" {
 		rep.Workers, rep.Procs = *workers, *procs
 	}
@@ -320,6 +381,7 @@ func main() {
 
 	var submitted atomic.Int64
 	var failures atomic.Int64
+	var shadowChecks atomic.Int64
 	var imbalanceSum atomic.Int64 // milli-units, summed over measured jobs
 	var imbalanceN atomic.Int64
 	// One shared log-bucketed histogram replaces the per-client latency
@@ -330,39 +392,56 @@ func main() {
 	var latHist obs.Histogram
 	start := time.Now()
 	var wg sync.WaitGroup
-	for c := 0; c < *clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			var dst []float64
-			for {
-				n := int(submitted.Add(1)) - 1
-				if n >= *jobs {
-					break
-				}
-				l := stream[n]
-				t0 := time.Now()
-				// Latency keeps accruing from t0 across BUSY retries, so
-				// overload shows up in the tail rather than as failures.
-				res, err := submitWithBusyRetry(be, l, dst)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "submit:", err)
-					failures.Add(1)
-					break
-				}
-				latHist.Observe(time.Since(t0))
-				dst = res.Values
-				if res.Imbalance > 0 {
-					imbalanceSum.Add(int64(res.Imbalance * 1000))
-					imbalanceN.Add(1)
-				}
-				if *verify && n < 4**clients && !matches(res.Values, refs[l]) {
-					fmt.Fprintf(os.Stderr, "verify: %s diverged from sequential reference\n", l.Name)
-					failures.Add(1)
-					break
-				}
+	if *sessions > 0 {
+		base, extra := *jobs / *sessions, *jobs%*sessions
+		for s := 0; s < *sessions; s++ {
+			steps := base
+			if s < extra {
+				steps++
 			}
-		}(c)
+			wg.Add(1)
+			go func(s, steps int) {
+				defer wg.Done()
+				if !runSession(be, s, steps, *scale, *verify, &latHist, &shadowChecks) {
+					failures.Add(1)
+				}
+			}(s, steps)
+		}
+	} else {
+		for c := 0; c < *clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				var dst []float64
+				for {
+					n := int(submitted.Add(1)) - 1
+					if n >= *jobs {
+						break
+					}
+					l := stream[n]
+					t0 := time.Now()
+					// Latency keeps accruing from t0 across BUSY retries, so
+					// overload shows up in the tail rather than as failures.
+					res, err := submitWithBusyRetry(be, l, dst)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "submit:", err)
+						failures.Add(1)
+						break
+					}
+					latHist.Observe(time.Since(t0))
+					dst = res.Values
+					if res.Imbalance > 0 {
+						imbalanceSum.Add(int64(res.Imbalance * 1000))
+						imbalanceN.Add(1)
+					}
+					if *verify && n < 4**clients && !matches(res.Values, refs[l]) {
+						fmt.Fprintf(os.Stderr, "verify: %s diverged from sequential reference\n", l.Name)
+						failures.Add(1)
+						break
+					}
+				}
+			}(c)
+		}
 	}
 	wg.Wait()
 	rep.ElapsedNs = int64(time.Since(start))
@@ -402,6 +481,11 @@ func main() {
 	rep.SimpFalls = s.SimplifyFallbacks
 	rep.SegsComputed = s.SegsComputed
 	rep.SegsReused = s.SegsReused
+	rep.SessOpens = s.SessionOpens
+	rep.SessJobs = s.SessionJobs
+	rep.SessComputed = s.SessionSegsComputed
+	rep.SessReused = s.SessionSegsReused
+	rep.ShadowChecks = shadowChecks.Load()
 	rep.AllocPerJob = float64(after.TotalAlloc-before.TotalAlloc) / float64(*jobs)
 	if n := imbalanceN.Load(); n > 0 {
 		rep.Imbalance = float64(imbalanceSum.Load()) / 1000 / float64(n)
@@ -423,6 +507,89 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%d clients failed\n", rep.Failures)
 		os.Exit(1)
 	}
+}
+
+// sessionDeltaBatch is the delta count per SUBMIT_DELTA batch in
+// -sessions mode, and shadowEvery is how many batches ride between
+// shadow full-recompute checks (every session also checks its final
+// step, so short streams still verify).
+const (
+	sessionDeltaBatch = 16
+	shadowEvery       = 8
+)
+
+// runSession drives one streaming session end to end: open a
+// deterministic DeltaStream over the backend, submit every batch, and
+// shadow-verify the rolling result against a privately mirrored loop's
+// from-scratch sequential reduction — the end-to-end version of the
+// property the session test suites pin (the mirror is rebuilt by the
+// driver, so a server that quietly dropped a delta or served a stale
+// segment sum cannot agree with it). Returns false after printing the
+// reason on any failure.
+func runSession(be backend, id, steps int, scale float64, verify bool, latHist *obs.Histogram, shadowChecks *atomic.Int64) bool {
+	ds := workloads.NewDeltaStream(steps, sessionDeltaBatch, scale, int64(1000+id))
+	sess, res, err := openSessionWithBusyRetry(be, ds.Base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "session %d: open: %v\n", id, err)
+		return false
+	}
+	defer sess.Close()
+	if verify && !matches(res.Values, ds.Base.RunSequential()) {
+		fmt.Fprintf(os.Stderr, "session %d: initial reduction diverged from sequential reference\n", id)
+		return false
+	}
+	mirror := ds.Base.Clone()
+	dst := res.Values
+	for i, batch := range ds.Batches {
+		t0 := time.Now()
+		r, err := applyWithBusyRetry(sess, batch, dst)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "session %d: delta %d: %v\n", id, i+1, err)
+			return false
+		}
+		latHist.Observe(time.Since(t0))
+		dst = r.Values
+		workloads.ApplyDeltas(mirror, batch)
+		if verify && (i%shadowEvery == shadowEvery-1 || i == len(ds.Batches)-1) {
+			if !matches(r.Values, mirror.RunSequential()) {
+				fmt.Fprintf(os.Stderr, "session %d: step %d diverged from shadow full recompute\n", id, i+1)
+				return false
+			}
+			shadowChecks.Add(1)
+		}
+	}
+	if err := sess.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "session %d: close: %v\n", id, err)
+		return false
+	}
+	return true
+}
+
+// openSessionWithBusyRetry and applyWithBusyRetry are the session-mode
+// analogues of submitWithBusyRetry: BUSY (including the session budget)
+// is pacing, not failure.
+func openSessionWithBusyRetry(be backend, l *trace.Loop) (sessionHandle, engine.Result, error) {
+	sess, res, err := be.OpenSession(l)
+	for backoff := time.Millisecond; errors.Is(err, client.ErrBusy); {
+		time.Sleep(backoff)
+		if backoff < 64*time.Millisecond {
+			backoff *= 2
+		}
+		sess, res, err = be.OpenSession(l)
+	}
+	return sess, res, err
+}
+
+func applyWithBusyRetry(sess sessionHandle, deltas []reduction.RefDelta, dst []float64) (engine.Result, error) {
+	res, err := sess.Apply(deltas, dst)
+	for backoff := time.Millisecond; errors.Is(err, client.ErrBusy); {
+		time.Sleep(backoff)
+		if backoff < 64*time.Millisecond {
+			backoff *= 2
+		}
+		res, err = sess.Apply(deltas, dst)
+	}
+	return res, err
 }
 
 // startGatewayStack boots n reduxd-shaped backends (each its own engine
@@ -529,6 +696,10 @@ func printHuman(rep report) {
 	if rep.Recals > 0 || rep.Switches > 0 {
 		fmt.Printf("recalibration: %d re-inspections, %d scheme switches\n", rep.Recals, rep.Switches)
 	}
+	if rep.Sessions > 0 {
+		fmt.Printf("sessions: %d opened, %d delta batches, segments %d recomputed / %d reused, %d shadow checks\n",
+			rep.SessOpens, rep.SessJobs, rep.SessComputed, rep.SessReused, rep.ShadowChecks)
+	}
 	if rep.SimpBatches > 0 || rep.SimpFalls > 0 {
 		fmt.Printf("simplification: %d batches (%d declined), segments %d computed / %d reused\n",
 			rep.SimpBatches, rep.SimpFalls, rep.SegsComputed, rep.SegsReused)
@@ -567,8 +738,13 @@ func statsDelta(now, warm engine.Stats) engine.Stats {
 		SimplifyFallbacks: now.SimplifyFallbacks - warm.SimplifyFallbacks,
 		SegsComputed:      now.SegsComputed - warm.SegsComputed,
 		SegsReused:        now.SegsReused - warm.SegsReused,
-		Schemes:           make(map[string]uint64),
-		BatchOccupancy:    make([]uint64, len(now.BatchOccupancy)),
+
+		SessionOpens:        now.SessionOpens - warm.SessionOpens,
+		SessionJobs:         now.SessionJobs - warm.SessionJobs,
+		SessionSegsComputed: now.SessionSegsComputed - warm.SessionSegsComputed,
+		SessionSegsReused:   now.SessionSegsReused - warm.SessionSegsReused,
+		Schemes:             make(map[string]uint64),
+		BatchOccupancy:      make([]uint64, len(now.BatchOccupancy)),
 	}
 	for k, v := range now.Schemes {
 		if v -= warm.Schemes[k]; v > 0 {

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -78,6 +79,11 @@ var (
 	// before the job resolved. The job stays pending — the connection is
 	// unaffected and a later Wait can still collect the response.
 	ErrTimeout = errors.New("client: wait timeout")
+	// ErrSessionGone resolves streaming-session operations whose
+	// server-side session no longer exists — evicted under memory
+	// pressure, expired past its idle TTL, or lost with its connection.
+	// The rolling state is unrecoverable; re-open and replay.
+	ErrSessionGone = errors.New("client: session gone")
 )
 
 // Dial connects to a reduxd server. The first connection is established
@@ -238,16 +244,16 @@ type pend struct {
 	statsReq bool
 }
 
-// poolConn is one pool slot: at most one live session at a time, redialed
+// poolConn is one pool slot: at most one live netSession at a time, redialed
 // on demand after failures.
 type poolConn struct {
 	cl *Client
 	mu sync.Mutex // guards session swap and dialing
-	s  *session
+	s  *netSession
 }
 
-// session is one live TCP connection with its pending-job table.
-type session struct {
+// netSession is one live TCP connection with its pending-job table.
+type netSession struct {
 	pc    *poolConn
 	nc    net.Conn
 	hello wire.Hello
@@ -259,10 +265,11 @@ type session struct {
 	pending map[uint64]*pend
 	dead    bool
 	nextID  uint64
+	nextSID uint64 // streaming-session ids, scoped to this connection
 }
 
 // ensure returns the slot's live session, dialing if necessary.
-func (pc *poolConn) ensure() (*session, error) {
+func (pc *poolConn) ensure() (*netSession, error) {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
 	if pc.s != nil {
@@ -279,7 +286,7 @@ func (pc *poolConn) ensure() (*session, error) {
 		nc.Close()
 		return nil, fmt.Errorf("client: preamble: %w", err)
 	}
-	s := &session{
+	s := &netSession{
 		pc:      pc,
 		nc:      nc,
 		bw:      bufio.NewWriterSize(nc, 64<<10),
@@ -357,7 +364,7 @@ func (pc *poolConn) stats() (engine.Stats, error) {
 
 // register assigns the next job ID on the session. IDs start at 1; 0 is
 // connection-scoped on the wire.
-func (s *session) register(p *pend) (uint64, error) {
+func (s *netSession) register(p *pend) (uint64, error) {
 	s.pendMu.Lock()
 	defer s.pendMu.Unlock()
 	if s.dead {
@@ -371,7 +378,7 @@ func (s *session) register(p *pend) (uint64, error) {
 
 // write sends one encoded frame and flushes. Pipelined submitters each
 // flush their own frame; the bufio layer coalesces writers that race.
-func (s *session) write(buf *wire.Buffer) error {
+func (s *netSession) write(buf *wire.Buffer) error {
 	s.writeMu.Lock()
 	_, err := s.bw.Write(buf.B)
 	if err == nil {
@@ -388,7 +395,7 @@ func (s *session) write(buf *wire.Buffer) error {
 
 // readLoop dispatches response frames to their pending jobs until the
 // connection dies, then fails whatever is left.
-func (s *session) readLoop(r *wire.Reader) {
+func (s *netSession) readLoop(r *wire.Reader) {
 	for {
 		f, err := r.Next()
 		if err != nil {
@@ -415,7 +422,7 @@ func (s *session) readLoop(r *wire.Reader) {
 }
 
 // resolve turns one response frame into the job's outcome.
-func (s *session) resolve(f wire.Frame, p *pend) outcome {
+func (s *netSession) resolve(f wire.Frame, p *pend) outcome {
 	if p.statsReq != (f.Type == wire.FrameStats) && f.Type != wire.FrameError {
 		return outcome{err: fmt.Errorf("client: unexpected %v frame for job", f.Type)}
 	}
@@ -430,6 +437,12 @@ func (s *session) resolve(f wire.Frame, p *pend) outcome {
 		msg, err := f.DecodeError()
 		if err != nil {
 			return outcome{err: fmt.Errorf("client: %w", err)}
+		}
+		if rest, ok := strings.CutPrefix(msg, wire.SessionGonePrefix); ok {
+			// The protocol-level session-gone prefix becomes the typed
+			// sentinel, so callers can distinguish "re-open and replay"
+			// from a genuinely failed operation.
+			return outcome{err: fmt.Errorf("%w: %s", ErrSessionGone, rest)}
 		}
 		return outcome{err: fmt.Errorf("client: server: %s", msg)}
 	case wire.FrameBusy:
@@ -450,7 +463,7 @@ func (s *session) resolve(f wire.Frame, p *pend) outcome {
 }
 
 // take removes and returns the pending record for id.
-func (s *session) take(id uint64) *pend {
+func (s *netSession) take(id uint64) *pend {
 	s.pendMu.Lock()
 	defer s.pendMu.Unlock()
 	p := s.pending[id]
@@ -461,7 +474,7 @@ func (s *session) take(id uint64) *pend {
 // fail kills the session exactly once: the socket closes, every in-flight
 // job resolves with err, and the pool slot is cleared so the next
 // submission redials.
-func (s *session) fail(err error) {
+func (s *netSession) fail(err error) {
 	s.pendMu.Lock()
 	if s.dead {
 		s.pendMu.Unlock()

@@ -41,6 +41,11 @@ type batch struct {
 	sealed bool
 	jobs   []*job
 	ov     []*job
+
+	// sess marks a streaming-session operation riding the queue alone:
+	// the batch has no jobs and runBatch routes it to runSession before
+	// any of the adaptive machinery runs.
+	sess *sessionWork
 }
 
 // tryJoin appends j to the batch if it is still open, has room, and its
@@ -146,6 +151,15 @@ func (c *coalescer) remove(fp uint64, b *batch) {
 // leader group runs the cached scheme directly and each overlap group
 // runs its own direct execution over the same decision.
 func (e *Engine) runBatch(w *workerCtx, b *batch) {
+	if b.sess != nil {
+		var qw time.Duration
+		if !b.enq.IsZero() {
+			qw = time.Since(b.enq)
+			w.stats.stages.Observe(obs.StageQueueWait, qw)
+		}
+		e.runSession(w, b.sess, qw)
+		return
+	}
 	jobs, ov := b.seal()
 	if e.co != nil {
 		e.co.remove(b.fp, b)

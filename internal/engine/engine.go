@@ -132,6 +132,11 @@ type Result struct {
 	// Imbalance is max/mean of the per-processor accumulation times
 	// (1.0 = perfectly balanced, 0 when not measured).
 	Imbalance float64
+	// SessionGen is the streaming session's generation after the
+	// operation that produced this result (1 at open, +1 per delta
+	// apply); zero for one-shot jobs. It rides the RESULT frame as an
+	// optional trailing field.
+	SessionGen uint64
 }
 
 // Handle is a pending submission. It belongs to a single waiter.

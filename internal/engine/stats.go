@@ -32,6 +32,14 @@ type Stats struct {
 	// re-reduction win.
 	SimplifiedBatches, SimplifyFallbacks uint64
 	SegsComputed, SegsReused             uint64
+	// SessionOpens counts streaming sessions registered; SessionJobs
+	// counts delta applications served through them. SessionSegsComputed
+	// and SessionSegsReused split each apply's segments into recomputed
+	// fresh vs. carried over intact — the per-update incremental win,
+	// kept apart from the batch-simplification SegsComputed/SegsReused
+	// so the two reuse stories stay separately observable.
+	SessionOpens, SessionJobs              uint64
+	SessionSegsComputed, SessionSegsReused uint64
 	// Schemes counts executed jobs per scheme name.
 	Schemes map[string]uint64
 	// BatchOccupancy[k] is the number of executed batches that fused
@@ -66,6 +74,10 @@ func (s *Stats) Merge(o Stats) {
 	s.SimplifyFallbacks += o.SimplifyFallbacks
 	s.SegsComputed += o.SegsComputed
 	s.SegsReused += o.SegsReused
+	s.SessionOpens += o.SessionOpens
+	s.SessionJobs += o.SessionJobs
+	s.SessionSegsComputed += o.SessionSegsComputed
+	s.SessionSegsReused += o.SessionSegsReused
 	if len(o.BatchOccupancy) > len(s.BatchOccupancy) {
 		grown := make([]uint64, len(o.BatchOccupancy))
 		copy(grown, s.BatchOccupancy)
@@ -101,6 +113,10 @@ type statShard struct {
 	simpFalls uint64
 	segsComp  uint64
 	segsReuse uint64
+	sessOpens uint64
+	sessJobs  uint64
+	sessComp  uint64
+	sessReuse uint64
 	schemes   map[string]uint64
 	occ       []uint64
 	// stages holds the shard's stage-latency histograms. It lives outside
@@ -157,6 +173,23 @@ func (s *statShard) recordSimplify(executed bool, computed, reused int) {
 	s.mu.Unlock()
 }
 
+// recordSession accounts one streaming-session operation: a session
+// registration (open) or a delta application with its segment
+// computed/reused split. Session work stays out of the job/batch/scheme
+// counters — it is a different serving mode, and folding it into the
+// one-shot numbers would skew the coalescing and cache-hit stories.
+func (s *statShard) recordSession(open bool, computed, reused int) {
+	s.mu.Lock()
+	if open {
+		s.sessOpens++
+	} else {
+		s.sessJobs++
+	}
+	s.sessComp += uint64(computed)
+	s.sessReuse += uint64(reused)
+	s.mu.Unlock()
+}
+
 // recordRecal accounts one stale-entry re-inspection, and whether it
 // switched the entry's scheme.
 func (s *statShard) recordRecal(switched bool) {
@@ -185,6 +218,10 @@ func (e *Engine) Stats() Stats {
 		s.SimplifyFallbacks += sh.simpFalls
 		s.SegsComputed += sh.segsComp
 		s.SegsReused += sh.segsReuse
+		s.SessionOpens += sh.sessOpens
+		s.SessionJobs += sh.sessJobs
+		s.SessionSegsComputed += sh.sessComp
+		s.SessionSegsReused += sh.sessReuse
 		for k, v := range sh.schemes {
 			s.Schemes[k] += v
 		}

@@ -42,6 +42,10 @@ func WriteEngineStats(w io.Writer, s engine.Stats) error {
 	counter("redux_engine_simplify_fallbacks_total", "Segment analyses that fell back to the direct path.", s.SimplifyFallbacks)
 	counter("redux_engine_segments_computed_total", "Segment partial sums accumulated fresh.", s.SegsComputed)
 	counter("redux_engine_segments_reused_total", "Segment partial sums served from an entry's segment cache.", s.SegsReused)
+	counter("redux_engine_session_opens_total", "Streaming sessions registered.", s.SessionOpens)
+	counter("redux_engine_session_jobs_total", "Delta batches applied through streaming sessions.", s.SessionJobs)
+	counter("redux_engine_session_segments_computed_total", "Session segments recomputed because a delta touched them.", s.SessionSegsComputed)
+	counter("redux_engine_session_segments_reused_total", "Session segments reused intact across a delta apply.", s.SessionSegsReused)
 
 	m.Family("redux_engine_cache_entries", "gauge", "Distinct pattern signatures currently cached.")
 	m.Sample("redux_engine_cache_entries", float64(s.CacheEntries))
@@ -89,6 +93,12 @@ func WriteServerStats(w io.Writer, sv ServerView) error {
 	m.Sample("redux_server_interned_loops", float64(st.InternedLoops))
 	m.Family("redux_server_inflight_jobs", "gauge", "Jobs currently in flight across all connections (queue depth).")
 	m.Sample("redux_server_inflight_jobs", float64(sv.Inflight()))
+	m.Family("redux_server_sessions", "gauge", "Streaming sessions currently resident.")
+	m.Sample("redux_server_sessions", float64(st.Sessions))
+	m.Family("redux_server_session_opens_total", "counter", "Streaming sessions admitted (OPEN_SESSION accepted).")
+	m.Sample("redux_server_session_opens_total", float64(st.SessionOpens))
+	m.Family("redux_server_session_evictions_total", "counter", "Sessions evicted by TTL expiry or the CLOCK sweep.")
+	m.Sample("redux_server_session_evictions_total", float64(st.SessionEvictions))
 
 	m.StageSet("redux_server_stage_latency_seconds",
 		"Per-stage job latency as the server saw it, end to end.", sv.StageStats())

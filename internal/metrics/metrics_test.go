@@ -18,22 +18,26 @@ import (
 // checked against the actual /metrics output — the two together make
 // "every engine counter is scrapeable" a compile-adjacent guarantee.
 var statsSeries = map[string]string{
-	"Jobs":              "redux_engine_jobs_total",
-	"CacheHits":         "redux_engine_cache_hits_total",
-	"CacheMisses":       "redux_engine_cache_misses_total",
-	"Batches":           "redux_engine_batches_total",
-	"Coalesced":         "redux_engine_coalesced_jobs_total",
-	"CacheEntries":      "redux_engine_cache_entries",
-	"CacheEvictions":    "redux_engine_cache_evictions_total",
-	"Recalibrations":    "redux_engine_recalibrations_total",
-	"SchemeSwitches":    "redux_engine_scheme_switches_total",
-	"SimplifiedBatches": "redux_engine_simplified_batches_total",
-	"SimplifyFallbacks": "redux_engine_simplify_fallbacks_total",
-	"SegsComputed":      "redux_engine_segments_computed_total",
-	"SegsReused":        "redux_engine_segments_reused_total",
-	"Schemes":           "redux_engine_scheme_jobs_total",
-	"BatchOccupancy":    "redux_engine_batch_occupancy_total",
-	"Stages":            "redux_engine_stage_latency_seconds",
+	"Jobs":                "redux_engine_jobs_total",
+	"CacheHits":           "redux_engine_cache_hits_total",
+	"CacheMisses":         "redux_engine_cache_misses_total",
+	"Batches":             "redux_engine_batches_total",
+	"Coalesced":           "redux_engine_coalesced_jobs_total",
+	"CacheEntries":        "redux_engine_cache_entries",
+	"CacheEvictions":      "redux_engine_cache_evictions_total",
+	"Recalibrations":      "redux_engine_recalibrations_total",
+	"SchemeSwitches":      "redux_engine_scheme_switches_total",
+	"SimplifiedBatches":   "redux_engine_simplified_batches_total",
+	"SimplifyFallbacks":   "redux_engine_simplify_fallbacks_total",
+	"SegsComputed":        "redux_engine_segments_computed_total",
+	"SegsReused":          "redux_engine_segments_reused_total",
+	"SessionOpens":        "redux_engine_session_opens_total",
+	"SessionJobs":         "redux_engine_session_jobs_total",
+	"SessionSegsComputed": "redux_engine_session_segments_computed_total",
+	"SessionSegsReused":   "redux_engine_session_segments_reused_total",
+	"Schemes":             "redux_engine_scheme_jobs_total",
+	"BatchOccupancy":      "redux_engine_batch_occupancy_total",
+	"Stages":              "redux_engine_stage_latency_seconds",
 }
 
 func sampleStats() engine.Stats {
@@ -44,6 +48,8 @@ func sampleStats() engine.Stats {
 		Recalibrations: 9, SchemeSwitches: 4,
 		SimplifiedBatches: 12, SimplifyFallbacks: 1,
 		SegsComputed: 30, SegsReused: 18,
+		SessionOpens: 3, SessionJobs: 25,
+		SessionSegsComputed: 40, SessionSegsReused: 160,
 		Schemes:        map[string]uint64{"rep": 60, "ll": 40},
 		BatchOccupancy: []uint64{0, 10, 15},
 		Stages: []obs.StageSummary{

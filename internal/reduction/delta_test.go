@@ -1,0 +1,337 @@
+package reduction
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// The delta-path contract is metamorphic: applying a delta stream to a
+// DeltaState and reading the rolling result must be bit-for-bit
+// (math.Float64bits) identical to mutating a mirror loop the same way
+// and rebuilding every segment from scratch through the naive.go
+// kernels in the same segment association. The tests below pin that
+// across random loops, ops, segment widths, and the three delta shapes
+// the issue names: batches straddling segment boundaries, empty
+// batches, and full-touch batches degenerating to a full recompute.
+
+// deltaLoop builds a loop with variable-length (including empty)
+// iterations so delta positions land on ragged segment boundaries.
+func deltaLoop(elems, iters int, op trace.Op, seed int64) *trace.Loop {
+	rng := rand.New(rand.NewSource(seed))
+	l := trace.NewLoop("delta", elems)
+	l.Op = op
+	l.WorkPerIter = 10
+	var refs []int32
+	for i := 0; i < iters; i++ {
+		refs = refs[:0]
+		for k := rng.Intn(4); k > 0; k-- {
+			refs = append(refs, int32(rng.Intn(elems)))
+		}
+		l.AddIter(refs...)
+	}
+	return l
+}
+
+// randomDeltas draws n distinct positions (sorted, strictly increasing)
+// with fresh random refs — the wire-contract shape of one SUBMIT_DELTA.
+func randomDeltas(rng *rand.Rand, l *trace.Loop, n int) []RefDelta {
+	total := l.TotalRefs()
+	if total == 0 {
+		return nil
+	}
+	if n > total {
+		n = total
+	}
+	seen := make(map[int32]bool, n)
+	ds := make([]RefDelta, 0, n)
+	for len(ds) < n {
+		p := int32(rng.Intn(total))
+		if seen[p] {
+			continue
+		}
+		seen[p] = true
+		ds = append(ds, RefDelta{Pos: p, Ref: int32(rng.Intn(l.NumElems))})
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Pos < ds[j].Pos })
+	return ds
+}
+
+// applyMirror replays a delta batch onto the oracle's mirror loop.
+func applyMirror(m *trace.Loop, ds []RefDelta) {
+	_, refs := m.Flat()
+	for _, d := range ds {
+		refs[d.Pos] = d.Ref
+	}
+}
+
+// oracleRebuild reduces l from scratch through the naive kernels only,
+// in the same segment association the delta path uses: per-segment
+// accumulation in iteration order, pairwise-tree combine.
+func oracleRebuild(l *trace.Loop, segIters int, dst []float64) {
+	iters := l.NumIters()
+	segs := (iters + segIters - 1) / segIters
+	if segs == 0 {
+		fill(dst, l.Op.Neutral())
+		return
+	}
+	parts := make([][]float64, segs)
+	for s := range parts {
+		parts[s] = make([]float64, l.NumElems)
+		fill(parts[s], l.Op.Neutral())
+		lo := s * segIters
+		hi := lo + segIters
+		if hi > iters {
+			hi = iters
+		}
+		naiveAccumFlat(parts[s], l, lo, hi)
+	}
+	combineTreeOp(dst, parts, 0, l.NumElems, l.Op)
+}
+
+func requireBitEqual(t *testing.T, want, got []float64, ctx string) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length %d vs %d", ctx, len(want), len(got))
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("%s: elem %d: session %x (%g) != oracle %x (%g)",
+				ctx, i, math.Float64bits(got[i]), got[i], math.Float64bits(want[i]), want[i])
+		}
+	}
+}
+
+// TestDeltaStateMatchesOracle is the core property test: random loops,
+// random delta streams, every op, multiple widths and proc counts —
+// every read must be bit-identical to the naive from-scratch rebuild.
+func TestDeltaStateMatchesOracle(t *testing.T) {
+	ops := []trace.Op{trace.OpAdd, trace.OpMul, trace.OpMax, trace.OpMin}
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(500 + trial)))
+		op := ops[trial%len(ops)]
+		elems := 1 + rng.Intn(200)
+		iters := rng.Intn(400)
+		procs := 1 + rng.Intn(4)
+		segIters := 1 + rng.Intn(64)
+		if segs := (iters + segIters - 1) / segIters; segs > maxSegTreeWidth {
+			segIters = (iters + maxSegTreeWidth - 1) / maxSegTreeWidth
+		}
+		l := deltaLoop(elems, iters, op, int64(900+trial))
+		mirror := l.Clone()
+
+		dst := make([]float64, elems)
+		st, err := NewDeltaState(l, segIters, procs, nil, dst)
+		if err != nil {
+			t.Fatalf("trial %d: NewDeltaState: %v", trial, err)
+		}
+		want := make([]float64, elems)
+		oracleRebuild(mirror, st.SegIters(), want)
+		requireBitEqual(t, want, dst, "open read")
+
+		for step := 0; step < 6; step++ {
+			ds := randomDeltas(rng, l, rng.Intn(12))
+			if _, err := st.Apply(ds, procs, nil, dst); err != nil {
+				t.Fatalf("trial %d step %d: Apply: %v", trial, step, err)
+			}
+			applyMirror(mirror, ds)
+			oracleRebuild(mirror, st.SegIters(), want)
+			requireBitEqual(t, want, dst, "delta read")
+		}
+	}
+}
+
+// TestDeltaStateStraddlesSegments forces every batch to touch the last
+// reference of one segment and the first of the next, so recomputation
+// must invalidate both sides of each boundary it straddles.
+func TestDeltaStateStraddlesSegments(t *testing.T) {
+	const elems, iters, segIters, procs = 64, 120, 16, 2
+	l := trace.NewLoop("straddle", elems)
+	l.Op = trace.OpAdd
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < iters; i++ {
+		l.AddIter(int32(rng.Intn(elems)), int32(rng.Intn(elems)))
+	}
+	mirror := l.Clone()
+	dst := make([]float64, elems)
+	st, err := NewDeltaState(l, segIters, procs, nil, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs, _ := l.Flat()
+	want := make([]float64, elems)
+	for seg := 1; seg < st.Segments(); seg++ {
+		boundary := offs[seg*segIters] // first ref of segment seg
+		ds := []RefDelta{
+			{Pos: boundary - 1, Ref: int32(rng.Intn(elems))},
+			{Pos: boundary, Ref: int32(rng.Intn(elems))},
+		}
+		stats, err := st.Apply(ds, procs, nil, dst)
+		if err != nil {
+			t.Fatalf("segment %d: %v", seg, err)
+		}
+		if stats.Computed != 2 || stats.Reused != st.Segments()-2 {
+			t.Fatalf("segment %d: computed %d reused %d, want exactly the two straddled segments fresh",
+				seg, stats.Computed, stats.Reused)
+		}
+		applyMirror(mirror, ds)
+		oracleRebuild(mirror, segIters, want)
+		requireBitEqual(t, want, dst, "straddle read")
+	}
+}
+
+// TestDeltaStateEmptyBatch pins the empty-delta shape: nothing is
+// recomputed, every segment is reused, and the read still matches the
+// oracle exactly.
+func TestDeltaStateEmptyBatch(t *testing.T) {
+	l := deltaLoop(50, 90, trace.OpMax, 11)
+	dst := make([]float64, 50)
+	st, err := NewDeltaState(l, 8, 2, nil, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range [][]RefDelta{nil, {}} {
+		stats, err := st.Apply(ds, 2, nil, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Computed != 0 || stats.Reused != st.Segments() {
+			t.Fatalf("empty batch: computed %d reused %d, want 0/%d", stats.Computed, stats.Reused, st.Segments())
+		}
+		want := make([]float64, 50)
+		oracleRebuild(l, st.SegIters(), want)
+		requireBitEqual(t, want, dst, "empty-batch read")
+	}
+}
+
+// TestDeltaStateFullTouch pins the degenerate full-recompute shape: a
+// batch updating one reference in every segment recomputes all of them,
+// and updating every reference is still exact.
+func TestDeltaStateFullTouch(t *testing.T) {
+	const elems, iters, segIters, procs = 40, 96, 12, 3
+	l := trace.NewLoop("fulltouch", elems)
+	l.Op = trace.OpAdd
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < iters; i++ {
+		l.AddIter(int32(rng.Intn(elems)), int32(rng.Intn(elems)), int32(rng.Intn(elems)))
+	}
+	mirror := l.Clone()
+	dst := make([]float64, elems)
+	st, err := NewDeltaState(l, segIters, procs, nil, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offs, _ := l.Flat()
+
+	// One touch per segment: all segments recompute, none reused.
+	var ds []RefDelta
+	for seg := 0; seg < st.Segments(); seg++ {
+		ds = append(ds, RefDelta{Pos: offs[seg*segIters], Ref: int32(rng.Intn(elems))})
+	}
+	stats, err := st.Apply(ds, procs, nil, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Computed != st.Segments() || stats.Reused != 0 {
+		t.Fatalf("full touch: computed %d reused %d, want %d/0", stats.Computed, stats.Reused, st.Segments())
+	}
+	applyMirror(mirror, ds)
+	want := make([]float64, elems)
+	oracleRebuild(mirror, segIters, want)
+	requireBitEqual(t, want, dst, "one-per-segment read")
+
+	// Every reference at once: the fully-degenerate batch.
+	total := l.TotalRefs()
+	ds = ds[:0]
+	for p := 0; p < total; p++ {
+		ds = append(ds, RefDelta{Pos: int32(p), Ref: int32(rng.Intn(elems))})
+	}
+	if _, err := st.Apply(ds, procs, nil, dst); err != nil {
+		t.Fatal(err)
+	}
+	applyMirror(mirror, ds)
+	oracleRebuild(mirror, segIters, want)
+	requireBitEqual(t, want, dst, "all-refs read")
+}
+
+// TestDeltaStateRejectsInvalid pins the validation contract: a bad batch
+// is rejected before any mutation, so a subsequent valid read is
+// unchanged.
+func TestDeltaStateRejectsInvalid(t *testing.T) {
+	l := deltaLoop(30, 60, trace.OpAdd, 31)
+	dst := make([]float64, 30)
+	st, err := NewDeltaState(l, 8, 2, nil, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]float64, 30)
+	copy(before, dst)
+	total := int32(l.TotalRefs())
+	bad := [][]RefDelta{
+		{{Pos: -1, Ref: 0}},
+		{{Pos: total, Ref: 0}},
+		{{Pos: 3, Ref: 0}, {Pos: 3, Ref: 1}},         // not strictly increasing
+		{{Pos: 5, Ref: 2}, {Pos: 4, Ref: 1}},         // descending
+		{{Pos: 0, Ref: 30}},                          // ref out of range
+		{{Pos: 0, Ref: -1}},                          //
+		{{Pos: 1, Ref: 4}, {Pos: 2, Ref: int32(-7)}}, // valid prefix, bad tail
+	}
+	for i, ds := range bad {
+		if _, err := st.Apply(ds, 2, nil, dst); err == nil {
+			t.Fatalf("bad batch %d accepted", i)
+		}
+	}
+	// State must be untouched: an empty apply reads the original sum.
+	if _, err := st.Apply(nil, 2, nil, dst); err != nil {
+		t.Fatal(err)
+	}
+	requireBitEqual(t, before, dst, "post-rejection read")
+
+	if _, err := st.Apply(nil, 2, nil, make([]float64, 7)); err == nil {
+		t.Fatal("short destination accepted")
+	}
+}
+
+// TestDeltaStateZeroIters covers the no-segment edge: a loop with no
+// iterations reduces to the neutral array and accepts only empty deltas.
+func TestDeltaStateZeroIters(t *testing.T) {
+	for _, op := range []trace.Op{trace.OpAdd, trace.OpMul, trace.OpMax, trace.OpMin} {
+		l := trace.NewLoop("empty", 5)
+		l.Op = op
+		dst := make([]float64, 5)
+		st, err := NewDeltaState(l, 0, 2, nil, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range dst {
+			if math.Float64bits(v) != math.Float64bits(op.Neutral()) {
+				t.Fatalf("op %v elem %d: %g, want neutral %g", op, i, v, op.Neutral())
+			}
+		}
+		if _, err := st.Apply(nil, 2, nil, dst); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Apply([]RefDelta{{Pos: 0, Ref: 0}}, 2, nil, dst); err == nil {
+			t.Fatal("delta against an empty loop accepted")
+		}
+	}
+}
+
+// TestDeltaStateBytes sanity-checks the admission accounting estimate
+// against the live state's own figure.
+func TestDeltaStateBytes(t *testing.T) {
+	l := deltaLoop(100, 300, trace.OpAdd, 41)
+	st, err := NewDeltaState(l, 0, 4, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := st.Bytes(), DeltaStateBytes(l, 0, 4); got != want {
+		t.Fatalf("Bytes %d != DeltaStateBytes %d", got, want)
+	}
+	if st.Bytes() <= 0 {
+		t.Fatal("non-positive footprint")
+	}
+}

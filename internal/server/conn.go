@@ -10,7 +10,9 @@ import (
 
 	"net"
 
+	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/reduction"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -32,6 +34,7 @@ var tlPool = sync.Pool{New: func() any { return new(obs.Timeline) }}
 type conn struct {
 	srv *Server
 	nc  net.Conn
+	id  uint64 // session-store owner key (client session ids are conn-scoped)
 
 	writeCh   chan *wire.Buffer
 	writeDone chan struct{}
@@ -42,16 +45,19 @@ type conn struct {
 	draining atomic.Bool
 
 	// Decode scratch, reused frame after frame (only the read loop
-	// touches it; interning clones before anything escapes).
-	scratch     trace.Loop
-	scratchOff  []int32
-	scratchRefs []int32
+	// touches it; interning clones before anything escapes, and
+	// OPEN_SESSION clones before handing off to its waiter).
+	scratch      trace.Loop
+	scratchOff   []int32
+	scratchRefs  []int32
+	scratchDelta []reduction.RefDelta
 }
 
 func newConn(s *Server, nc net.Conn) *conn {
 	return &conn{
 		srv:       s,
 		nc:        nc,
+		id:        s.connIDs.Add(1),
 		writeCh:   make(chan *wire.Buffer, 64),
 		writeDone: make(chan struct{}),
 	}
@@ -141,13 +147,27 @@ func (c *conn) serve() {
 			c.handleStatsReq(f.JobID)
 			continue
 		}
+		if f.Type == wire.FrameOpenSession {
+			c.handleOpenSession(f)
+			continue
+		}
+		if f.Type == wire.FrameDelta {
+			c.handleDelta(f)
+			continue
+		}
+		if f.Type == wire.FrameCloseSession {
+			c.handleCloseSession(f)
+			continue
+		}
 		c.sendError(0, fmt.Sprintf("protocol violation: unexpected %v frame", f.Type))
 		break
 	}
 
 	// Drain: every accepted job resolves and its response is written
-	// before the socket closes.
+	// before the socket closes; then the connection's resident sessions
+	// are torn down (their owner is gone, no delta can ever reach them).
 	c.jobWG.Wait()
+	c.srv.sessions.dropConn(c.id)
 	close(c.writeCh)
 	<-c.writeDone
 }
@@ -286,6 +306,204 @@ func (c *conn) handleSubmit(f wire.Frame) {
 		// The result array is fully encoded into buf; recycle it for a
 		// later submission's destination.
 		c.srv.putDst(res.Values)
+	}()
+}
+
+// admit charges one job against the per-connection and global in-flight
+// budgets, answering BUSY itself when either is exhausted. On success the
+// caller must invoke the returned release exactly once.
+func (c *conn) admit(jobID uint64) (func(), bool) {
+	if c.inflight.Load() >= int64(c.srv.cfg.MaxInflightPerConn) {
+		c.sendBusy(jobID, wire.BusyConn)
+		return nil, false
+	}
+	if c.srv.inflight.Add(1) > int64(c.srv.cfg.MaxInflightGlobal) {
+		c.srv.inflight.Add(-1)
+		c.sendBusy(jobID, wire.BusyGlobal)
+		return nil, false
+	}
+	c.inflight.Add(1)
+	return func() {
+		c.inflight.Add(-1)
+		c.srv.inflight.Add(-1)
+	}, true
+}
+
+// sendSessionResult encodes and sends one session operation's RESULT,
+// folding its timeline into the server's stage histograms. The engine
+// leg's stages (queue wait, execute) ride the Result; encode and the
+// uncovered remainder are attributed here, mirroring the submit waiter.
+func (c *conn) sendSessionResult(jobID uint64, res *engine.Result, tl *obs.Timeline, t0 time.Time) {
+	buf := wire.GetBuffer()
+	encStart := time.Now()
+	buf.B = wire.AppendResult(buf.B, jobID, res)
+	tl.Add(obs.StageQueueWait, res.QueueWait)
+	tl.Add(obs.StageExecute, res.Elapsed)
+	tl.Add(obs.StageEncode, time.Since(encStart))
+	total := time.Since(t0)
+	tl.Add(obs.StageMerge, total-time.Duration(tl.TotalNs()))
+	c.srv.observe(tl, total)
+	tlPool.Put(tl)
+	c.send(buf)
+	c.srv.putDst(res.Values)
+}
+
+// handleOpenSession admits, decodes and registers one streaming session.
+// Admission has a third gate beyond the in-flight budgets: the session
+// store's residency and byte budgets, checked against the loop's
+// estimated resident footprint before any state is built, with CLOCK
+// eviction making room and BUSY(BusySession) when it cannot. The open
+// itself (a full segment compute) runs on a waiter goroutine so the read
+// loop keeps pipelining.
+func (c *conn) handleOpenSession(f wire.Frame) {
+	t0 := time.Now()
+	release, ok := c.admit(f.JobID)
+	if !ok {
+		return
+	}
+	sd, isSession := c.srv.disp.(SessionDispatcher)
+	if !isSession {
+		// The gateway's routed dispatcher cannot pin resident state to
+		// one backend; job-scoped refusal, the connection lives.
+		release()
+		c.sendError(f.JobID, "sessions unsupported by this peer")
+		return
+	}
+	var sid uint64
+	var err error
+	sid, c.scratchOff, c.scratchRefs, err = f.DecodeOpenSessionInto(&c.scratch, c.scratchOff, c.scratchRefs, c.srv.cfg.MaxElems)
+	if err != nil {
+		release()
+		c.sendError(f.JobID, err.Error())
+		return
+	}
+	decodeDone := time.Now()
+	key := sessKey{conn: c.id, sid: sid}
+	if c.srv.sessions.get(key) != nil {
+		release()
+		c.sendError(f.JobID, fmt.Sprintf("session %d already open on this connection", sid))
+		return
+	}
+	est := int64(reduction.DeltaStateBytes(&c.scratch, 0, c.srv.disp.Procs()))
+	if err := c.srv.sessions.reserve(est); err != nil {
+		release()
+		c.sendBusy(f.JobID, wire.BusySession)
+		return
+	}
+	// The scratch loop is reused by the very next frame; the session
+	// needs its own copy (the engine's deep copy inside NewDeltaState
+	// then owns the mutable refs).
+	l := c.scratch.Clone()
+	tl := tlPool.Get().(*obs.Timeline)
+	tl.Reset()
+	tl.TraceID = obs.NewTraceID()
+	tl.Add(obs.StageDecode, decodeDone.Sub(t0))
+
+	c.jobWG.Add(1)
+	jobID := f.JobID
+	go func() {
+		defer c.jobWG.Done()
+		defer release()
+		es, res, err := sd.OpenSession(l, 0, c.srv.getDst(l.NumElems))
+		if err != nil {
+			c.srv.sessions.abort(est)
+			tlPool.Put(tl)
+			c.sendError(jobID, err.Error())
+			return
+		}
+		c.srv.sessions.commit(&serverSession{
+			key:   key,
+			es:    es,
+			elems: l.NumElems,
+			bytes: int64(es.Bytes()),
+		}, est)
+		c.sendSessionResult(jobID, &res, tl, t0)
+	}()
+}
+
+// handleDelta admits and decodes one delta batch, resolves its session
+// (touching the TTL clock and CLOCK bit), and applies it on a waiter
+// goroutine. An unknown, expired or evicted session draws the typed
+// session-gone ERROR — never a stale sum.
+func (c *conn) handleDelta(f wire.Frame) {
+	t0 := time.Now()
+	release, ok := c.admit(f.JobID)
+	if !ok {
+		return
+	}
+	var sid uint64
+	var err error
+	sid, c.scratchDelta, err = f.DecodeDelta(c.scratchDelta)
+	if err != nil {
+		release()
+		c.sendError(f.JobID, err.Error())
+		return
+	}
+	decodeDone := time.Now()
+	ss := c.srv.sessions.get(sessKey{conn: c.id, sid: sid})
+	if ss == nil {
+		release()
+		c.sendError(f.JobID, fmt.Sprintf("%sno session %d on this connection", wire.SessionGonePrefix, sid))
+		return
+	}
+	// The decode scratch is reused by the next frame; the waiter gets its
+	// own copy of the (small) batch.
+	deltas := append([]reduction.RefDelta(nil), c.scratchDelta...)
+	tl := tlPool.Get().(*obs.Timeline)
+	tl.Reset()
+	tl.TraceID = obs.NewTraceID()
+	tl.Add(obs.StageDecode, decodeDone.Sub(t0))
+
+	c.jobWG.Add(1)
+	jobID := f.JobID
+	go func() {
+		defer c.jobWG.Done()
+		defer release()
+		res, err := ss.es.Apply(deltas, c.srv.getDst(ss.elems))
+		if err != nil {
+			tlPool.Put(tl)
+			if errors.Is(err, engine.ErrSessionClosed) {
+				// Evicted between the lookup above and the apply; the
+				// client re-opens rather than trusting stale state.
+				c.sendError(jobID, fmt.Sprintf("%ssession %d evicted", wire.SessionGonePrefix, sid))
+			} else {
+				c.sendError(jobID, err.Error())
+			}
+			return
+		}
+		c.sendSessionResult(jobID, &res, tl, t0)
+	}()
+}
+
+// handleCloseSession retires one session, answering an empty RESULT that
+// carries the final generation. Teardown waits for an in-flight apply
+// (the engine session serializes its operations), so it runs on a waiter
+// goroutine like every other potentially blocking operation.
+func (c *conn) handleCloseSession(f wire.Frame) {
+	release, ok := c.admit(f.JobID)
+	if !ok {
+		return
+	}
+	sid, err := f.DecodeCloseSession()
+	if err != nil {
+		release()
+		c.sendError(f.JobID, err.Error())
+		return
+	}
+	c.jobWG.Add(1)
+	jobID := f.JobID
+	go func() {
+		defer c.jobWG.Done()
+		defer release()
+		ss, found := c.srv.sessions.close(sessKey{conn: c.id, sid: sid})
+		if !found {
+			c.sendError(jobID, fmt.Sprintf("%sno session %d on this connection", wire.SessionGonePrefix, sid))
+			return
+		}
+		res := engine.Result{Scheme: "session", SessionGen: ss.es.Gen()}
+		buf := wire.GetBuffer()
+		buf.B = wire.AppendResult(buf.B, jobID, &res)
+		c.send(buf)
 	}()
 }
 

@@ -65,6 +65,18 @@ type Config struct {
 	TraceSlow time.Duration
 	// TraceRingSize is the slow-job trace ring capacity (default 64).
 	TraceRingSize int
+	// MaxSessions bounds resident streaming sessions across all
+	// connections (default 256); past it OPEN_SESSION evicts the
+	// coldest session by CLOCK, and answers BUSY(BusySession) only when
+	// nothing is evictable.
+	MaxSessions int
+	// SessionTTL evicts sessions idle longer than this (default 2m). An
+	// evicted session's next delta draws the typed session-gone ERROR.
+	SessionTTL time.Duration
+	// MaxSessionBytes bounds the summed resident footprint of all
+	// sessions (default 64 MiB), enforced at OPEN_SESSION admission
+	// alongside MaxSessions.
+	MaxSessionBytes int64
 }
 
 func (c *Config) fill() {
@@ -89,15 +101,26 @@ func (c *Config) fill() {
 	if c.TraceRingSize <= 0 {
 		c.TraceRingSize = 64
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 2 * time.Minute
+	}
+	if c.MaxSessionBytes <= 0 {
+		c.MaxSessionBytes = 64 << 20
+	}
 }
 
 // Server serves the wire protocol over one Dispatcher — the local shared
 // engine for reduxd (New), a routed backend pool for reduxgw
 // (NewWithDispatcher). Feed it listeners via Serve, stop with Shutdown.
 type Server struct {
-	disp   Dispatcher
-	cfg    Config
-	intern *internTable
+	disp     Dispatcher
+	cfg      Config
+	intern   *internTable
+	sessions *sessionStore
+	connIDs  atomic.Uint64 // distinguishes session owners across connections
 
 	inflight atomic.Int64 // global in-flight jobs (admission control)
 	dstPool  sync.Pool    // recycled result destination arrays
@@ -133,12 +156,13 @@ func New(eng *engine.Engine, cfg Config) *Server {
 func NewWithDispatcher(d Dispatcher, cfg Config) *Server {
 	cfg.fill()
 	return &Server{
-		disp:   d,
-		cfg:    cfg,
-		intern: newInternTable(16, cfg.MaxInternedLoops),
-		lns:    make(map[net.Listener]struct{}),
-		conns:  make(map[*conn]struct{}),
-		ring:   obs.NewTraceRing(cfg.TraceRingSize),
+		disp:     d,
+		cfg:      cfg,
+		intern:   newInternTable(16, cfg.MaxInternedLoops),
+		sessions: newSessionStore(cfg.MaxSessions, cfg.SessionTTL, cfg.MaxSessionBytes),
+		lns:      make(map[net.Listener]struct{}),
+		conns:    make(map[*conn]struct{}),
+		ring:     obs.NewTraceRing(cfg.TraceRingSize),
 	}
 }
 
@@ -242,14 +266,24 @@ type Stats struct {
 	InternHits uint64
 	// InternedLoops is the current canonical-loop residency.
 	InternedLoops int
+	// Sessions is the current resident streaming-session count.
+	Sessions int
+	// SessionOpens counts sessions admitted over the server's lifetime.
+	SessionOpens uint64
+	// SessionEvictions counts sessions torn down by TTL expiry or CLOCK
+	// pressure (explicit CLOSE_SESSION is neither).
+	SessionEvictions uint64
 }
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Busy:          s.busy.Load(),
-		InternHits:    s.interned.Load(),
-		InternedLoops: s.intern.len(),
+		Busy:             s.busy.Load(),
+		InternHits:       s.interned.Load(),
+		InternedLoops:    s.intern.len(),
+		Sessions:         s.sessions.len(),
+		SessionOpens:     s.sessions.opens.Load(),
+		SessionEvictions: s.sessions.evictions.Load(),
 	}
 }
 

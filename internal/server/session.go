@@ -1,0 +1,251 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+// SessionDispatcher is the optional capability a Dispatcher implements
+// when it can host streaming sessions. The daemon's engine dispatcher
+// does; the gateway's routing dispatcher does not (a session's resident
+// state is pinned to one engine, which cuts across fingerprint routing),
+// so its connections answer OPEN_SESSION with a job-scoped ERROR.
+type SessionDispatcher interface {
+	// OpenSession registers l (cloned by the callee — the session
+	// mutates its loop) and returns the live session with its initial
+	// reduction.
+	OpenSession(l *trace.Loop, segIters int, dst []float64) (*engine.Session, engine.Result, error)
+}
+
+func (d engineDispatcher) OpenSession(l *trace.Loop, segIters int, dst []float64) (*engine.Session, engine.Result, error) {
+	return d.eng.OpenSession(l, segIters, dst)
+}
+
+// errSessionBudget reports that admission could not make room for a new
+// session even after eviction — the connection answers BUSY(BusySession).
+var errSessionBudget = errors.New("server: session budget exhausted")
+
+// sessKey names one session: sessions are connection-scoped (ids are
+// client-assigned), so the owning connection's id disambiguates equal
+// sids from different clients.
+type sessKey struct{ conn, sid uint64 }
+
+// serverSession is one resident streaming session plus the bookkeeping
+// the store's TTL and CLOCK eviction run on.
+type serverSession struct {
+	key   sessKey
+	es    *engine.Session
+	elems int
+	bytes int64
+
+	lastUsed atomic.Int64 // unix nanos of the last touch (TTL)
+	ref      atomic.Bool  // CLOCK second-chance bit, set on every touch
+}
+
+// sessionStore is the server's session table: the intern table's CLOCK
+// eviction story extended with a TTL and a resident-byte budget, both
+// enforced at OPEN_SESSION admission. One mutex guards the table —
+// session operations are orders of magnitude heavier than the lookups
+// the sharded intern table serves, so sharding buys nothing here.
+type sessionStore struct {
+	maxSessions int
+	ttl         time.Duration
+	maxBytes    int64
+
+	mu       sync.Mutex
+	m        map[sessKey]*serverSession
+	ring     []*serverSession // CLOCK ring with nil holes, compacted lazily
+	hand     int
+	reserved int   // admissions between reserve and commit
+	bytes    int64 // resident + reserved bytes
+
+	opens     atomic.Uint64
+	evictions atomic.Uint64
+}
+
+func newSessionStore(maxSessions int, ttl time.Duration, maxBytes int64) *sessionStore {
+	return &sessionStore{
+		maxSessions: maxSessions,
+		ttl:         ttl,
+		maxBytes:    maxBytes,
+		m:           make(map[sessKey]*serverSession),
+	}
+}
+
+// reserve admits one prospective session of estimated size est, evicting
+// expired then idle sessions until both the count and byte budgets have
+// room. The reservation holds the budget until commit or abort, so two
+// racing opens cannot both squeeze through the same headroom. The
+// estimate is checked before any state is built — a loop whose resident
+// footprint could never fit is rejected for the price of a BUSY frame.
+func (st *sessionStore) reserve(est int64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.expireLocked(time.Now().UnixNano())
+	for len(st.m)+st.reserved >= st.maxSessions || st.bytes+est > st.maxBytes {
+		if !st.evictLocked() {
+			return errSessionBudget
+		}
+	}
+	st.reserved++
+	st.bytes += est
+	return nil
+}
+
+// commit installs the opened session under its reservation, adjusting
+// the byte account from the estimate to the session's actual footprint.
+func (st *sessionStore) commit(ss *serverSession, est int64) {
+	ss.lastUsed.Store(time.Now().UnixNano())
+	ss.ref.Store(true)
+	st.mu.Lock()
+	st.reserved--
+	st.bytes += ss.bytes - est
+	st.m[ss.key] = ss
+	st.ring = append(st.ring, ss)
+	st.mu.Unlock()
+	st.opens.Add(1)
+}
+
+// abort releases a reservation whose open failed.
+func (st *sessionStore) abort(est int64) {
+	st.mu.Lock()
+	st.reserved--
+	st.bytes -= est
+	st.mu.Unlock()
+}
+
+// get returns the live session for key, touching its TTL clock and
+// CLOCK bit — or nil when the key is unknown, expired or evicted. An
+// expired session is torn down here, so a delta racing the TTL boundary
+// gets the typed session-gone answer, never a stale sum.
+func (st *sessionStore) get(key sessKey) *serverSession {
+	now := time.Now().UnixNano()
+	st.mu.Lock()
+	ss := st.m[key]
+	if ss == nil {
+		st.mu.Unlock()
+		return nil
+	}
+	if now-ss.lastUsed.Load() > int64(st.ttl) {
+		st.removeLocked(ss)
+		st.evictions.Add(1)
+		st.mu.Unlock()
+		ss.es.Close()
+		return nil
+	}
+	ss.lastUsed.Store(now)
+	ss.ref.Store(true)
+	st.mu.Unlock()
+	return ss
+}
+
+// close removes and tears down the session for key, reporting whether it
+// was resident.
+func (st *sessionStore) close(key sessKey) (*serverSession, bool) {
+	st.mu.Lock()
+	ss := st.m[key]
+	if ss == nil {
+		st.mu.Unlock()
+		return nil, false
+	}
+	st.removeLocked(ss)
+	st.mu.Unlock()
+	ss.es.Close()
+	return ss, true
+}
+
+// dropConn tears down every session the finished connection owned.
+func (st *sessionStore) dropConn(connID uint64) {
+	var dead []*serverSession
+	st.mu.Lock()
+	for key, ss := range st.m {
+		if key.conn == connID {
+			dead = append(dead, ss)
+			st.removeLocked(ss)
+		}
+	}
+	st.mu.Unlock()
+	for _, ss := range dead {
+		ss.es.Close()
+	}
+}
+
+// len reports resident sessions.
+func (st *sessionStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.m)
+}
+
+// expireLocked sweeps TTL-expired sessions out (mu held). Expiry counts
+// as eviction for the stats — either way the client's next delta draws
+// the typed session-gone error.
+func (st *sessionStore) expireLocked(now int64) {
+	for _, ss := range st.ring {
+		if ss != nil && now-ss.lastUsed.Load() > int64(st.ttl) {
+			st.removeLocked(ss)
+			st.evictions.Add(1)
+			// Closing under mu is fine: Close only takes the session's own
+			// mutex, which no store path holds.
+			ss.es.Close()
+		}
+	}
+}
+
+// evictLocked runs one CLOCK pass (mu held): the hand walks the ring
+// clearing second-chance bits until it finds a session not touched since
+// its last pass, and tears it down. Returns false when nothing is
+// resident to evict.
+func (st *sessionStore) evictLocked() bool {
+	if len(st.m) == 0 {
+		return false
+	}
+	for sweep := 0; sweep < 2*len(st.ring); sweep++ {
+		if st.hand >= len(st.ring) {
+			st.hand = 0
+		}
+		ss := st.ring[st.hand]
+		st.hand++
+		if ss == nil {
+			continue
+		}
+		if ss.ref.CompareAndSwap(true, false) {
+			continue
+		}
+		st.removeLocked(ss)
+		st.evictions.Add(1)
+		ss.es.Close()
+		return true
+	}
+	return false
+}
+
+// removeLocked unlinks ss from the table, ring and byte account (mu
+// held). The caller closes the engine session.
+func (st *sessionStore) removeLocked(ss *serverSession) {
+	delete(st.m, ss.key)
+	st.bytes -= ss.bytes
+	for i, r := range st.ring {
+		if r == ss {
+			st.ring[i] = nil
+			break
+		}
+	}
+	// Compact once holes dominate, so the CLOCK hand's walk stays
+	// proportional to residency.
+	if len(st.ring) > 16 && len(st.ring) > 2*len(st.m) {
+		live := st.ring[:0]
+		for _, r := range st.ring {
+			if r != nil {
+				live = append(live, r)
+			}
+		}
+		st.ring = live
+		st.hand = 0
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 // shutdownTimeout bounds one component's graceful drain in teardown.
@@ -179,4 +180,18 @@ func DialPool(t testing.TB, addr string, ccfg client.Config) *client.Client {
 	}
 	t.Cleanup(func() { cl.Close() })
 	return cl
+}
+
+// StartSession opens a streaming session over cl and registers its Close
+// with t.Cleanup (harmless next to an explicit close, or when the server
+// evicted the session mid-test — Session.Close is a no-op both times).
+// The returned result is the initial reduction at generation 1.
+func StartSession(t testing.TB, cl *client.Client, l *trace.Loop) (*client.Session, engine.Result) {
+	t.Helper()
+	sess, res, err := cl.OpenSession(l)
+	if err != nil {
+		t.Fatalf("testkit: open session: %v", err)
+	}
+	t.Cleanup(func() { sess.Close() })
+	return sess, res
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/reduction"
 	"repro/internal/trace"
 )
 
@@ -137,85 +138,9 @@ func (f Frame) DecodeSubmitInto(l *trace.Loop, offsets, refs []int32, maxElems i
 		return offsets, refs, 0, err
 	}
 	c := cur{b: f.Body}
-	name, err := c.str(maxStringLen)
+	offsets, refs, err := decodeLoopBody(&c, l, offsets, refs, maxElems)
 	if err != nil {
 		return offsets, refs, 0, err
-	}
-	numElems, err := c.intField("NumElems", maxElems)
-	if err != nil {
-		return offsets, refs, 0, err
-	}
-	if numElems == 0 {
-		return offsets, refs, 0, fmt.Errorf("%w: zero NumElems", ErrCorrupt)
-	}
-	elemBytes, err := c.intField("ElemBytes", 1<<16)
-	if err != nil {
-		return offsets, refs, 0, err
-	}
-	op, err := c.intField("Op", int(trace.OpMin))
-	if err != nil {
-		return offsets, refs, 0, err
-	}
-	work, err := c.f64()
-	if err != nil {
-		return offsets, refs, 0, err
-	}
-	dataRefs, err := c.f64()
-	if err != nil {
-		return offsets, refs, 0, err
-	}
-	invocations, err := c.intField("Invocations", math.MaxInt32)
-	if err != nil {
-		return offsets, refs, 0, err
-	}
-	// Each iteration length and each reference delta occupies at least one
-	// encoded byte, so the remaining payload bounds both counts — a frame
-	// cannot make the decoder allocate more than it shipped.
-	numIters, err := c.intField("NumIters", c.remaining())
-	if err != nil {
-		return offsets, refs, 0, err
-	}
-	numRefs, err := c.intField("NumRefs", c.remaining())
-	if err != nil {
-		return offsets, refs, 0, err
-	}
-
-	if cap(offsets) < numIters+1 {
-		offsets = make([]int32, 0, numIters+1)
-	}
-	offsets = offsets[:0]
-	offsets = append(offsets, 0)
-	total := 0
-	for i := 0; i < numIters; i++ {
-		n, err := c.intField("iteration length", numRefs)
-		if err != nil {
-			return offsets, refs, 0, err
-		}
-		total += n
-		if total > numRefs {
-			return offsets, refs, 0, fmt.Errorf("%w: iteration lengths exceed NumRefs %d", ErrCorrupt, numRefs)
-		}
-		offsets = append(offsets, int32(total))
-	}
-	if total != numRefs {
-		return offsets, refs, 0, fmt.Errorf("%w: iteration lengths sum to %d, want NumRefs %d", ErrCorrupt, total, numRefs)
-	}
-
-	if cap(refs) < numRefs {
-		refs = make([]int32, 0, numRefs)
-	}
-	refs = refs[:0]
-	prev := int64(0)
-	for i := 0; i < numRefs; i++ {
-		d, err := c.varint()
-		if err != nil {
-			return offsets, refs, 0, err
-		}
-		prev += d
-		if prev < 0 || prev >= int64(numElems) {
-			return offsets, refs, 0, fmt.Errorf("%w: ref %d out of range [0,%d)", ErrCorrupt, prev, numElems)
-		}
-		refs = append(refs, int32(prev))
 	}
 	// Optional trailing trace ID (HELLO-flags evolution rule): absent from
 	// peers that predate it, decoded as 0.
@@ -227,6 +152,95 @@ func (f Frame) DecodeSubmitInto(l *trace.Loop, offsets, refs []int32, maxElems i
 	}
 	if c.remaining() != 0 {
 		return offsets, refs, 0, fmt.Errorf("%w: %d trailing bytes after submit body", ErrCorrupt, c.remaining())
+	}
+	return offsets, refs, traceID, nil
+}
+
+// decodeLoopBody decodes the loop grammar shared by SUBMIT and
+// OPEN_SESSION bodies into l, leaving the cursor on whatever trailing
+// fields follow. It carries all of DecodeSubmitInto's defenses: counts
+// bounded by the remaining payload, iteration lengths reconciled against
+// NumRefs, every reference bounds-checked.
+func decodeLoopBody(c *cur, l *trace.Loop, offsets, refs []int32, maxElems int) ([]int32, []int32, error) {
+	name, err := c.str(maxStringLen)
+	if err != nil {
+		return offsets, refs, err
+	}
+	numElems, err := c.intField("NumElems", maxElems)
+	if err != nil {
+		return offsets, refs, err
+	}
+	if numElems == 0 {
+		return offsets, refs, fmt.Errorf("%w: zero NumElems", ErrCorrupt)
+	}
+	elemBytes, err := c.intField("ElemBytes", 1<<16)
+	if err != nil {
+		return offsets, refs, err
+	}
+	op, err := c.intField("Op", int(trace.OpMin))
+	if err != nil {
+		return offsets, refs, err
+	}
+	work, err := c.f64()
+	if err != nil {
+		return offsets, refs, err
+	}
+	dataRefs, err := c.f64()
+	if err != nil {
+		return offsets, refs, err
+	}
+	invocations, err := c.intField("Invocations", math.MaxInt32)
+	if err != nil {
+		return offsets, refs, err
+	}
+	// Each iteration length and each reference delta occupies at least one
+	// encoded byte, so the remaining payload bounds both counts — a frame
+	// cannot make the decoder allocate more than it shipped.
+	numIters, err := c.intField("NumIters", c.remaining())
+	if err != nil {
+		return offsets, refs, err
+	}
+	numRefs, err := c.intField("NumRefs", c.remaining())
+	if err != nil {
+		return offsets, refs, err
+	}
+
+	if cap(offsets) < numIters+1 {
+		offsets = make([]int32, 0, numIters+1)
+	}
+	offsets = offsets[:0]
+	offsets = append(offsets, 0)
+	total := 0
+	for i := 0; i < numIters; i++ {
+		n, err := c.intField("iteration length", numRefs)
+		if err != nil {
+			return offsets, refs, err
+		}
+		total += n
+		if total > numRefs {
+			return offsets, refs, fmt.Errorf("%w: iteration lengths exceed NumRefs %d", ErrCorrupt, numRefs)
+		}
+		offsets = append(offsets, int32(total))
+	}
+	if total != numRefs {
+		return offsets, refs, fmt.Errorf("%w: iteration lengths sum to %d, want NumRefs %d", ErrCorrupt, total, numRefs)
+	}
+
+	if cap(refs) < numRefs {
+		refs = make([]int32, 0, numRefs)
+	}
+	refs = refs[:0]
+	prev := int64(0)
+	for i := 0; i < numRefs; i++ {
+		d, err := c.varint()
+		if err != nil {
+			return offsets, refs, err
+		}
+		prev += d
+		if prev < 0 || prev >= int64(numElems) {
+			return offsets, refs, fmt.Errorf("%w: ref %d out of range [0,%d)", ErrCorrupt, prev, numElems)
+		}
+		refs = append(refs, int32(prev))
 	}
 
 	l.Name = name
@@ -240,7 +254,103 @@ func (f Frame) DecodeSubmitInto(l *trace.Loop, offsets, refs []int32, maxElems i
 	// (offsets start at 0, grow monotonically to numRefs; refs bounded by
 	// numElems), so install without a second O(refs) walk.
 	l.SetFlatUnchecked(offsets, refs)
-	return offsets, refs, traceID, nil
+	return offsets, refs, nil
+}
+
+// DecodeOpenSessionInto decodes an OPEN_SESSION frame: the
+// client-assigned session id, then the loop in the SUBMIT grammar
+// (decoded into l with the same scratch-reuse contract as
+// DecodeSubmitInto). The caller must clone l before keeping it — the
+// session mutates its loop, so it can never share an interned copy.
+func (f Frame) DecodeOpenSessionInto(l *trace.Loop, offsets, refs []int32, maxElems int) (uint64, []int32, []int32, error) {
+	if maxElems <= 0 {
+		maxElems = DefaultMaxElems
+	}
+	if err := f.expect(FrameOpenSession); err != nil {
+		return 0, offsets, refs, err
+	}
+	c := cur{b: f.Body}
+	sid, err := c.uvarint()
+	if err != nil {
+		return 0, offsets, refs, fmt.Errorf("%w: session id", ErrCorrupt)
+	}
+	offsets, refs, err = decodeLoopBody(&c, l, offsets, refs, maxElems)
+	if err != nil {
+		return 0, offsets, refs, err
+	}
+	if c.remaining() != 0 {
+		return 0, offsets, refs, fmt.Errorf("%w: %d trailing bytes after open-session body", ErrCorrupt, c.remaining())
+	}
+	return sid, offsets, refs, nil
+}
+
+// DecodeDelta decodes a SUBMIT_DELTA frame into the provided scratch
+// slice (grown as needed and returned). Positions decode strictly
+// increasing by construction of the gap encoding; references are checked
+// to fit the wire's int32 range here and validated against the session
+// loop's bounds where the delta is applied. The update count is bounded
+// by the remaining payload (every update costs at least two bytes).
+func (f Frame) DecodeDelta(deltas []reduction.RefDelta) (uint64, []reduction.RefDelta, error) {
+	if err := f.expect(FrameDelta); err != nil {
+		return 0, deltas, err
+	}
+	c := cur{b: f.Body}
+	sid, err := c.uvarint()
+	if err != nil {
+		return 0, deltas, fmt.Errorf("%w: session id", ErrCorrupt)
+	}
+	count, err := c.intField("delta count", c.remaining()/2)
+	if err != nil {
+		return 0, deltas, err
+	}
+	if cap(deltas) < count {
+		deltas = make([]reduction.RefDelta, 0, count)
+	}
+	deltas = deltas[:0]
+	pos := int64(-1)
+	ref := int64(0)
+	for i := 0; i < count; i++ {
+		gap, err := c.uvarint()
+		if err != nil {
+			return 0, deltas, fmt.Errorf("%w: delta position", ErrCorrupt)
+		}
+		if gap > math.MaxInt32 {
+			return 0, deltas, fmt.Errorf("%w: delta position gap overflow", ErrCorrupt)
+		}
+		pos += int64(gap) + 1
+		if pos > math.MaxInt32 {
+			return 0, deltas, fmt.Errorf("%w: delta position overflow", ErrCorrupt)
+		}
+		d, err := c.varint()
+		if err != nil {
+			return 0, deltas, fmt.Errorf("%w: delta ref", ErrCorrupt)
+		}
+		ref += d
+		if ref < 0 || ref > math.MaxInt32 {
+			return 0, deltas, fmt.Errorf("%w: delta ref %d out of range", ErrCorrupt, ref)
+		}
+		deltas = append(deltas, reduction.RefDelta{Pos: int32(pos), Ref: int32(ref)})
+	}
+	if c.remaining() != 0 {
+		return 0, deltas, fmt.Errorf("%w: %d trailing bytes after delta body", ErrCorrupt, c.remaining())
+	}
+	return sid, deltas, nil
+}
+
+// DecodeCloseSession decodes a CLOSE_SESSION frame's session id.
+func (f Frame) DecodeCloseSession() (uint64, error) {
+	if err := f.expect(FrameCloseSession); err != nil {
+		return 0, err
+	}
+	c := cur{b: f.Body}
+	sid, err := c.uvarint()
+	if err != nil {
+		return 0, fmt.Errorf("%w: session id", ErrCorrupt)
+	}
+	if c.remaining() != 0 {
+		return 0, fmt.Errorf("%w: %d trailing bytes after close-session body", ErrCorrupt, c.remaining())
+	}
+	return sid, nil
 }
 
 // DecodeResult decodes a RESULT frame. The reduction array is written
@@ -288,6 +398,13 @@ func (f Frame) DecodeResult(dst []float64) (engine.Result, error) {
 			return engine.Result{}, err
 		}
 	}
+	// Optional trailing session generation (HELLO-flags evolution rule):
+	// session results carry it, one-shot results and older peers omit it.
+	if c.remaining() > 0 {
+		if r.SessionGen, err = c.uvarint(); err != nil {
+			return engine.Result{}, fmt.Errorf("%w: session generation", ErrCorrupt)
+		}
+	}
 	if c.remaining() != 0 {
 		return engine.Result{}, fmt.Errorf("%w: %d trailing bytes after result body", ErrCorrupt, c.remaining())
 	}
@@ -314,7 +431,7 @@ func (f Frame) DecodeBusy() (BusyCode, error) {
 	if err != nil {
 		return 0, err
 	}
-	if code < byte(BusyConn) || code > byte(BusyUpstream) {
+	if code < byte(BusyConn) || code > byte(BusySession) {
 		return 0, fmt.Errorf("%w: unknown busy code %d", ErrCorrupt, code)
 	}
 	return BusyCode(code), nil
@@ -420,6 +537,15 @@ func (f Frame) DecodeStats() (engine.Stats, error) {
 				}
 			}
 			s.Stages = append(s.Stages, st)
+		}
+	}
+	// Optional streaming-session quad, fourth in the positional chain.
+	if c.remaining() > 0 {
+		sess := []*uint64{&s.SessionOpens, &s.SessionJobs, &s.SessionSegsComputed, &s.SessionSegsReused}
+		for _, p := range sess {
+			if *p, err = c.uvarint(); err != nil {
+				return engine.Stats{}, fmt.Errorf("%w: session counter", ErrCorrupt)
+			}
 		}
 	}
 	if c.remaining() != 0 {

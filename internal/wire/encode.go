@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/reduction"
 	"repro/internal/trace"
 )
 
@@ -70,6 +71,17 @@ func AppendSubmit(dst []byte, jobID uint64, l *trace.Loop) []byte {
 // one slow job's timeline can be stitched across tiers.
 func AppendSubmitTraced(dst []byte, jobID uint64, l *trace.Loop, traceID uint64) []byte {
 	dst, p := beginFrame(dst, FrameSubmit, jobID)
+	dst = appendLoopBody(dst, l)
+	if traceID != 0 {
+		dst = binary.AppendUvarint(dst, traceID)
+	}
+	return endFrame(dst, p)
+}
+
+// appendLoopBody encodes one trace.Loop — the SUBMIT grammar, shared
+// verbatim by OPEN_SESSION so a session registration is a submission
+// plus a session id.
+func appendLoopBody(dst []byte, l *trace.Loop) []byte {
 	dst = appendString(dst, l.Name)
 	dst = binary.AppendUvarint(dst, uint64(l.NumElems))
 	dst = binary.AppendUvarint(dst, uint64(l.ElemBytes))
@@ -88,9 +100,45 @@ func AppendSubmitTraced(dst []byte, jobID uint64, l *trace.Loop, traceID uint64)
 		dst = binary.AppendVarint(dst, int64(r)-prev)
 		prev = int64(r)
 	}
-	if traceID != 0 {
-		dst = binary.AppendUvarint(dst, traceID)
+	return dst
+}
+
+// AppendOpenSession encodes a session registration: the client-assigned
+// session id, then the loop in the SUBMIT body grammar. The server keeps
+// the loop resident; subsequent SUBMIT_DELTA frames update it in place.
+func AppendOpenSession(dst []byte, jobID, sessionID uint64, l *trace.Loop) []byte {
+	dst, p := beginFrame(dst, FrameOpenSession, jobID)
+	dst = binary.AppendUvarint(dst, sessionID)
+	dst = appendLoopBody(dst, l)
+	return endFrame(dst, p)
+}
+
+// AppendDelta encodes one delta batch into an open session: the session
+// id, the update count, then per update a position gap (positions are
+// strictly increasing, so pos-prev-1 is a uvarint; the first gap is the
+// absolute position) and the new reference as a zigzag-varint delta from
+// the previous update's reference — the same two compression tricks the
+// SUBMIT body uses. An empty batch (count 0) is legal and reads the
+// session's current rolling result.
+func AppendDelta(dst []byte, jobID, sessionID uint64, deltas []reduction.RefDelta) []byte {
+	dst, p := beginFrame(dst, FrameDelta, jobID)
+	dst = binary.AppendUvarint(dst, sessionID)
+	dst = binary.AppendUvarint(dst, uint64(len(deltas)))
+	prevPos := int64(-1)
+	prevRef := int64(0)
+	for _, d := range deltas {
+		dst = binary.AppendUvarint(dst, uint64(int64(d.Pos)-prevPos-1))
+		dst = binary.AppendVarint(dst, int64(d.Ref)-prevRef)
+		prevPos = int64(d.Pos)
+		prevRef = int64(d.Ref)
 	}
+	return endFrame(dst, p)
+}
+
+// AppendCloseSession encodes a session teardown request.
+func AppendCloseSession(dst []byte, jobID, sessionID uint64) []byte {
+	dst, p := beginFrame(dst, FrameCloseSession, jobID)
+	dst = binary.AppendUvarint(dst, sessionID)
 	return endFrame(dst, p)
 }
 
@@ -124,6 +172,13 @@ func AppendResult(dst []byte, jobID uint64, r *engine.Result) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(r.Values)))
 	for _, v := range r.Values {
 		dst = appendF64(dst, v)
+	}
+	// The session generation is an optional trailing field under the
+	// HELLO-flags evolution rule: session results carry it (generations
+	// start at 1), one-shot results omit it, and peers that predate it
+	// decode the shorter frame and see zero.
+	if r.SessionGen != 0 {
+		dst = binary.AppendUvarint(dst, r.SessionGen)
 	}
 	return endFrame(dst, p)
 }
@@ -177,14 +232,16 @@ func AppendStats(dst []byte, jobID uint64, s *engine.Stats) []byte {
 	// simplification quad extends the tail the same way; since optional
 	// tails decode positionally, emitting the quad forces the pair out
 	// too (zeros are fine — only the frame length carries meaning).
+	sessTail := s.SessionOpens != 0 || s.SessionJobs != 0 ||
+		s.SessionSegsComputed != 0 || s.SessionSegsReused != 0
 	simpTail := s.SimplifiedBatches != 0 || s.SimplifyFallbacks != 0 ||
 		s.SegsComputed != 0 || s.SegsReused != 0
 	histTail := len(s.Stages) != 0
-	if histTail || simpTail || s.Recalibrations != 0 || s.SchemeSwitches != 0 {
+	if sessTail || histTail || simpTail || s.Recalibrations != 0 || s.SchemeSwitches != 0 {
 		dst = binary.AppendUvarint(dst, s.Recalibrations)
 		dst = binary.AppendUvarint(dst, s.SchemeSwitches)
 	}
-	if histTail || simpTail {
+	if sessTail || histTail || simpTail {
 		dst = binary.AppendUvarint(dst, s.SimplifiedBatches)
 		dst = binary.AppendUvarint(dst, s.SimplifyFallbacks)
 		dst = binary.AppendUvarint(dst, s.SegsComputed)
@@ -193,8 +250,10 @@ func AppendStats(dst []byte, jobID uint64, s *engine.Stats) []byte {
 	// Stage-latency histogram tail, third in the positional chain: a
 	// stage count, then per stage its name and histogram snapshot (count,
 	// sum, max, then the trimmed bucket list). An engine that has served
-	// nothing has no stage summaries and emits no tail.
-	if histTail {
+	// nothing has no stage summaries and emits no tail — unless the
+	// session quad behind it forces the chain out, in which case a zero
+	// stage count stands in (the decoder reads nstages=0 and moves on).
+	if sessTail || histTail {
 		dst = binary.AppendUvarint(dst, uint64(len(s.Stages)))
 		for _, st := range s.Stages {
 			name := st.Name
@@ -210,6 +269,13 @@ func AppendStats(dst []byte, jobID uint64, s *engine.Stats) []byte {
 				dst = binary.AppendUvarint(dst, b)
 			}
 		}
+	}
+	// Streaming-session quad, fourth in the chain.
+	if sessTail {
+		dst = binary.AppendUvarint(dst, s.SessionOpens)
+		dst = binary.AppendUvarint(dst, s.SessionJobs)
+		dst = binary.AppendUvarint(dst, s.SessionSegsComputed)
+		dst = binary.AppendUvarint(dst, s.SessionSegsReused)
 	}
 	return endFrame(dst, p)
 }

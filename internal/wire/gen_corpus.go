@@ -8,9 +8,10 @@
 // extensions (HELLO flags, STATS recalibration pair) — instead of
 // making it rediscover the framing from empty input every run.
 // TestSeedCorpusDecodes keeps the files honest. The tail variants
-// (HELLO flags, SUBMIT trace ID, the STATS recal/simplify/histogram
-// chain) each get their own seed so the mutator starts from every
-// frame length the protocol can produce.
+// (HELLO flags, SUBMIT trace ID, the RESULT session generation, the
+// STATS recal/simplify/histogram/session chain) and the session frames
+// (OPEN_SESSION, SUBMIT_DELTA, CLOSE_SESSION) each get their own seed so
+// the mutator starts from every frame length the protocol can produce.
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/reduction"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -54,6 +56,14 @@ func main() {
 		{Name: "queue_wait", Snap: obs.Snapshot{Count: 90, SumNs: 81000, MaxNs: 4000, Buckets: []uint64{2, 0, 0, 5, 83}}},
 		{Name: "execute", Snap: obs.Snapshot{Count: 100, SumNs: 2_500_000, MaxNs: 90_000, Buckets: []uint64{0, 0, 0, 0, 0, 0, 0, 0, 1, 4, 95}}},
 	}
+	sess := hist
+	sess.SessionOpens, sess.SessionJobs = 3, 25
+	sess.SessionSegsComputed, sess.SessionSegsReused = 40, 160
+
+	sessRes := res
+	sessRes.Scheme, sessRes.SessionGen = "session", 26
+
+	deltas := []reduction.RefDelta{{Pos: 0, Ref: 5}, {Pos: 3, Ref: 0}, {Pos: 9, Ref: 63}}
 
 	seeds := map[string][]byte{
 		"hello":          wire.AppendHello(nil, wire.Hello{Version: wire.ProtoVersion, Procs: 8, MaxInflight: 64}),
@@ -68,6 +78,13 @@ func main() {
 		"stats-recal":    wire.AppendStats(nil, 7, &recal),
 		"stats-simplify": wire.AppendStats(nil, 8, &simp),
 		"stats-hist":     wire.AppendStats(nil, 9, &hist),
+		"stats-session":  wire.AppendStats(nil, 10, &sess),
+		"open-session":   wire.AppendOpenSession(nil, 11, 1, l),
+		"delta":          wire.AppendDelta(nil, 12, 1, deltas),
+		"delta-empty":    wire.AppendDelta(nil, 13, 1, nil),
+		"close-session":  wire.AppendCloseSession(nil, 14, 1),
+		"result-gen":     wire.AppendResult(nil, 15, &sessRes),
+		"busy-session":   wire.AppendBusy(nil, 16, wire.BusySession),
 	}
 	for name, b := range seeds {
 		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", b)

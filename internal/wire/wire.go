@@ -70,6 +70,18 @@ const (
 	FrameStatsReq FrameType = 6
 	// FrameStats answers a FrameStatsReq.
 	FrameStats FrameType = 7
+	// FrameOpenSession registers a server-resident streaming session: a
+	// session id plus a full trace.Loop the server keeps between updates.
+	// The server answers with a RESULT carrying the initial reduction and
+	// the session-generation tail.
+	FrameOpenSession FrameType = 8
+	// FrameDelta streams one batch of reference updates into an open
+	// session and reads back the rolling reduction.
+	FrameDelta FrameType = 9
+	// FrameCloseSession retires a session, freeing its server-resident
+	// state. The server answers with an empty RESULT so the client can
+	// await teardown.
+	FrameCloseSession FrameType = 10
 )
 
 // String names the frame type for diagnostics.
@@ -89,6 +101,12 @@ func (t FrameType) String() string {
 		return "STATSREQ"
 	case FrameStats:
 		return "STATS"
+	case FrameOpenSession:
+		return "OPEN_SESSION"
+	case FrameDelta:
+		return "SUBMIT_DELTA"
+	case FrameCloseSession:
+		return "CLOSE_SESSION"
 	default:
 		return fmt.Sprintf("FrameType(%d)", byte(t))
 	}
@@ -106,6 +124,10 @@ const (
 	// because every healthy backend answered BUSY (or none was healthy):
 	// backpressure propagated from the backend tier to the client.
 	BusyUpstream BusyCode = 3
+	// BusySession means the server's session budget (count or resident
+	// bytes) is exhausted and no idle session could be evicted; the client
+	// should back off and retry OPEN_SESSION.
+	BusySession BusyCode = 4
 )
 
 // String names the rejection code for diagnostics.
@@ -117,6 +139,8 @@ func (c BusyCode) String() string {
 		return "global limit"
 	case BusyUpstream:
 		return "backend tier busy"
+	case BusySession:
+		return "session budget exhausted"
 	default:
 		return fmt.Sprintf("BusyCode(%d)", uint8(c))
 	}
@@ -145,6 +169,14 @@ type Hello struct {
 	// predates the field — it is an optional trailing extension.
 	Flags uint64
 }
+
+// SessionGonePrefix opens every ERROR message answering a SUBMIT_DELTA
+// or CLOSE_SESSION whose session is unknown, expired or evicted. The
+// prefix is part of the protocol: clients match it to map the failure to
+// a typed session-gone error (and re-open) rather than treating it as a
+// generic job failure. An evicted session always answers this — never a
+// stale sum.
+const SessionGonePrefix = "session gone: "
 
 // Sentinel decode errors. Detail errors wrap one of these, so callers can
 // classify with errors.Is.
@@ -280,7 +312,7 @@ func ParseFrame(payload []byte) (Frame, error) {
 	if err != nil {
 		return Frame{}, fmt.Errorf("%w: missing frame type", ErrCorrupt)
 	}
-	if t < byte(FrameHello) || t > byte(FrameStats) {
+	if t < byte(FrameHello) || t > byte(FrameCloseSession) {
 		return Frame{}, fmt.Errorf("%w: unknown frame type %d", ErrCorrupt, t)
 	}
 	id, err := c.uvarint()

@@ -3,6 +3,7 @@ package wire
 import (
 	"bufio"
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
 	"math/rand"
@@ -11,6 +12,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/reduction"
 	"repro/internal/trace"
 )
 
@@ -506,7 +508,7 @@ func TestHelloFlagsCompat(t *testing.T) {
 // TestBusyCodes round-trips every defined rejection code and pins that
 // out-of-range codes are corrupt, not silently accepted.
 func TestBusyCodes(t *testing.T) {
-	for _, code := range []BusyCode{BusyConn, BusyGlobal, BusyUpstream} {
+	for _, code := range []BusyCode{BusyConn, BusyGlobal, BusyUpstream, BusySession} {
 		f, _, err := DecodeFrame(AppendBusy(nil, 3, code), 0)
 		if err != nil {
 			t.Fatal(err)
@@ -516,7 +518,7 @@ func TestBusyCodes(t *testing.T) {
 			t.Fatalf("busy %v round-tripped to %v, err %v", code, got, err)
 		}
 	}
-	f, _, err := DecodeFrame(AppendBusy(nil, 3, BusyCode(4)), 0)
+	f, _, err := DecodeFrame(AppendBusy(nil, 3, BusyCode(5)), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -552,6 +554,7 @@ func TestTruncatedFramesError(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	l := randomLoop(rng)
 	res := engine.Result{Values: []float64{1, 2, 3}, Scheme: "rep", BatchSize: 2}
+	sres := engine.Result{Values: []float64{4, 5}, Scheme: "session", SessionGen: 9}
 	frames := [][]byte{
 		AppendSubmit(nil, 1, l),
 		AppendResult(nil, 2, &res),
@@ -559,6 +562,11 @@ func TestTruncatedFramesError(t *testing.T) {
 		AppendError(nil, 3, "boom"),
 		AppendBusy(nil, 4, BusyConn),
 		AppendStats(nil, 5, &engine.Stats{Schemes: map[string]uint64{"ll": 1}, BatchOccupancy: []uint64{0, 1}}),
+		AppendOpenSession(nil, 6, 2, l),
+		AppendDelta(nil, 7, 2, []reduction.RefDelta{{Pos: 0, Ref: 1}, {Pos: 5, Ref: 0}}),
+		AppendCloseSession(nil, 8, 2),
+		AppendResult(nil, 9, &sres),
+		AppendStats(nil, 10, &engine.Stats{SessionOpens: 1, SessionJobs: 2, Schemes: map[string]uint64{}, BatchOccupancy: []uint64{0}}),
 	}
 	for fi, full := range frames {
 		for n := 0; n < len(full); n++ {
@@ -616,6 +624,254 @@ func TestSubmitRejectsOversizedLoop(t *testing.T) {
 	}
 	if _, err := f.DecodeSubmit(1024); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("oversized loop accepted: %v", err)
+	}
+}
+
+// randomDeltaBatch draws a strictly-increasing-position batch, the shape
+// the delta encoding requires (positions gap-encoded, refs delta-coded).
+func randomDeltaBatch(rng *rand.Rand, maxPos, maxRef, n int) []reduction.RefDelta {
+	ds := make([]reduction.RefDelta, 0, n)
+	pos := -1
+	for i := 0; i < n; i++ {
+		pos += 1 + rng.Intn(maxPos/n+1)
+		if pos >= maxPos {
+			break
+		}
+		ds = append(ds, reduction.RefDelta{Pos: int32(pos), Ref: int32(rng.Intn(maxRef))})
+	}
+	return ds
+}
+
+// TestOpenSessionRoundTrip is the submit property test for OPEN_SESSION:
+// the frame is a session id plus the SUBMIT loop body, so every loop the
+// submit path accepts must survive this path too.
+func TestOpenSessionRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		l := randomLoop(rng)
+		sid := rng.Uint64() + 1
+		buf := AppendOpenSession(nil, uint64(trial)+1, sid, l)
+		f, n, err := DecodeFrame(buf, 0)
+		if err != nil {
+			t.Fatalf("trial %d: DecodeFrame: %v", trial, err)
+		}
+		if n != len(buf) || f.Type != FrameOpenSession || f.JobID != uint64(trial)+1 {
+			t.Fatalf("trial %d: frame header %v/%d (%d of %d bytes)", trial, f.Type, f.JobID, n, len(buf))
+		}
+		got := &trace.Loop{}
+		gotSID, _, _, err := f.DecodeOpenSessionInto(got, nil, nil, 0)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if gotSID != sid {
+			t.Fatalf("trial %d: session id %d, want %d", trial, gotSID, sid)
+		}
+		if !l.EqualPattern(got) || got.Name != l.Name {
+			t.Fatalf("trial %d: decoded loop differs", trial)
+		}
+	}
+}
+
+// TestDeltaRoundTrip covers the SUBMIT_DELTA encoding: gap-coded
+// positions, zigzag-delta refs, empty batches, scratch reuse, and the
+// invalid shapes (truncation and count overflow) that must be corrupt.
+func TestDeltaRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	var scratch []reduction.RefDelta
+	for trial := 0; trial < 200; trial++ {
+		want := randomDeltaBatch(rng, 1+rng.Intn(5000), 1+rng.Intn(2000), rng.Intn(40))
+		sid := rng.Uint64()
+		buf := AppendDelta(nil, 7, sid, want)
+		f, n, err := DecodeFrame(buf, 0)
+		if err != nil {
+			t.Fatalf("trial %d: DecodeFrame: %v", trial, err)
+		}
+		if n != len(buf) || f.Type != FrameDelta {
+			t.Fatalf("trial %d: frame header %v (%d of %d bytes)", trial, f.Type, n, len(buf))
+		}
+		var gotSID uint64
+		gotSID, scratch, err = f.DecodeDelta(scratch)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if gotSID != sid || len(scratch) != len(want) {
+			t.Fatalf("trial %d: sid %d count %d, want %d and %d", trial, gotSID, len(scratch), sid, len(want))
+		}
+		for i := range want {
+			if scratch[i] != want[i] {
+				t.Fatalf("trial %d delta %d: %+v, want %+v", trial, i, scratch[i], want[i])
+			}
+		}
+	}
+
+	// Truncating anywhere inside the frame is an error, never a panic.
+	full := AppendDelta(nil, 7, 3, randomDeltaBatch(rng, 100, 50, 10))
+	for n := 0; n < len(full); n++ {
+		if _, _, err := DecodeFrame(full[:n], 0); err == nil {
+			t.Fatalf("delta frame truncated to %d bytes decoded without error", n)
+		}
+	}
+	// A delta count exceeding what the remaining payload could hold is
+	// corrupt before any allocation.
+	f, _, err := DecodeFrame(countBombDelta(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := f.DecodeDelta(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("oversized delta count decoded: %v", err)
+	}
+}
+
+// countBombDelta hand-builds a SUBMIT_DELTA frame claiming far more
+// deltas than its payload holds.
+func countBombDelta() []byte {
+	b := AppendCloseSession(nil, 7, 3) // session id 3, right header shape
+	b[4] = byte(FrameDelta)
+	b = binary.AppendUvarint(b, 1<<30) // delta count with no bytes behind it
+	n := uint32(len(b) - 4)
+	b[0], b[1], b[2], b[3] = byte(n), byte(n>>8), byte(n>>16), byte(n>>24)
+	return b
+}
+
+// TestCloseSessionRoundTrip pins the CLOSE_SESSION frame and its
+// trailing-byte strictness.
+func TestCloseSessionRoundTrip(t *testing.T) {
+	buf := AppendCloseSession(nil, 11, 42)
+	f, n, err := DecodeFrame(buf, 0)
+	if err != nil || n != len(buf) || f.Type != FrameCloseSession || f.JobID != 11 {
+		t.Fatalf("frame %v/%d (%d bytes), err %v", f.Type, f.JobID, n, err)
+	}
+	sid, err := f.DecodeCloseSession()
+	if err != nil || sid != 42 {
+		t.Fatalf("session id %d, err %v", sid, err)
+	}
+	trailing := append(append([]byte(nil), buf...), 0)
+	ln := uint32(len(trailing) - 4)
+	trailing[0], trailing[1], trailing[2], trailing[3] = byte(ln), byte(ln>>8), byte(ln>>16), byte(ln>>24)
+	f, _, err = DecodeFrame(trailing, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.DecodeCloseSession(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing byte accepted: %v", err)
+	}
+}
+
+// TestResultSessionGenCompat pins the RESULT frame's optional trailing
+// session generation on the HELLO-flags rule: one-shot results are
+// byte-identical to the pre-session encoding and decode with generation
+// 0, session results round-trip, and a truncated tail is corrupt.
+func TestResultSessionGenCompat(t *testing.T) {
+	base := engine.Result{Values: []float64{1, 2}, Scheme: "session", BatchSize: 1}
+	legacy := AppendResult(nil, 3, &base)
+	gen := base
+	gen.SessionGen = 300 // two uvarint bytes
+	tailed := AppendResult(nil, 3, &gen)
+	if len(tailed) != len(legacy)+2 {
+		t.Fatalf("tailed result %d bytes vs legacy %d: generation not trailing", len(tailed), len(legacy))
+	}
+	f, _, err := DecodeFrame(legacy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := f.DecodeResult(nil)
+	if err != nil || r.SessionGen != 0 {
+		t.Fatalf("legacy result decoded generation %d, err %v (want 0)", r.SessionGen, err)
+	}
+	f, _, err = DecodeFrame(tailed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err = f.DecodeResult(nil); err != nil || r.SessionGen != 300 {
+		t.Fatalf("tailed result decoded generation %d, err %v (want 300)", r.SessionGen, err)
+	}
+	cut := append([]byte(nil), tailed[:len(tailed)-1]...)
+	ln := uint32(len(cut) - 4)
+	cut[0], cut[1], cut[2], cut[3] = byte(ln), byte(ln>>8), byte(ln>>16), byte(ln>>24)
+	f, _, err = DecodeFrame(cut, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.DecodeResult(nil); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated generation decoded without error: %v", err)
+	}
+}
+
+// TestStatsSessionCompat pins the fourth optional STATS tail — the
+// session quad after the stage histograms. The compat matrix: legacy,
+// pair-only, quad, and hist frames (all earlier-tail shapes) decode with
+// the session counters zero; a session frame forces every earlier tail
+// out (zero pair, zero quad, zero-stage histogram) and round-trips; all
+// tails ride together; truncating inside the session tail is corrupt.
+func TestStatsSessionCompat(t *testing.T) {
+	base := engine.Stats{Jobs: 5, Schemes: map[string]uint64{"rep": 5}}
+	legacy := AppendStats(nil, 9, &base)
+
+	sess := base
+	sess.SessionOpens, sess.SessionJobs = 2, 9
+	sess.SessionSegsComputed, sess.SessionSegsReused = 30, 80
+	tailed := AppendStats(nil, 9, &sess)
+	// Forced-out earlier tails: zero pair (2) + zero quad (4) + zero-stage
+	// histogram (1), then four single-byte session counters.
+	if len(tailed) != len(legacy)+11 {
+		t.Fatalf("session frame %d bytes vs legacy %d, want +11", len(tailed), len(legacy))
+	}
+
+	decode := func(buf []byte) (engine.Stats, error) {
+		f, _, err := DecodeFrame(buf, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.DecodeStats()
+	}
+
+	for name, st := range map[string]engine.Stats{
+		"legacy": base,
+		"pair":   {Jobs: 5, Recalibrations: 7},
+		"quad":   {Jobs: 5, SegsReused: 11},
+		"hist":   {Jobs: 5, Stages: []obs.StageSummary{{Name: "execute", Snap: obs.Snapshot{Count: 1, SumNs: 5, MaxNs: 5, Buckets: []uint64{1}}}}},
+	} {
+		s, err := decode(AppendStats(nil, 9, &st))
+		if err != nil || s.SessionOpens != 0 || s.SessionJobs != 0 ||
+			s.SessionSegsComputed != 0 || s.SessionSegsReused != 0 {
+			t.Fatalf("%s frame decoded session quad %d/%d/%d/%d, err %v (want zeros)",
+				name, s.SessionOpens, s.SessionJobs, s.SessionSegsComputed, s.SessionSegsReused, err)
+		}
+	}
+
+	s, err := decode(tailed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SessionOpens != 2 || s.SessionJobs != 9 || s.SessionSegsComputed != 30 || s.SessionSegsReused != 80 {
+		t.Fatalf("session round-trip = %d/%d/%d/%d", s.SessionOpens, s.SessionJobs, s.SessionSegsComputed, s.SessionSegsReused)
+	}
+	if s.Recalibrations != 0 || s.SimplifiedBatches != 0 || len(s.Stages) != 0 {
+		t.Fatalf("forced-out earlier tails decoded as %d/%d/%d stages", s.Recalibrations, s.SimplifiedBatches, len(s.Stages))
+	}
+
+	full := sess
+	full.Recalibrations, full.SegsReused = 7, 11
+	full.Stages = []obs.StageSummary{{Name: "execute", Snap: obs.Snapshot{Count: 1, SumNs: 5, MaxNs: 5, Buckets: []uint64{1}}}}
+	if s, err = decode(AppendStats(nil, 9, &full)); err != nil ||
+		s.Recalibrations != 7 || s.SegsReused != 11 || len(s.Stages) != 1 || s.SessionJobs != 9 {
+		t.Fatalf("full-tails frame decoded %d/%d/%d/%d, err %v", s.Recalibrations, s.SegsReused, len(s.Stages), s.SessionJobs, err)
+	}
+
+	// Truncating inside the session tail (a partial quad) is corrupt. The
+	// tail starts right after the forced-out earlier tails.
+	sessStart := len(legacy) + 7
+	for n := sessStart + 1; n < len(tailed); n++ {
+		cut := append([]byte(nil), tailed[:n]...)
+		ln := uint32(len(cut) - 4)
+		cut[0], cut[1], cut[2], cut[3] = byte(ln), byte(ln>>8), byte(ln>>16), byte(ln>>24)
+		f, _, err := DecodeFrame(cut, 0)
+		if err != nil {
+			continue
+		}
+		if _, err := f.DecodeStats(); err == nil {
+			t.Fatalf("session tail truncated to %d bytes decoded without error", n)
+		}
 	}
 }
 

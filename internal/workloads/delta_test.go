@@ -1,0 +1,75 @@
+package workloads
+
+import (
+	"testing"
+)
+
+func TestDeltaStreamShape(t *testing.T) {
+	ds := NewDeltaStream(12, 16, 0.25, 7)
+	if got := len(ds.Batches); got != 12 {
+		t.Fatalf("got %d batches, want 12", got)
+	}
+	total := ds.Base.TotalRefs()
+	for b, batch := range ds.Batches {
+		if len(batch) != 16 {
+			t.Fatalf("batch %d has %d deltas, want 16", b, len(batch))
+		}
+		for i, d := range batch {
+			if d.Pos < 0 || int(d.Pos) >= total {
+				t.Fatalf("batch %d delta %d position %d outside [0, %d)", b, i, d.Pos, total)
+			}
+			if d.Ref < 0 || int(d.Ref) >= ds.Base.NumElems {
+				t.Fatalf("batch %d delta %d ref %d outside [0, %d)", b, i, d.Ref, ds.Base.NumElems)
+			}
+			if i > 0 && d.Pos <= batch[i-1].Pos {
+				t.Fatalf("batch %d positions not strictly increasing at %d: %d <= %d", b, i, d.Pos, batch[i-1].Pos)
+			}
+		}
+	}
+}
+
+func TestDeltaStreamDeterministic(t *testing.T) {
+	a := NewDeltaStream(6, 8, 0.25, 42)
+	b := NewDeltaStream(6, 8, 0.25, 42)
+	if !a.Base.EqualPattern(b.Base) {
+		t.Fatal("same seed produced different base loops")
+	}
+	for i := range a.Batches {
+		if len(a.Batches[i]) != len(b.Batches[i]) {
+			t.Fatalf("batch %d lengths differ", i)
+		}
+		for j := range a.Batches[i] {
+			if a.Batches[i][j] != b.Batches[i][j] {
+				t.Fatalf("batch %d delta %d differs: %+v vs %+v", i, j, a.Batches[i][j], b.Batches[i][j])
+			}
+		}
+	}
+	c := NewDeltaStream(6, 8, 0.25, 43)
+	if a.Base.EqualPattern(c.Base) {
+		t.Fatal("different seeds produced identical base loops")
+	}
+}
+
+// TestDeltaStreamMirror checks MirrorAt against incremental application:
+// the from-scratch mirror at step k must match a clone that absorbed the
+// first k batches one at a time, and the base itself must stay pristine.
+func TestDeltaStreamMirror(t *testing.T) {
+	ds := NewDeltaStream(5, 10, 0.25, 3)
+	pristine := ds.Base.Clone()
+	rolling := ds.Base.Clone()
+	for step := 0; step <= len(ds.Batches); step++ {
+		m := ds.MirrorAt(step)
+		if !m.EqualPattern(rolling) {
+			t.Fatalf("MirrorAt(%d) != incrementally applied clone", step)
+		}
+		if step < len(ds.Batches) {
+			ApplyDeltas(rolling, ds.Batches[step])
+		}
+	}
+	if !ds.Base.EqualPattern(pristine) {
+		t.Fatal("MirrorAt mutated the base loop")
+	}
+	if ds.MirrorAt(len(ds.Batches)).EqualPattern(ds.Base) {
+		t.Fatal("applying every batch left the pattern unchanged — deltas are no-ops")
+	}
+}

@@ -252,6 +252,39 @@ END {
     if (bad) exit 1
 }' "$cand" || failed="$failed simplification"
 
+# Session gate: incremental re-reduction (SessionDelta/delta) must beat
+# re-submitting the whole mutated loop every step (SessionDelta/resubmit)
+# by at least SESSION_MIN_SPEEDUP (default 2.0) — the mechanical check
+# behind the streaming-session subsystem's claim that touched-segment
+# recompute wins over full re-reduction for small update batches. Both
+# figures come from the same file and machine, so no normalization is
+# needed; the gate runs whenever the candidate carries the pair and
+# names the lone half when it carries only one.
+awk -v minx="${SESSION_MIN_SPEEDUP:-2.0}" -v cand="$cand" '
+/"name": "SessionDelta\// && match($0, /"ns_per_op": *[0-9]+/) {
+    v = substr($0, RSTART, RLENGTH); gsub(/[^0-9]/, "", v)
+    split($0, q, "\"")
+    split(q[4], parts, "/")
+    if (parts[2] == "delta") delta = v
+    else if (parts[2] == "resubmit") resubmit = v
+}
+END {
+    if (delta + 0 <= 0 && resubmit + 0 <= 0) {
+        printf "bench_compare: session gate skipped: no SessionDelta benchmarks in %s\n", cand
+        exit 0
+    }
+    if (delta + 0 <= 0 || resubmit + 0 <= 0) {
+        printf "bench_compare: FAIL: SessionDelta has only one of delta/resubmit in %s\n", cand
+        exit 1
+    }
+    x = resubmit / delta
+    printf "bench_compare: session delta path %.2fx over full resubmit (floor %.2fx)\n", x, minx
+    if (x < minx) {
+        print "bench_compare: FAIL: incremental re-reduction too slow vs full resubmit"
+        exit 1
+    }
+}' "$cand" || failed="$failed session"
+
 # Observability-overhead gate: the pooled steady-state hot path
 # (SchemeRunColdVsPooled/pooled) must stay within OBS_MAX_OVERHEAD_PCT
 # (default 3) percent of the committed baseline — a much tighter ceiling

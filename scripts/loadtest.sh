@@ -11,6 +11,14 @@
 # driven through the gateway — proving pattern-affinity routing keeps
 # coalescing alive across the extra hop.
 #
+# Set SESSIONS=N (N >= 1) to drive N concurrent streaming sessions
+# (OPEN_SESSION + SUBMIT_DELTA over workloads.DeltaStream) instead of the
+# one-shot Zipf stream: every session's rolling result is shadow-verified
+# by the driver against a full recompute of a mirrored loop, and the
+# report must show every delta batch served through the session path.
+# Sessions are daemon-scoped, so SESSIONS combines with RACE but not
+# with GATEWAY.
+#
 # Set RACE=1 to build the binaries with the race detector (CI does).
 set -eu
 
@@ -19,6 +27,11 @@ cd "$(dirname "$0")/.."
 jobs="${LOADTEST_JOBS:-2000}"
 clients="${LOADTEST_CLIENTS:-16}"
 gateway="${GATEWAY:-0}"
+sessions="${SESSIONS:-0}"
+if [ "$sessions" -gt 0 ] && [ "$gateway" -gt 0 ]; then
+    echo "loadtest: SESSIONS and GATEWAY are exclusive (the gateway does not forward sessions)" >&2
+    exit 2
+fi
 build_flags=""
 [ -n "${RACE:-}" ] && build_flags="-race"
 
@@ -109,11 +122,17 @@ if [ "$gateway" -gt 0 ]; then
 else
     target="$backend_addrs"
     front_dbg="${backend_dbgs# }"
-    echo "loadtest: reduxd on $target, driving $jobs jobs from $clients clients"
+    if [ "$sessions" -gt 0 ]; then
+        echo "loadtest: reduxd on $target, streaming $jobs delta batches through $sessions sessions"
+    else
+        echo "loadtest: reduxd on $target, driving $jobs jobs from $clients clients"
+    fi
 fi
 
+stream_flags="-zipf"
+[ "$sessions" -gt 0 ] && stream_flags="-sessions $sessions"
 "$work/reduxserve" -remote "$target" -jobs "$jobs" -clients "$clients" \
-    -zipf -scale 0.3 -json > "$work/report.json" &
+    $stream_flags -scale 0.3 -json > "$work/report.json" &
 serve_pid=$!
 
 # Mid-run observability: scrape /metrics and take a 1-second CPU profile
@@ -167,19 +186,38 @@ done
 pids=""
 cat "$work"/redux*.log
 
-# Validate the JSON report (pretty-printed, one field per line).
-awk -v jobs="$jobs" '
+# Validate the JSON report (pretty-printed, one field per line). In
+# session mode the one-shot coalescing check is replaced by the session
+# accounting: every delta batch must have been served through a session
+# (session_jobs == jobs, so none fell back to one-shot submits), every
+# stream must have opened (session_opens == SESSIONS), and the driver's
+# shadow full-recompute verification must actually have run.
+awk -v jobs="$jobs" -v sessions="$sessions" '
 function val(line) { gsub(/[^0-9.]/, "", line); return line + 0 }
-/"jobs":/      { got_jobs = val($2) }
-/"failures":/  { failures = val($2) }
-/"verified":/  { verified = ($2 ~ /true/) }
-/"coalesced":/ { coalesced = val($2) }
+/"jobs":/          { got_jobs = val($2) }
+/"failures":/      { failures = val($2) }
+/"verified":/      { verified = ($2 ~ /true/) }
+/"coalesced":/     { coalesced = val($2) }
+/"session_opens":/ { opens = val($2) }
+/"session_jobs":/  { sjobs = val($2) }
+/"shadow_checks":/ { shadow = val($2) }
 END {
-    printf "loadtest: jobs=%d failures=%d verified=%d coalesced=%d\n", got_jobs, failures, verified, coalesced
+    if (sessions > 0) {
+        printf "loadtest: jobs=%d failures=%d verified=%d session_opens=%d session_jobs=%d shadow_checks=%d\n", \
+            got_jobs, failures, verified, opens, sjobs, shadow
+    } else {
+        printf "loadtest: jobs=%d failures=%d verified=%d coalesced=%d\n", got_jobs, failures, verified, coalesced
+    }
     if (got_jobs != jobs) { print "loadtest: FAIL: job count mismatch"; exit 1 }
     if (failures != 0)    { print "loadtest: FAIL: client failures"; exit 1 }
     if (!verified)        { print "loadtest: FAIL: results not verified"; exit 1 }
-    if (coalesced <= 0)   { print "loadtest: FAIL: no batch coalescing across the network"; exit 1 }
+    if (sessions > 0) {
+        if (opens != sessions) { print "loadtest: FAIL: session open count mismatch"; exit 1 }
+        if (sjobs != jobs)     { print "loadtest: FAIL: delta batches not all served through sessions"; exit 1 }
+        if (shadow <= 0)       { print "loadtest: FAIL: shadow full-recompute verification never ran"; exit 1 }
+    } else if (coalesced <= 0) {
+        print "loadtest: FAIL: no batch coalescing across the network"; exit 1
+    }
 }' "$work/report.json"
 
 echo "loadtest: OK"

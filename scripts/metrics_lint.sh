@@ -119,6 +119,10 @@ series_for() {
         SimplifyFallbacks) echo redux_engine_simplify_fallbacks_total ;;
         SegsComputed)      echo redux_engine_segments_computed_total ;;
         SegsReused)        echo redux_engine_segments_reused_total ;;
+        SessionOpens)        echo redux_engine_session_opens_total ;;
+        SessionJobs)         echo redux_engine_session_jobs_total ;;
+        SessionSegsComputed) echo redux_engine_session_segments_computed_total ;;
+        SessionSegsReused)   echo redux_engine_session_segments_reused_total ;;
         Schemes)           echo redux_engine_scheme_jobs_total ;;
         BatchOccupancy)    echo redux_engine_batch_occupancy_total ;;
         Stages)            echo redux_engine_stage_latency_seconds ;;
