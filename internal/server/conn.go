@@ -404,19 +404,30 @@ func (c *conn) handleOpenSession(f wire.Frame) {
 	go func() {
 		defer c.jobWG.Done()
 		defer release()
-		es, res, err := sd.OpenSession(l, 0, c.srv.getDst(l.NumElems))
+		dst := c.srv.getDst(l.NumElems)
+		es, res, err := sd.OpenSession(l, 0, dst)
 		if err != nil {
 			c.srv.sessions.abort(est)
+			c.srv.putDst(dst)
 			tlPool.Put(tl)
 			c.sendError(jobID, err.Error())
 			return
 		}
-		c.srv.sessions.commit(&serverSession{
+		ok := c.srv.sessions.commit(&serverSession{
 			key:   key,
 			es:    es,
 			elems: l.NumElems,
 			bytes: int64(es.Bytes()),
 		}, est)
+		if !ok {
+			// A pipelined duplicate open won the race to install this key;
+			// tear down the loser so the winner's session stays resident.
+			es.Close()
+			c.srv.putDst(res.Values)
+			tlPool.Put(tl)
+			c.sendError(jobID, fmt.Sprintf("session %d already open on this connection", sid))
+			return
+		}
 		c.sendSessionResult(jobID, &res, tl, t0)
 	}()
 }
@@ -459,8 +470,10 @@ func (c *conn) handleDelta(f wire.Frame) {
 	go func() {
 		defer c.jobWG.Done()
 		defer release()
-		res, err := ss.es.Apply(deltas, c.srv.getDst(ss.elems))
+		dst := c.srv.getDst(ss.elems)
+		res, err := ss.es.Apply(deltas, dst)
 		if err != nil {
+			c.srv.putDst(dst)
 			tlPool.Put(tl)
 			if errors.Is(err, engine.ErrSessionClosed) {
 				// Evicted between the lookup above and the apply; the

@@ -99,16 +99,27 @@ func (st *sessionStore) reserve(est int64) error {
 
 // commit installs the opened session under its reservation, adjusting
 // the byte account from the estimate to the session's actual footprint.
-func (st *sessionStore) commit(ss *serverSession, est int64) {
+// Uniqueness is enforced here, where installation is atomic: two
+// pipelined opens with the same sid both pass the read loop's lookup,
+// and the second to commit must fail rather than overwrite the first
+// (orphaning it in the ring until eviction tears down the live entry).
+// On failure the reservation is released and the caller owns teardown.
+func (st *sessionStore) commit(ss *serverSession, est int64) bool {
 	ss.lastUsed.Store(time.Now().UnixNano())
 	ss.ref.Store(true)
 	st.mu.Lock()
 	st.reserved--
+	if _, dup := st.m[ss.key]; dup {
+		st.bytes -= est
+		st.mu.Unlock()
+		return false
+	}
 	st.bytes += ss.bytes - est
 	st.m[ss.key] = ss
 	st.ring = append(st.ring, ss)
 	st.mu.Unlock()
 	st.opens.Add(1)
+	return true
 }
 
 // abort releases a reservation whose open failed.
@@ -186,14 +197,21 @@ func (st *sessionStore) len() int {
 // as eviction for the stats — either way the client's next delta draws
 // the typed session-gone error.
 func (st *sessionStore) expireLocked(now int64) {
+	// Collect first, remove after: removeLocked may compact the ring in
+	// place, which would leave an in-flight range over it reading a stale
+	// tail — expired sessions removed twice, shifted live ones skipped.
+	var dead []*serverSession
 	for _, ss := range st.ring {
 		if ss != nil && now-ss.lastUsed.Load() > int64(st.ttl) {
-			st.removeLocked(ss)
-			st.evictions.Add(1)
-			// Closing under mu is fine: Close only takes the session's own
-			// mutex, which no store path holds.
-			ss.es.Close()
+			dead = append(dead, ss)
 		}
+	}
+	for _, ss := range dead {
+		st.removeLocked(ss)
+		st.evictions.Add(1)
+		// Closing under mu is fine: Close only takes the session's own
+		// mutex, which no store path holds.
+		ss.es.Close()
 	}
 }
 
@@ -226,8 +244,13 @@ func (st *sessionStore) evictLocked() bool {
 }
 
 // removeLocked unlinks ss from the table, ring and byte account (mu
-// held). The caller closes the engine session.
+// held). The caller closes the engine session. Removing a session that
+// is no longer resident (or whose key a newer session now owns) is a
+// no-op, so the byte account is debited exactly once per session.
 func (st *sessionStore) removeLocked(ss *serverSession) {
+	if st.m[ss.key] != ss {
+		return
+	}
 	delete(st.m, ss.key)
 	st.bytes -= ss.bytes
 	for i, r := range st.ring {
