@@ -413,6 +413,127 @@ func BenchmarkDriftRecovery(b *testing.B) {
 	}
 }
 
+// BenchmarkTenantIsolation measures noisy-neighbor containment under the
+// weighted-fair scheduler: a background tenant runs a closed loop of
+// heavier reductions while a hot tenant floods ten concurrent closed
+// loops of cheap ones — 10x the background's offered load. The metric is
+// the background tenant's p95 latency under that pressure as a percent
+// of its solo baseline ("isolation%"); bench_compare.sh gates it at
+// TENANT_ISOLATION_MAX_PCT (150 by default). Under a single shared FIFO
+// the background job would queue behind the whole hot backlog; DRR
+// bounds its wait to one round regardless of how deep the hot tenant's
+// own FIFO runs.
+func BenchmarkTenantIsolation(b *testing.B) {
+	cfg := engine.Config{
+		Workers:  2,
+		Platform: core.DefaultPlatform(8),
+		Tenants: []engine.TenantConfig{
+			{Name: "hot", Weight: 1},
+			{Name: "bg", Weight: 1},
+		},
+	}
+	// Disjoint pattern populations (different scales shift every
+	// dimension) so cross-tenant fusion cannot blur the measurement.
+	hotLoops := workloads.MixedSet(0.1)
+	bgLoops := workloads.MixedSet(0.6)
+
+	warm := func(e *engine.Engine, loops []*trace.Loop, tenant int) {
+		for _, l := range loops {
+			h, err := e.SubmitAsyncIntoTenant(l, nil, tenant)
+			if err != nil {
+				b.Fatal(err)
+			}
+			h.Wait()
+		}
+	}
+	const minN = 64
+
+	// Solo baseline: the background tenant alone on an identical engine.
+	var solo time.Duration
+	if b.N >= minN {
+		ctrl, err := engine.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bgIdx := ctrl.TenantIndex("bg")
+		warm(ctrl, bgLoops, bgIdx)
+		const soloJobs = 256
+		ref := make([]time.Duration, 0, soloJobs)
+		var dst []float64
+		for i := 0; i < soloJobs; i++ {
+			t0 := time.Now()
+			h, err := ctrl.SubmitAsyncIntoTenant(bgLoops[i%len(bgLoops)], dst, bgIdx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dst = h.Wait().Values
+			ref = append(ref, time.Since(t0))
+		}
+		ctrl.Close()
+		solo = latP95(ref)
+	}
+
+	e, err := engine.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	hotIdx, bgIdx := e.TenantIndex("hot"), e.TenantIndex("bg")
+	warm(e, hotLoops, hotIdx)
+	warm(e, bgLoops, bgIdx)
+
+	// Ten standing hot submitters against the background's single closed
+	// loop: 10x offered load for the whole measured window.
+	stop := make(chan struct{})
+	var flood sync.WaitGroup
+	var hotDone atomic.Uint64
+	for k := 0; k < 10; k++ {
+		flood.Add(1)
+		go func(k int) {
+			defer flood.Done()
+			var dst []float64
+			for i := k; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h, err := e.SubmitAsyncIntoTenant(hotLoops[i%len(hotLoops)], dst, hotIdx)
+				if err != nil {
+					return
+				}
+				dst = h.Wait().Values
+				hotDone.Add(1)
+			}
+		}(k)
+	}
+
+	lat := make([]time.Duration, 0, b.N)
+	var dst []float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		h, err := e.SubmitAsyncIntoTenant(bgLoops[i%len(bgLoops)], dst, bgIdx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst = h.Wait().Values
+		lat = append(lat, time.Since(t0))
+	}
+	b.StopTimer()
+	close(stop)
+	flood.Wait()
+
+	if b.N < minN || solo <= 0 {
+		return // bench-smoke runs 1x: no stable percentile to report
+	}
+	if hotDone.Load() == 0 {
+		b.Fatal("hot tenant made no progress — the flood never pressured the scheduler")
+	}
+	b.ReportMetric(100*float64(latP95(lat))/float64(solo), "isolation%")
+}
+
 // latP95 returns the 95th-percentile latency of the (unsorted) sample.
 func latP95(sample []time.Duration) time.Duration {
 	s := append([]time.Duration(nil), sample...)

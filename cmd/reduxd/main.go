@@ -51,10 +51,16 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
 	debugAddr := flag.String("debug-addr", "", "HTTP debug listen address serving /metrics, /tracez, /healthz and /debug/pprof (empty: disabled)")
 	traceSlow := flag.Duration("trace-slow", 0, "latency above which a job's stage timeline is kept for /tracez (0: 10ms default, negative: every job)")
+	tenantsFlag := flag.String("tenants", "", "tenant QoS config: name[:weight[:rate[:burst[:quota]]]],... (empty: single-tenant)")
 	flag.Parse()
 
 	if *procs < 1 || *procs > 64 {
 		fmt.Fprintf(os.Stderr, "reduxd: -procs must be in [1,64], got %d\n", *procs)
+		os.Exit(2)
+	}
+	tenants, err := server.ParseTenantSpecs(*tenantsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reduxd:", err)
 		os.Exit(2)
 	}
 
@@ -70,6 +76,7 @@ func main() {
 		RecalEvery:      *recalEvery,
 		RecalConfirm:    *recalConfirm,
 		DisableRecal:    *norecal,
+		Tenants:         server.EngineTenants(tenants),
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reduxd:", err)
@@ -83,6 +90,7 @@ func main() {
 		SessionTTL:         *sessionTTL,
 		MaxSessionBytes:    *sessionBytes,
 		TraceSlow:          *traceSlow,
+		Tenants:            tenants,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -95,7 +103,9 @@ func main() {
 	if *debugAddr != "" {
 		mux := obs.NewDebugMux("reduxd", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			if err := metrics.WriteEngineStats(w, eng.Stats()); err != nil {
+			stats := eng.Stats()
+			srv.MergeTenantBusy(&stats)
+			if err := metrics.WriteEngineStats(w, stats); err != nil {
 				return
 			}
 			metrics.WriteServerStats(w, srv)
@@ -129,7 +139,9 @@ func main() {
 	}
 	<-serveDone
 	eng.Close()
-	report(eng.Stats(), srv.Stats())
+	final := eng.Stats()
+	srv.MergeTenantBusy(&final)
+	report(final, srv.Stats())
 }
 
 // report prints the lifetime counters on shutdown.
@@ -147,6 +159,10 @@ func report(s engine.Stats, ss server.Stats) {
 	if s.SessionOpens != 0 || ss.SessionEvictions != 0 {
 		fmt.Printf("reduxd: sessions: %d opened (%d still resident, %d evicted), %d delta batches, segments %d recomputed / %d reused\n",
 			s.SessionOpens, ss.Sessions, ss.SessionEvictions, s.SessionJobs, s.SessionSegsComputed, s.SessionSegsReused)
+	}
+	for _, t := range s.Tenants {
+		fmt.Printf("reduxd: tenant %s (weight %d): %d jobs in %d batches, %d busy rejections\n",
+			t.Name, t.Weight, t.Jobs, t.Batches, t.Busy)
 	}
 	if len(s.Schemes) > 0 {
 		names := make([]string, 0, len(s.Schemes))

@@ -50,7 +50,14 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
 	debugAddr := flag.String("debug-addr", "", "HTTP debug listen address serving /metrics, /tracez, /healthz and /debug/pprof (empty: disabled)")
 	traceSlow := flag.Duration("trace-slow", 0, "latency above which a job's stage timeline is kept for /tracez (0: 10ms default, negative: every job)")
+	tenantsFlag := flag.String("tenants", "", "front-door tenant quotas: name[:weight[:rate[:burst[:quota]]]],... (admission only; backends run their own tenant config)")
 	flag.Parse()
+
+	tenants, err := server.ParseTenantSpecs(*tenantsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reduxgw:", err)
+		os.Exit(2)
+	}
 
 	addrs := strings.Split(*backends, ",")
 	var cleaned []string
@@ -80,6 +87,7 @@ func main() {
 		MaxInflightPerConn: *maxInflight,
 		MaxInflightGlobal:  *maxGlobal,
 		TraceSlow:          *traceSlow,
+		Tenants:            tenants,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -96,6 +104,7 @@ func main() {
 			// backend's STATS answer; a tier with no backend up scrapes the
 			// gateway-local series only.
 			if agg, err := pool.Stats(); err == nil {
+				srv.MergeTenantBusy(&agg)
 				if err := metrics.WriteEngineStats(w, agg); err != nil {
 					return
 				}
@@ -134,6 +143,9 @@ func main() {
 	}
 	<-serveDone
 	agg, aggErr := pool.Stats()
+	if aggErr == nil {
+		srv.MergeTenantBusy(&agg)
+	}
 	report(agg, aggErr, pool.PoolStats(), srv.Stats())
 	pool.Close()
 }
@@ -158,6 +170,10 @@ func report(agg engine.Stats, aggErr error, ps cluster.PoolStats, ss server.Stat
 			// itself answers OPEN_SESSION with "sessions unsupported".
 			fmt.Printf("reduxgw: tier sessions: %d opened, %d delta batches, segments %d recomputed / %d reused\n",
 				agg.SessionOpens, agg.SessionJobs, agg.SessionSegsComputed, agg.SessionSegsReused)
+		}
+		for _, t := range agg.Tenants {
+			fmt.Printf("reduxgw: tenant %s (weight %d): %d jobs tier-wide, %d busy rejections at the front door\n",
+				t.Name, t.Weight, t.Jobs, t.Busy)
 		}
 		if len(agg.Schemes) > 0 {
 			names := make([]string, 0, len(agg.Schemes))

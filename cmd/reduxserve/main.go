@@ -86,6 +86,32 @@ func (b localBackend) OpenSession(l *trace.Loop) (sessionHandle, engine.Result, 
 func (b localBackend) Stats() (engine.Stats, error) { return b.e.Stats(), nil }
 func (b localBackend) Close()                       { b.e.Close() }
 
+// tenantBackend is one tenant's submit surface over the shared
+// in-process engine — the local-mode counterpart of a HELLO-bound
+// client. The engine is owned (and closed) by the localBackend the
+// driver keeps for stats, so Close here is a no-op.
+type tenantBackend struct {
+	e      *engine.Engine
+	tenant int
+}
+
+func (b tenantBackend) SubmitInto(l *trace.Loop, dst []float64) (engine.Result, error) {
+	h, err := b.e.SubmitAsyncIntoTenant(l, dst, b.tenant)
+	if err != nil {
+		return engine.Result{}, err
+	}
+	return h.Wait(), nil
+}
+func (b tenantBackend) OpenSession(l *trace.Loop) (sessionHandle, engine.Result, error) {
+	s, res, err := b.e.OpenSessionTenant(l, 0, nil, b.tenant)
+	if err != nil {
+		return nil, res, err
+	}
+	return s, res, nil
+}
+func (b tenantBackend) Stats() (engine.Stats, error) { return b.e.Stats(), nil }
+func (b tenantBackend) Close()                       {}
+
 type remoteBackend struct{ c *client.Client }
 
 func (b remoteBackend) SubmitInto(l *trace.Loop, dst []float64) (engine.Result, error) {
@@ -152,6 +178,17 @@ type report struct {
 	Imbalance    float64           `json:"mean_imbalance"`
 	ImbalanceN   int64             `json:"imbalance_jobs"`
 	Schemes      map[string]uint64 `json:"schemes"`
+	Tenants      []tenantReport    `json:"tenants,omitempty"`
+}
+
+// tenantReport is one tenant's slice of a -tenants run: what the driver
+// offered under that identity and what the serving tier attributed.
+type tenantReport struct {
+	Name    string `json:"name"`
+	Weight  int    `json:"weight"`
+	Offered int    `json:"offered_jobs"`
+	Jobs    uint64 `json:"server_jobs"`
+	Busy    uint64 `json:"busy"`
 }
 
 func main() {
@@ -178,7 +215,15 @@ func main() {
 	gateway := flag.Int("gateway", 0, "spawn this many in-process reduxd backends behind a pattern-routing gateway and drive it")
 	conns := flag.Int("conns", 4, "client connection pool size (remote mode)")
 	jsonOut := flag.Bool("json", false, "emit the final report as JSON on stdout")
+	tenantsFlag := flag.String("tenants", "", "drive per-tenant job streams: name[:weight[:rate[:burst[:quota]]]],... — weights set each tenant's share of -jobs; remote mode binds each tenant's clients via HELLO, local mode runs a multi-tenant engine (rate/burst/quota are reduxd-side knobs, ignored by the driver)")
 	flag.Parse()
+
+	tspecs, err := server.ParseTenantSpecs(*tenantsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reduxserve:", err)
+		os.Exit(2)
+	}
+	tenantMode := len(tspecs) > 0
 
 	switch {
 	case *procs < 1 || *procs > 64:
@@ -217,6 +262,15 @@ func main() {
 	case *sessions > *jobs:
 		fmt.Fprintf(os.Stderr, "reduxserve: -sessions (%d) needs at least one delta batch each, but -jobs is %d\n", *sessions, *jobs)
 		os.Exit(2)
+	case tenantMode && (*zipf || *drift || *sessions > 0):
+		fmt.Fprintf(os.Stderr, "reduxserve: -tenants is its own stream shape; it cannot be combined with -zipf, -drift or -sessions\n")
+		os.Exit(2)
+	case tenantMode && *gateway > 0:
+		fmt.Fprintf(os.Stderr, "reduxserve: the gateway forwards jobs under the default identity; drive reduxd directly in tenant mode\n")
+		os.Exit(2)
+	case tenantMode && *patterns < 1:
+		fmt.Fprintf(os.Stderr, "reduxserve: -tenants needs -patterns >= 1\n")
+		os.Exit(2)
 	}
 	if *remote != "" {
 		// Engine-shape flags configure the in-process engine only; in
@@ -242,11 +296,28 @@ func main() {
 	var loops []*trace.Loop
 	var stream []*trace.Loop
 	var verifyLoops []*trace.Loop
+	var tenantStreams [][]*trace.Loop
+	var tenantJobs []int
 	phaseLen := *driftPhase
 	switch {
 	case *sessions > 0:
 		// Session mode builds per-session DeltaStreams in the measured
 		// phase itself; there is no one-shot population to warm or verify.
+	case tenantMode:
+		// One Zipf-skewed stream per tenant over disjoint pattern
+		// populations, each sized by the tenant's weight share of -jobs;
+		// each population is warmed through its own tenant identity below.
+		tenantJobs = tenantShares(tspecs, *jobs)
+		tenantStreams = workloads.TenantMixStream(tenantJobs, *patterns, *scale, 1)
+		seen := map[*trace.Loop]bool{}
+		for _, ts := range tenantStreams {
+			for _, l := range ts {
+				if !seen[l] {
+					seen[l] = true
+					verifyLoops = append(verifyLoops, l)
+				}
+			}
+		}
 	case *zipf:
 		loops = workloads.HotKeySet(*patterns, *scale)
 		stream = workloads.ZipfStream(loops, *jobs, *zipfS, 1)
@@ -290,8 +361,37 @@ func main() {
 		DisableRecal:    *norecal,
 	}
 	var be backend
+	var tenantBEs []backend
 	where := "in-process engine"
 	switch {
+	case *remote != "" && tenantMode:
+		// One client per tenant: the HELLO binding is per connection, so
+		// each tenant's stream needs its own pool.
+		for _, ts := range tspecs {
+			c, err := client.Dial(*remote, client.Config{Conns: *conns, Tenant: ts.Name})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "reduxserve:", err)
+				os.Exit(1)
+			}
+			tenantBEs = append(tenantBEs, remoteBackend{c})
+		}
+		be = tenantBEs[0]
+		for _, tb := range tenantBEs[1:] {
+			defer tb.Close()
+		}
+		where = fmt.Sprintf("reduxd at %s under %d tenant identities", *remote, len(tspecs))
+	case tenantMode:
+		ecfg.Tenants = server.EngineTenants(tspecs)
+		e, err := engine.New(ecfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "reduxserve:", err)
+			os.Exit(2)
+		}
+		for _, ts := range tspecs {
+			tenantBEs = append(tenantBEs, tenantBackend{e, e.TenantIndex(ts.Name)})
+		}
+		be = localBackend{e}
+		where = fmt.Sprintf("in-process engine with %d tenants", len(tspecs))
 	case *remote != "":
 		c, err := client.Dial(*remote, client.Config{Conns: *conns})
 		if err != nil {
@@ -341,6 +441,9 @@ func main() {
 		rep.Mode = fmt.Sprintf("sessions(%d streams, %d deltas/batch)", *sessions, sessionDeltaBatch)
 		rep.Sessions = *sessions
 	}
+	if tenantMode {
+		rep.Mode = fmt.Sprintf("tenants(%d streams, %d patterns each)", len(tspecs), *patterns)
+	}
 	if *remote == "" {
 		rep.Workers, rep.Procs = *workers, *procs
 	}
@@ -364,6 +467,22 @@ func main() {
 		if _, err := submitWithBusyRetry(be, l, nil); err != nil {
 			fmt.Fprintln(os.Stderr, "warmup:", err)
 			os.Exit(1)
+		}
+	}
+	// Tenant mode warms each tenant's own population through its own
+	// identity, so decision-cache state lands under the right attribution
+	// and rate-limited tenants pace their warmup like real traffic.
+	for t, tb := range tenantBEs {
+		warmed := map[*trace.Loop]bool{}
+		for _, l := range tenantStreams[t] {
+			if warmed[l] {
+				continue
+			}
+			warmed[l] = true
+			if _, err := submitWithBusyRetry(tb, l, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "warmup: tenant %s: %v\n", tspecs[t].Name, err)
+				os.Exit(1)
+			}
 		}
 	}
 
@@ -406,6 +525,50 @@ func main() {
 					failures.Add(1)
 				}
 			}(s, steps)
+		}
+	} else if tenantMode {
+		// Each tenant runs its own closed loop over its own stream, so
+		// the offered mix tracks the configured weights exactly and one
+		// tenant's BUSY backoff never slows another's submissions.
+		nG := *clients / len(tenantBEs)
+		if nG < 1 {
+			nG = 1
+		}
+		idxs := make([]atomic.Int64, len(tenantBEs))
+		for t := range tenantBEs {
+			for g := 0; g < nG; g++ {
+				wg.Add(1)
+				go func(t int) {
+					defer wg.Done()
+					tb, ts := tenantBEs[t], tenantStreams[t]
+					var dst []float64
+					for {
+						n := int(idxs[t].Add(1)) - 1
+						if n >= len(ts) {
+							break
+						}
+						l := ts[n]
+						t0 := time.Now()
+						res, err := submitWithBusyRetry(tb, l, dst)
+						if err != nil {
+							fmt.Fprintf(os.Stderr, "submit: tenant %s: %v\n", tspecs[t].Name, err)
+							failures.Add(1)
+							break
+						}
+						latHist.Observe(time.Since(t0))
+						dst = res.Values
+						if res.Imbalance > 0 {
+							imbalanceSum.Add(int64(res.Imbalance * 1000))
+							imbalanceN.Add(1)
+						}
+						if *verify && n < 4*nG && !matches(res.Values, refs[l]) {
+							fmt.Fprintf(os.Stderr, "verify: tenant %s: %s diverged from sequential reference\n", tspecs[t].Name, l.Name)
+							failures.Add(1)
+							break
+						}
+					}
+				}(t)
+			}
 		}
 	} else {
 		for c := 0; c < *clients; c++ {
@@ -492,6 +655,22 @@ func main() {
 		rep.ImbalanceN = n
 	}
 	rep.Schemes = s.Schemes
+	if tenantMode {
+		rows := map[string]engine.TenantStats{}
+		for _, row := range s.Tenants {
+			rows[row.Name] = row
+		}
+		for i, ts := range tspecs {
+			row := rows[ts.Name]
+			rep.Tenants = append(rep.Tenants, tenantReport{
+				Name:    ts.Name,
+				Weight:  ts.Weight,
+				Offered: tenantJobs[i],
+				Jobs:    row.Jobs,
+				Busy:    row.Busy,
+			})
+		}
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -709,6 +888,10 @@ func printHuman(rep report) {
 		fmt.Printf("mean measured imbalance: %.2fx over %d feedback-scheduled jobs\n",
 			rep.Imbalance, rep.ImbalanceN)
 	}
+	for _, t := range rep.Tenants {
+		fmt.Printf("tenant %s (weight %d): offered %d jobs, server attributed %d, %d busy rejections\n",
+			t.Name, t.Weight, t.Offered, t.Jobs, t.Busy)
+	}
 	fmt.Println("scheme mix:")
 	names := make([]string, 0, len(rep.Schemes))
 	for name := range rep.Schemes {
@@ -718,6 +901,25 @@ func printHuman(rep report) {
 	for _, name := range names {
 		fmt.Printf("  %-6s %d jobs\n", name, rep.Schemes[name])
 	}
+}
+
+// tenantShares splits total jobs across tenants proportionally to their
+// weights, by cumulative rounding so the shares sum to exactly total.
+func tenantShares(specs []server.TenantSpec, total int) []int {
+	var sumW int64
+	for _, s := range specs {
+		sumW += int64(s.Weight)
+	}
+	out := make([]int, len(specs))
+	var cum int64
+	prev := 0
+	for i, s := range specs {
+		cum += int64(s.Weight)
+		end := int(int64(total) * cum / sumW)
+		out[i] = end - prev
+		prev = end
+	}
+	return out
 }
 
 // statsDelta returns the counters accumulated since the warm snapshot.
@@ -749,6 +951,24 @@ func statsDelta(now, warm engine.Stats) engine.Stats {
 	for k, v := range now.Schemes {
 		if v -= warm.Schemes[k]; v > 0 {
 			d.Schemes[k] = v
+		}
+	}
+	// Per-tenant rows: counters delta against the warm row of the same
+	// name; Weight is a gauge and QueueWait an absolute snapshot, both
+	// carried as-is.
+	if len(now.Tenants) > 0 {
+		warmRows := make(map[string]engine.TenantStats, len(warm.Tenants))
+		for _, row := range warm.Tenants {
+			warmRows[row.Name] = row
+		}
+		for _, row := range now.Tenants {
+			w := warmRows[row.Name]
+			row.Jobs -= w.Jobs
+			row.Batches -= w.Batches
+			row.Busy -= w.Busy
+			row.Recalibrations -= w.Recalibrations
+			row.SchemeSwitches -= w.SchemeSwitches
+			d.Tenants = append(d.Tenants, row)
 		}
 	}
 	for k, v := range now.BatchOccupancy {

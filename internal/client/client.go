@@ -40,6 +40,13 @@ type Config struct {
 	DialTimeout time.Duration
 	// MaxFrameBytes caps one response frame (default wire.DefaultMaxFrame).
 	MaxFrameBytes int
+	// Tenant, when set, authenticates every pooled connection as that
+	// tenant: a client HELLO carrying the name is sent right after the
+	// preamble, and the server charges the connection's jobs against the
+	// tenant's admission quotas and schedules them under its weight.
+	// Empty means the default tenant and a wire dialogue byte-identical
+	// to pre-tenant clients.
+	Tenant string
 }
 
 func (c *Config) fill() {
@@ -285,6 +292,15 @@ func (pc *poolConn) ensure() (*netSession, error) {
 	if err := wire.WritePreamble(nc); err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("client: preamble: %w", err)
+	}
+	if t := pc.cl.cfg.Tenant; t != "" {
+		// Bind the connection to its tenant before any job rides it. The
+		// frame is connection-scoped (job ID 0), mirroring the server's
+		// own HELLO.
+		if _, err := nc.Write(wire.AppendHello(nil, wire.Hello{Version: wire.ProtoVersion, Tenant: t})); err != nil {
+			nc.Close()
+			return nil, fmt.Errorf("client: tenant hello: %w", err)
+		}
 	}
 	s := &netSession{
 		pc:      pc,

@@ -30,6 +30,9 @@ type job struct {
 // they do share and executes the batch as one set of partial sums.
 type batch struct {
 	fp uint64
+	// tenant is the scheduler index of the tenant whose FIFO the batch
+	// queues on; all members share it (fusion is tenant-scoped).
+	tenant int
 	// allowOv admits overlap joiners; set at registration when the engine
 	// has simplification enabled and the leader is an add reduction.
 	allowOv bool
@@ -98,9 +101,18 @@ type coalescer struct {
 	mask    uint64
 }
 
+// coKey names one open batch: the pattern fingerprint scoped by tenant,
+// so same-pattern jobs from different tenants never fuse — fusion would
+// let one tenant's jobs ride (and leak timing through) another tenant's
+// scheduling share.
+type coKey struct {
+	fp     uint64
+	tenant int
+}
+
 type coalesceShard struct {
 	mu      sync.Mutex
-	pending map[uint64]*batch
+	pending map[coKey]*batch
 }
 
 func newCoalescer(shardCount, maxBatch int, allowOv bool) *coalescer {
@@ -111,34 +123,38 @@ func newCoalescer(shardCount, maxBatch int, allowOv bool) *coalescer {
 		mask:     uint64(shardCount - 1),
 	}
 	for i := range c.shards {
-		c.shards[i].pending = make(map[uint64]*batch)
+		c.shards[i].pending = make(map[coKey]*batch)
 	}
 	return c
 }
 
-// add fuses j into the open batch for fp when one exists, else registers a
-// new batch. The boolean reports the new-batch case, where the caller must
-// enqueue the returned batch; a fused join costs no queue slot.
-func (c *coalescer) add(fp uint64, j *job) (*batch, bool) {
+// add fuses j into the tenant's open batch for fp when one exists, else
+// registers a new batch. The boolean reports the new-batch case, where
+// the caller must enqueue the returned batch; a fused join costs no
+// queue slot. Sharding stays by fingerprint — tenants share the shard
+// space but never a batch.
+func (c *coalescer) add(fp uint64, tenant int, j *job) (*batch, bool) {
+	key := coKey{fp: fp, tenant: tenant}
 	s := &c.shards[fp&c.mask]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if b, ok := s.pending[fp]; ok && b.tryJoin(j, c.maxBatch) {
+	if b, ok := s.pending[key]; ok && b.tryJoin(j, c.maxBatch) {
 		return b, false
 	}
-	b := &batch{fp: fp, jobs: []*job{j}, allowOv: c.allowOv && j.loop.Op == trace.OpAdd, enq: time.Now()}
-	s.pending[fp] = b
+	b := &batch{fp: fp, tenant: tenant, jobs: []*job{j}, allowOv: c.allowOv && j.loop.Op == trace.OpAdd, enq: time.Now()}
+	s.pending[key] = b
 	return b, true
 }
 
-// remove unregisters b if it is still the open batch for fp. Workers call
-// it after sealing, so a later same-fingerprint job starts a fresh batch
-// instead of joining one already executing.
+// remove unregisters b if it is still the open batch for its key. Workers
+// call it after sealing, so a later same-fingerprint job starts a fresh
+// batch instead of joining one already executing.
 func (c *coalescer) remove(fp uint64, b *batch) {
+	key := coKey{fp: fp, tenant: b.tenant}
 	s := &c.shards[fp&c.mask]
 	s.mu.Lock()
-	if s.pending[fp] == b {
-		delete(s.pending, fp)
+	if s.pending[key] == b {
+		delete(s.pending, key)
 	}
 	s.mu.Unlock()
 }
@@ -151,12 +167,19 @@ func (c *coalescer) remove(fp uint64, b *batch) {
 // leader group runs the cached scheme directly and each overlap group
 // runs its own direct execution over the same decision.
 func (e *Engine) runBatch(w *workerCtx, b *batch) {
+	t := e.tenants[0]
+	if b.tenant > 0 && b.tenant < len(e.tenants) {
+		t = e.tenants[b.tenant]
+	}
 	if b.sess != nil {
 		var qw time.Duration
 		if !b.enq.IsZero() {
 			qw = time.Since(b.enq)
 			w.stats.stages.Observe(obs.StageQueueWait, qw)
+			t.queueWait.Observe(qw)
 		}
+		t.jobs.Add(1)
+		t.batches.Add(1)
 		e.runSession(w, b.sess, qw)
 		return
 	}
@@ -174,7 +197,10 @@ func (e *Engine) runBatch(w *workerCtx, b *batch) {
 	if !b.enq.IsZero() {
 		qw = time.Since(b.enq)
 		w.stats.stages.Observe(obs.StageQueueWait, qw)
+		t.queueWait.Observe(qw)
 	}
+	t.jobs.Add(uint64(len(jobs) + len(ov)))
+	t.batches.Add(1)
 	lookupStart := time.Now()
 	entry, hit := e.lookup(l, b.fp)
 	var insp time.Duration
@@ -189,6 +215,10 @@ func (e *Engine) runBatch(w *workerCtx, b *batch) {
 	if e.recalEnabled() {
 		if reinspected, switched := e.maybeReinspect(entry, l); reinspected {
 			w.stats.recordRecal(switched)
+			t.recals.Add(1)
+			if switched {
+				t.switches.Add(1)
+			}
 		}
 	}
 

@@ -55,7 +55,16 @@ type Config struct {
 	SampleStride int
 	// QueueDepth is the submission queue length in batches (default
 	// 2*Workers). Jobs fusing into a queued batch consume no queue slot.
+	// With tenants configured the depth applies per tenant, so one
+	// tenant's backlog cannot exhaust another tenant's queue slots.
 	QueueDepth int
+	// Tenants configures weighted multi-tenant scheduling. The default
+	// tenant always exists at index 0 (weight 1 unless an entry named
+	// "default" overrides it); each other entry adds a tenant whose jobs
+	// queue separately and are drained by weighted deficit round robin.
+	// Empty means single-tenant: one queue, stats and wire frames
+	// byte-identical to the pre-tenant engine.
+	Tenants []TenantConfig
 	// MaxCacheEntries bounds the decision cache across all shards
 	// (default 1024); beyond it the owning shard evicts by CLOCK.
 	MaxCacheEntries int
@@ -163,7 +172,7 @@ func (h *Handle) Wait() Result {
 type Engine struct {
 	cfg  Config
 	pool *reduction.BufferPool
-	jobs chan *batch
+	q    *drrQueue
 	wg   sync.WaitGroup
 
 	closeMu sync.RWMutex
@@ -171,6 +180,9 @@ type Engine struct {
 
 	cache *decisionCache
 	co    *coalescer // nil when coalescing is disabled
+
+	tenants   []*tenantRT
+	tenantIdx map[string]int
 
 	statShards []statShard
 }
@@ -238,9 +250,19 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.RecalConfirm == 0 {
 		cfg.RecalConfirm = 2
 	}
+	tenants, tenantIdx, err := buildTenants(cfg.Tenants)
+	if err != nil {
+		return nil, err
+	}
+	weights := make([]int, len(tenants))
+	for i, t := range tenants {
+		weights[i] = t.weight
+	}
 	e := &Engine{
 		cfg:        cfg,
-		jobs:       make(chan *batch, cfg.QueueDepth),
+		q:          newDRRQueue(weights, cfg.QueueDepth),
+		tenants:    tenants,
+		tenantIdx:  tenantIdx,
 		cache:      newDecisionCache(cfg.CacheShards, cfg.MaxCacheEntries),
 		statShards: newStatShards(cfg.Workers, cfg.MaxBatch),
 	}
@@ -305,11 +327,23 @@ func (e *Engine) SubmitAsync(l *trace.Loop) (*Handle, error) {
 // SubmitAsyncInto is SubmitAsync with a caller-provided destination array.
 // The destination must not be read or reused until Wait returns.
 func (e *Engine) SubmitAsyncInto(l *trace.Loop, dst []float64) (*Handle, error) {
+	return e.SubmitAsyncIntoTenant(l, dst, 0)
+}
+
+// SubmitAsyncIntoTenant is SubmitAsyncInto on behalf of a tenant (an
+// index from TenantIndex; out-of-range degrades to the default tenant).
+// The job queues on the tenant's own FIFO and fuses only with the same
+// tenant's same-pattern jobs — cross-tenant fusion would let one
+// tenant's traffic ride (and observe) another's scheduling share.
+func (e *Engine) SubmitAsyncIntoTenant(l *trace.Loop, dst []float64, tenant int) (*Handle, error) {
 	if l == nil {
 		return nil, errors.New("engine: nil loop")
 	}
 	if l.NumElems <= 0 {
 		return nil, fmt.Errorf("engine: loop %q has non-positive NumElems", l.Name)
+	}
+	if tenant < 0 || tenant >= len(e.tenants) {
+		tenant = 0
 	}
 	j := &job{loop: l, dst: dst, done: make(chan Result, 1)}
 	fp := l.Fingerprint()
@@ -319,12 +353,12 @@ func (e *Engine) SubmitAsyncInto(l *trace.Loop, dst []float64) (*Handle, error) 
 		return nil, ErrClosed
 	}
 	if e.co == nil {
-		e.jobs <- &batch{fp: fp, jobs: []*job{j}, enq: time.Now()}
-	} else if b, isNew := e.co.add(fp, j); isNew {
+		e.q.push(tenant, &batch{fp: fp, tenant: tenant, jobs: []*job{j}, enq: time.Now()})
+	} else if b, isNew := e.co.add(fp, tenant, j); isNew {
 		// The batch stays open to joiners while this send waits for a
 		// queue slot and until a worker seals it — that queue residency is
 		// the coalescing window.
-		e.jobs <- b
+		e.q.push(tenant, b)
 	}
 	return &Handle{done: j.done}, nil
 }
@@ -338,7 +372,7 @@ func (e *Engine) Close() {
 		return
 	}
 	e.closed = true
-	close(e.jobs)
+	e.q.close()
 	e.closeMu.Unlock()
 	e.wg.Wait()
 }
@@ -366,7 +400,7 @@ func (e *Engine) worker(id int) {
 		times: make([]float64, e.cfg.Platform.Procs),
 		stats: &e.statShards[id],
 	}
-	for b := range e.jobs {
+	for b := e.q.pop(); b != nil; b = e.q.pop() {
 		e.runBatch(w, b)
 	}
 }

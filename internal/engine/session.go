@@ -28,7 +28,8 @@ var ErrSessionClosed = errors.New("engine: session closed")
 // on the session mutex, and Close waits for the in-flight one, so a
 // result can never mix two generations.
 type Session struct {
-	e *Engine
+	e      *Engine
+	tenant int // scheduler index recorded at open; every apply queues under it
 
 	mu     sync.Mutex
 	st     *reduction.DeltaState
@@ -59,13 +60,24 @@ type sessionOutcome struct {
 // SubmitInto). segIters <= 0 picks the default segment width for the
 // engine's processor count. The returned Result carries SessionGen 1.
 func (e *Engine) OpenSession(l *trace.Loop, segIters int, dst []float64) (*Session, Result, error) {
+	return e.OpenSessionTenant(l, segIters, dst, 0)
+}
+
+// OpenSessionTenant is OpenSession on behalf of a tenant (an index from
+// TenantIndex; out-of-range degrades to the default tenant). The open
+// and every later Apply queue on the tenant's FIFO, so resident sessions
+// are scheduled under the same weights as one-shot jobs.
+func (e *Engine) OpenSessionTenant(l *trace.Loop, segIters int, dst []float64, tenant int) (*Session, Result, error) {
 	if l == nil {
 		return nil, Result{}, errors.New("engine: nil loop")
 	}
 	if l.NumElems <= 0 {
 		return nil, Result{}, fmt.Errorf("engine: loop %q has non-positive NumElems", l.Name)
 	}
-	s := &Session{e: e}
+	if tenant < 0 || tenant >= len(e.tenants) {
+		tenant = 0
+	}
+	s := &Session{e: e, tenant: tenant}
 	sw := &sessionWork{
 		s:        s,
 		loop:     l,
@@ -147,7 +159,7 @@ func (e *Engine) enqueueSession(sw *sessionWork) error {
 	if e.closed {
 		return ErrClosed
 	}
-	e.jobs <- &batch{sess: sw, enq: time.Now()}
+	e.q.push(sw.s.tenant, &batch{sess: sw, tenant: sw.s.tenant, enq: time.Now()})
 	return nil
 }
 

@@ -51,6 +51,46 @@ type Stats struct {
 	// with observations appear. Snapshots decoded off the wire may carry
 	// stage names this build does not know — Merge combines by name.
 	Stages []obs.StageSummary
+	// Tenants holds the per-tenant slices of the counters above, one row
+	// per configured tenant in scheduler order. Empty in single-tenant
+	// engines, so legacy deployments encode byte-identical STATS frames.
+	Tenants []TenantStats
+}
+
+// TenantStats is one tenant's slice of the engine counters plus the
+// admission rejections the serving tier charged against it. Rows merge
+// by Name across a gateway's backends.
+type TenantStats struct {
+	// Name identifies the tenant; Weight is its DRR scheduling weight.
+	Name   string
+	Weight int
+	// Jobs counts reductions executed for the tenant (session operations
+	// included); Batches counts the executions that carried them.
+	Jobs, Batches uint64
+	// Busy counts submissions the serving tier rejected against the
+	// tenant's quota or token bucket (BUSY code 5). The engine itself
+	// never rejects — the server folds its counter in before encoding.
+	Busy uint64
+	// Recalibrations and SchemeSwitches attribute drift re-inspections to
+	// the tenant whose batch triggered them.
+	Recalibrations, SchemeSwitches uint64
+	// QueueWait is the tenant's submission-queue residency histogram —
+	// the isolation signal: a flooded tenant's queue wait grows while a
+	// well-behaved tenant's stays near its solo baseline.
+	QueueWait obs.Snapshot
+}
+
+// merge folds o into t (same tenant name on another backend).
+func (t *TenantStats) merge(o TenantStats) {
+	if t.Weight == 0 {
+		t.Weight = o.Weight
+	}
+	t.Jobs += o.Jobs
+	t.Batches += o.Batches
+	t.Busy += o.Busy
+	t.Recalibrations += o.Recalibrations
+	t.SchemeSwitches += o.SchemeSwitches
+	t.QueueWait.Merge(o.QueueWait)
 }
 
 // Merge adds o's counters into s — how a gateway aggregates the STATS
@@ -93,6 +133,19 @@ func (s *Stats) Merge(o Stats) {
 		s.Schemes[k] += v
 	}
 	s.Stages = obs.MergeStageSummaries(s.Stages, o.Stages)
+	for _, ot := range o.Tenants {
+		merged := false
+		for i := range s.Tenants {
+			if s.Tenants[i].Name == ot.Name {
+				s.Tenants[i].merge(ot)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			s.Tenants = append(s.Tenants, ot)
+		}
+	}
 }
 
 // statShard is one worker's private counters. Every worker owns exactly
@@ -235,5 +288,13 @@ func (e *Engine) Stats() Stats {
 		s.Stages = obs.MergeStageSummaries(s.Stages, sh.stages.Snapshot())
 	}
 	s.CacheEntries, s.CacheEvictions = e.cache.counters()
+	// Tenant rows only exist in multi-tenant engines, so a single-tenant
+	// deployment's STATS frame stays byte-identical to the legacy layout.
+	if len(e.tenants) > 1 {
+		s.Tenants = make([]TenantStats, 0, len(e.tenants))
+		for _, t := range e.tenants {
+			s.Tenants = append(s.Tenants, t.snapshot())
+		}
+	}
 	return s
 }

@@ -1,0 +1,169 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+func TestBuildTenantsValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfgs []TenantConfig
+	}{
+		{"empty name", []TenantConfig{{Name: "", Weight: 1}}},
+		{"negative weight", []TenantConfig{{Name: "a", Weight: -2}}},
+		{"duplicate", []TenantConfig{{Name: "a", Weight: 1}, {Name: "a", Weight: 2}}},
+	} {
+		if _, _, err := buildTenants(tc.cfgs); err == nil {
+			t.Errorf("%s: buildTenants accepted invalid config", tc.name)
+		}
+	}
+}
+
+func TestTenantIndexAndDefault(t *testing.T) {
+	e := mustNew(t, Config{Workers: 1, Tenants: []TenantConfig{
+		{Name: "gold", Weight: 4},
+		{Name: "bronze", Weight: 1},
+	}})
+	defer e.Close()
+
+	names := e.Tenants()
+	if len(names) != 3 || names[0] != DefaultTenant || names[1] != "gold" || names[2] != "bronze" {
+		t.Fatalf("tenant list = %v, want [default gold bronze]", names)
+	}
+	if i := e.TenantIndex("gold"); i != 1 {
+		t.Errorf("TenantIndex(gold) = %d, want 1", i)
+	}
+	if i := e.TenantIndex(""); i != 0 {
+		t.Errorf("TenantIndex(\"\") = %d, want 0 (default)", i)
+	}
+	if i := e.TenantIndex("nobody"); i != 0 {
+		t.Errorf("TenantIndex(unknown) = %d, want 0 (degrade to default)", i)
+	}
+}
+
+// TestTenantDefaultWeightOverride pins that a config entry named
+// "default" re-weights the implicit tenant 0 instead of adding a row.
+func TestTenantDefaultWeightOverride(t *testing.T) {
+	e := mustNew(t, Config{Workers: 1, Tenants: []TenantConfig{
+		{Name: DefaultTenant, Weight: 3},
+		{Name: "gold", Weight: 4},
+	}})
+	defer e.Close()
+	if got := e.Tenants(); len(got) != 2 {
+		t.Fatalf("tenant list = %v, want 2 entries", got)
+	}
+	s := e.Stats()
+	if len(s.Tenants) != 2 || s.Tenants[0].Name != DefaultTenant || s.Tenants[0].Weight != 3 {
+		t.Fatalf("stats rows = %+v, want default with weight 3 first", s.Tenants)
+	}
+}
+
+// TestTenantStatsAttribution runs real jobs under two tenants and checks
+// the per-tenant rows slice the global counters correctly — and that a
+// single-tenant engine emits no rows at all, keeping legacy STATS frames
+// byte-identical.
+func TestTenantStatsAttribution(t *testing.T) {
+	loops, refs := mixedLoops()
+	e := mustNew(t, Config{Workers: 2, Tenants: []TenantConfig{{Name: "gold", Weight: 4}}})
+	defer e.Close()
+
+	gold := e.TenantIndex("gold")
+	const perTenant = 6
+	run := func(tenant int) {
+		for n := 0; n < perTenant; n++ {
+			l := loops[n%len(loops)]
+			h, err := e.SubmitAsyncIntoTenant(l, nil, tenant)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := h.Wait()
+			assertMatches(t, l.Name, res.Values, refs[n%len(loops)])
+		}
+	}
+	run(0)
+	run(gold)
+
+	s := e.Stats()
+	if len(s.Tenants) != 2 {
+		t.Fatalf("got %d tenant rows, want 2", len(s.Tenants))
+	}
+	var totalJobs uint64
+	for _, row := range s.Tenants {
+		if row.Jobs != perTenant {
+			t.Errorf("tenant %s: %d jobs, want %d", row.Name, row.Jobs, perTenant)
+		}
+		if row.Batches == 0 || row.Batches > row.Jobs {
+			t.Errorf("tenant %s: %d batches for %d jobs", row.Name, row.Batches, row.Jobs)
+		}
+		if row.QueueWait.Count == 0 {
+			t.Errorf("tenant %s: queue-wait histogram never observed", row.Name)
+		}
+		totalJobs += row.Jobs
+	}
+	if totalJobs != s.Jobs {
+		t.Errorf("tenant rows sum to %d jobs, engine counted %d", totalJobs, s.Jobs)
+	}
+
+	single := mustNew(t, Config{Workers: 1})
+	defer single.Close()
+	if _, err := single.Submit(loops[0]); err != nil {
+		t.Fatal(err)
+	}
+	if rows := single.Stats().Tenants; len(rows) != 0 {
+		t.Fatalf("single-tenant engine emitted %d tenant rows, want none", len(rows))
+	}
+}
+
+// TestTenantStatsMerge pins the cross-node aggregation the gateway runs:
+// rows merge by name, weights survive zero-valued sides, and unmatched
+// rows append.
+func TestTenantStatsMerge(t *testing.T) {
+	a := Stats{Tenants: []TenantStats{
+		{Name: "default", Weight: 1, Jobs: 10},
+		{Name: "gold", Weight: 4, Jobs: 5, Busy: 2},
+	}}
+	b := Stats{Tenants: []TenantStats{
+		{Name: "gold", Jobs: 7, Busy: 1},
+		{Name: "bronze", Weight: 2, Jobs: 3},
+	}}
+	a.Merge(b)
+	if len(a.Tenants) != 3 {
+		t.Fatalf("merged to %d rows, want 3", len(a.Tenants))
+	}
+	byName := map[string]TenantStats{}
+	for _, row := range a.Tenants {
+		byName[row.Name] = row
+	}
+	if g := byName["gold"]; g.Jobs != 12 || g.Busy != 3 || g.Weight != 4 {
+		t.Errorf("gold merged to %+v, want jobs 12, busy 3, weight 4", g)
+	}
+	if br := byName["bronze"]; br.Jobs != 3 || br.Weight != 2 {
+		t.Errorf("bronze appended as %+v", br)
+	}
+}
+
+// TestTenantFusionScoped pins that batch fusion never crosses tenants:
+// the same fingerprint under two tenants opens two batches (isolation
+// would leak through a shared batch — one tenant's jobs riding another's
+// scheduling credit).
+func TestTenantFusionScoped(t *testing.T) {
+	co := newCoalescer(4, 8, false)
+	l := workloads.MixedSet(0.1)[0]
+	fp := l.Fingerprint()
+	j0 := &job{loop: l}
+	j1 := &job{loop: l}
+	j2 := &job{loop: l}
+	if _, isNew := co.add(fp, 0, j0); !isNew {
+		t.Fatal("first add under tenant 0 did not open a batch")
+	}
+	if _, isNew := co.add(fp, 1, j1); !isNew {
+		t.Fatal("same fingerprint under tenant 1 fused into tenant 0's batch")
+	}
+	if b, isNew := co.add(fp, 0, j2); isNew {
+		t.Fatal("same tenant, same fingerprint did not fuse")
+	} else if b.tenant != 0 {
+		t.Fatalf("fused batch carries tenant %d, want 0", b.tenant)
+	}
+}

@@ -64,6 +64,34 @@ func WriteEngineStats(w io.Writer, s engine.Stats) error {
 
 	m.StageSet("redux_engine_stage_latency_seconds",
 		"Engine-side per-stage job latency (queue_wait, inspect, execute).", s.Stages)
+
+	// Per-tenant slices, labeled by tenant name. Families are declared
+	// even when no tenants are configured (s.Tenants empty) so dashboards
+	// keyed on them never see the series vanish.
+	tc := func(name, help string, get func(t engine.TenantStats) uint64) {
+		m.Family(name, "counter", help)
+		for _, t := range s.Tenants {
+			m.Sample(name, float64(get(t)), "tenant", t.Name)
+		}
+	}
+	tc("redux_engine_tenant_jobs_total", "Reduction jobs executed per tenant.",
+		func(t engine.TenantStats) uint64 { return t.Jobs })
+	tc("redux_engine_tenant_batches_total", "Batch executions per tenant.",
+		func(t engine.TenantStats) uint64 { return t.Batches })
+	tc("redux_engine_tenant_busy_total", "Jobs rejected by the tenant's admission quotas (BUSY tenant answers).",
+		func(t engine.TenantStats) uint64 { return t.Busy })
+	tc("redux_engine_tenant_recalibrations_total", "Stale-entry re-inspections triggered by the tenant's batches.",
+		func(t engine.TenantStats) uint64 { return t.Recalibrations })
+	tc("redux_engine_tenant_scheme_switches_total", "Recalibrations by the tenant's batches that replaced a cached scheme.",
+		func(t engine.TenantStats) uint64 { return t.SchemeSwitches })
+	m.Family("redux_engine_tenant_weight", "gauge", "Configured DRR scheduling weight per tenant.")
+	for _, t := range s.Tenants {
+		m.Sample("redux_engine_tenant_weight", float64(t.Weight), "tenant", t.Name)
+	}
+	m.Family("redux_engine_tenant_queue_wait_seconds", "histogram", "Batch queue wait per tenant.")
+	for _, t := range s.Tenants {
+		m.Histogram("redux_engine_tenant_queue_wait_seconds", t.QueueWait, "tenant", t.Name)
+	}
 	return m.Err()
 }
 

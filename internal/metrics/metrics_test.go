@@ -38,6 +38,20 @@ var statsSeries = map[string]string{
 	"Schemes":             "redux_engine_scheme_jobs_total",
 	"BatchOccupancy":      "redux_engine_batch_occupancy_total",
 	"Stages":              "redux_engine_stage_latency_seconds",
+	"Tenants":             "redux_engine_tenant_jobs_total",
+}
+
+// tenantSeries lists the rest of the per-tenant families (the coverage
+// map above can carry only one series per struct field); each must be
+// declared even when idle and sampled per tenant when rows exist.
+var tenantSeries = []string{
+	"redux_engine_tenant_jobs_total",
+	"redux_engine_tenant_batches_total",
+	"redux_engine_tenant_busy_total",
+	"redux_engine_tenant_recalibrations_total",
+	"redux_engine_tenant_scheme_switches_total",
+	"redux_engine_tenant_weight",
+	"redux_engine_tenant_queue_wait_seconds",
 }
 
 func sampleStats() engine.Stats {
@@ -55,6 +69,48 @@ func sampleStats() engine.Stats {
 		Stages: []obs.StageSummary{
 			{Name: "execute", Snap: obs.Snapshot{Count: 100, SumNs: 2_500_000, MaxNs: 90_000, Buckets: []uint64{0, 1, 4, 95}}},
 		},
+		Tenants: []engine.TenantStats{
+			{Name: "default", Weight: 1, Jobs: 30, Batches: 12,
+				QueueWait: obs.Snapshot{Count: 12, SumNs: 9000, MaxNs: 1100, Buckets: []uint64{2, 10}}},
+			{Name: "acme", Weight: 4, Jobs: 70, Batches: 28, Busy: 5, Recalibrations: 6, SchemeSwitches: 3,
+				QueueWait: obs.Snapshot{Count: 28, SumNs: 21000, MaxNs: 2500, Buckets: []uint64{3, 25}}},
+		},
+	}
+}
+
+// TestEngineTenantSeries pins the per-tenant families: every one is
+// declared even on a tenantless snapshot, and a multi-tenant snapshot
+// samples each with a tenant label plus a complete histogram.
+func TestEngineTenantSeries(t *testing.T) {
+	var idle bytes.Buffer
+	if err := WriteEngineStats(&idle, engine.Stats{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range tenantSeries {
+		if !strings.Contains(idle.String(), "# TYPE "+series+" ") {
+			t.Errorf("tenant family %s disappears when no tenants are configured", series)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteEngineStats(&buf, sampleStats()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`redux_engine_tenant_jobs_total{tenant="default"} 30`,
+		`redux_engine_tenant_jobs_total{tenant="acme"} 70`,
+		`redux_engine_tenant_batches_total{tenant="acme"} 28`,
+		`redux_engine_tenant_busy_total{tenant="acme"} 5`,
+		`redux_engine_tenant_recalibrations_total{tenant="acme"} 6`,
+		`redux_engine_tenant_scheme_switches_total{tenant="acme"} 3`,
+		`redux_engine_tenant_weight{tenant="acme"} 4`,
+		`redux_engine_tenant_queue_wait_seconds_count{tenant="acme"} 28`,
+		`redux_engine_tenant_queue_wait_seconds_bucket{tenant="acme",le="+Inf"} 28`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tenant metrics missing %q in:\n%s", want, out)
+		}
 	}
 }
 

@@ -42,6 +42,12 @@ type conn struct {
 	inflight atomic.Int64   // this connection's in-flight jobs
 	jobWG    sync.WaitGroup // waiter goroutines still running
 
+	// tenant is the admission identity this connection charges, bound by
+	// the client's HELLO tenant field (default until one arrives). Only
+	// the read loop touches it; waiter goroutines capture what they need
+	// before spawning.
+	tenant *tenantState
+
 	draining atomic.Bool
 
 	// Decode scratch, reused frame after frame (only the read loop
@@ -58,6 +64,7 @@ func newConn(s *Server, nc net.Conn) *conn {
 		srv:       s,
 		nc:        nc,
 		id:        s.connIDs.Add(1),
+		tenant:    s.tenantList[0],
 		writeCh:   make(chan *wire.Buffer, 64),
 		writeDone: make(chan struct{}),
 	}
@@ -135,6 +142,20 @@ func (c *conn) serve() {
 			}
 			break
 		}
+		if f.Type == wire.FrameHello {
+			// A client HELLO binds the connection to a tenant. It rides
+			// job ID 0 (connection-scoped), so it must be recognized before
+			// the violation check below. Unknown tenant names degrade to
+			// the default tenant rather than failing the connection, so a
+			// fleet can be configured incrementally.
+			h, err := f.DecodeHello()
+			if err != nil {
+				c.sendError(0, err.Error())
+				break
+			}
+			c.tenant = c.srv.tenantFor(h.Tenant)
+			continue
+		}
 		if f.JobID == 0 {
 			c.sendError(0, "protocol violation: job id 0 is connection-scoped")
 			break
@@ -181,23 +202,14 @@ func (c *conn) serve() {
 // a job, so an unbudgeted flood of STATSREQ frames must hit BUSY the
 // same way a flood of SUBMITs does.
 func (c *conn) handleStatsReq(jobID uint64) {
-	if c.inflight.Load() >= int64(c.srv.cfg.MaxInflightPerConn) {
-		c.sendBusy(jobID, wire.BusyConn)
+	release, ok := c.admit(jobID)
+	if !ok {
 		return
 	}
-	if c.srv.inflight.Add(1) > int64(c.srv.cfg.MaxInflightGlobal) {
-		c.srv.inflight.Add(-1)
-		c.sendBusy(jobID, wire.BusyGlobal)
-		return
-	}
-	c.inflight.Add(1)
 	c.jobWG.Add(1)
 	go func() {
 		defer c.jobWG.Done()
-		defer func() {
-			c.inflight.Add(-1)
-			c.srv.inflight.Add(-1)
-		}()
+		defer release()
 		stats, err := c.srv.disp.Stats()
 		if err != nil {
 			// A stats failure (e.g. no healthy gateway backend) is
@@ -205,6 +217,7 @@ func (c *conn) handleStatsReq(jobID uint64) {
 			c.sendError(jobID, err.Error())
 			return
 		}
+		c.srv.MergeTenantBusy(&stats)
 		buf := wire.GetBuffer()
 		buf.B = wire.AppendStats(buf.B, jobID, &stats)
 		c.send(buf)
@@ -219,19 +232,9 @@ func (c *conn) handleStatsReq(jobID uint64) {
 // on a job it will not run.
 func (c *conn) handleSubmit(f wire.Frame) {
 	t0 := time.Now()
-	if c.inflight.Load() >= int64(c.srv.cfg.MaxInflightPerConn) {
-		c.sendBusy(f.JobID, wire.BusyConn)
+	release, ok := c.admit(f.JobID)
+	if !ok {
 		return
-	}
-	if c.srv.inflight.Add(1) > int64(c.srv.cfg.MaxInflightGlobal) {
-		c.srv.inflight.Add(-1)
-		c.sendBusy(f.JobID, wire.BusyGlobal)
-		return
-	}
-	c.inflight.Add(1)
-	release := func() {
-		c.inflight.Add(-1)
-		c.srv.inflight.Add(-1)
 	}
 
 	var err error
@@ -262,7 +265,7 @@ func (c *conn) handleSubmit(f wire.Frame) {
 	tl.Add(obs.StageDecode, decodeDone.Sub(t0))
 	tl.Add(obs.StageIntern, time.Since(decodeDone))
 
-	w, err := c.srv.disp.Dispatch(canon, c.srv.getDst(canon.NumElems), tl)
+	w, err := c.srv.disp.Dispatch(canon, c.srv.getDst(canon.NumElems), tl, c.tenant.name)
 	if err != nil {
 		tlPool.Put(tl)
 		release()
@@ -309,22 +312,54 @@ func (c *conn) handleSubmit(f wire.Frame) {
 	}()
 }
 
-// admit charges one job against the per-connection and global in-flight
-// budgets, answering BUSY itself when either is exhausted. On success the
-// caller must invoke the returned release exactly once.
+// admit charges one job against the admission budgets, checked from the
+// narrowest scope outward — per-connection in-flight, the connection's
+// tenant (in-flight quota, then token bucket), then the global in-flight
+// bound — answering BUSY itself when any is exhausted, with the scoped
+// code (BusyConn, BusyTenant, BusyGlobal) so the client knows what to
+// back off from. A later gate's rejection rolls back every earlier
+// charge, including refunding the rate token, so a rejected job leaves
+// no residue in any budget. This is the single admission path for every
+// frame type that holds a goroutine (SUBMIT, STATSREQ and the session
+// operations alike); on success the caller must invoke the returned
+// release exactly once.
 func (c *conn) admit(jobID uint64) (func(), bool) {
 	if c.inflight.Load() >= int64(c.srv.cfg.MaxInflightPerConn) {
 		c.sendBusy(jobID, wire.BusyConn)
 		return nil, false
 	}
+	ts := c.tenant
+	if ts.maxInflight > 0 && ts.inflight.Add(1) > ts.maxInflight {
+		ts.inflight.Add(-1)
+		ts.busy.Add(1)
+		c.sendBusy(jobID, wire.BusyTenant)
+		return nil, false
+	}
+	if ts.bucket != nil && !ts.bucket.take() {
+		if ts.maxInflight > 0 {
+			ts.inflight.Add(-1)
+		}
+		ts.busy.Add(1)
+		c.sendBusy(jobID, wire.BusyTenant)
+		return nil, false
+	}
 	if c.srv.inflight.Add(1) > int64(c.srv.cfg.MaxInflightGlobal) {
 		c.srv.inflight.Add(-1)
+		if ts.bucket != nil {
+			ts.bucket.refund()
+		}
+		if ts.maxInflight > 0 {
+			ts.inflight.Add(-1)
+		}
 		c.sendBusy(jobID, wire.BusyGlobal)
 		return nil, false
 	}
 	c.inflight.Add(1)
 	return func() {
 		c.inflight.Add(-1)
+		if ts.maxInflight > 0 {
+			ts.inflight.Add(-1)
+		}
 		c.srv.inflight.Add(-1)
 	}, true
 }
@@ -401,11 +436,12 @@ func (c *conn) handleOpenSession(f wire.Frame) {
 
 	c.jobWG.Add(1)
 	jobID := f.JobID
+	tenant := c.tenant.name // captured: a later HELLO must not race the waiter
 	go func() {
 		defer c.jobWG.Done()
 		defer release()
 		dst := c.srv.getDst(l.NumElems)
-		es, res, err := sd.OpenSession(l, 0, dst)
+		es, res, err := sd.OpenSession(l, 0, dst, tenant)
 		if err != nil {
 			c.srv.sessions.abort(est)
 			c.srv.putDst(dst)

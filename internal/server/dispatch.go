@@ -26,7 +26,10 @@ type Dispatcher interface {
 	// legs for the gateway) and forwards tl.TraceID across tiers. The
 	// timeline is handed off, not shared — only the dispatch path and,
 	// after Wait returns, the caller touch it.
-	Dispatch(l *trace.Loop, dst []float64, tl *obs.Timeline) (Waiter, error)
+	// tenant is the connection's HELLO-bound tenant name: the daemon
+	// schedules the job under that tenant's weighted queue; a dispatcher
+	// without per-tenant scheduling may ignore it.
+	Dispatch(l *trace.Loop, dst []float64, tl *obs.Timeline, tenant string) (Waiter, error)
 	// Stats snapshots the engine counters this dispatcher serves from (a
 	// gateway returns the aggregate over its backends).
 	Stats() (engine.Stats, error)
@@ -56,8 +59,8 @@ var ErrOverloaded = errors.New("server: overloaded")
 // into the local shared engine.
 type engineDispatcher struct{ eng *engine.Engine }
 
-func (d engineDispatcher) Dispatch(l *trace.Loop, dst []float64, tl *obs.Timeline) (Waiter, error) {
-	h, err := d.eng.SubmitAsyncInto(l, dst)
+func (d engineDispatcher) Dispatch(l *trace.Loop, dst []float64, tl *obs.Timeline, tenant string) (Waiter, error) {
+	h, err := d.eng.SubmitAsyncIntoTenant(l, dst, d.eng.TenantIndex(tenant))
 	if err != nil {
 		return nil, err
 	}

@@ -77,6 +77,12 @@ type Config struct {
 	// sessions (default 64 MiB), enforced at OPEN_SESSION admission
 	// alongside MaxSessions.
 	MaxSessionBytes int64
+	// Tenants declares the multi-tenant admission contracts (rate, burst,
+	// in-flight quota per tenant). Clients bind to a tenant with the HELLO
+	// tenant field; unidentified or unknown clients land on the default
+	// tenant. Empty means single-tenant: no per-tenant gates, and STATS
+	// frames stay byte-identical to the pre-tenant protocol.
+	Tenants []TenantSpec
 }
 
 func (c *Config) fill() {
@@ -125,6 +131,12 @@ type Server struct {
 	inflight atomic.Int64 // global in-flight jobs (admission control)
 	dstPool  sync.Pool    // recycled result destination arrays
 
+	// tenants is the admission table keyed by HELLO tenant name;
+	// tenantList preserves configuration order (default first) for
+	// deterministic stats merges.
+	tenants    map[string]*tenantState
+	tenantList []*tenantState
+
 	mu       sync.Mutex
 	lns      map[net.Listener]struct{}
 	conns    map[*conn]struct{}
@@ -155,14 +167,17 @@ func New(eng *engine.Engine, cfg Config) *Server {
 // borrowed: the caller tears it down after Shutdown returns.
 func NewWithDispatcher(d Dispatcher, cfg Config) *Server {
 	cfg.fill()
+	tenants, tenantList := buildTenantTable(cfg.Tenants, nil)
 	return &Server{
-		disp:     d,
-		cfg:      cfg,
-		intern:   newInternTable(16, cfg.MaxInternedLoops),
-		sessions: newSessionStore(cfg.MaxSessions, cfg.SessionTTL, cfg.MaxSessionBytes),
-		lns:      make(map[net.Listener]struct{}),
-		conns:    make(map[*conn]struct{}),
-		ring:     obs.NewTraceRing(cfg.TraceRingSize),
+		disp:       d,
+		cfg:        cfg,
+		intern:     newInternTable(16, cfg.MaxInternedLoops),
+		sessions:   newSessionStore(cfg.MaxSessions, cfg.SessionTTL, cfg.MaxSessionBytes),
+		tenants:    tenants,
+		tenantList: tenantList,
+		lns:        make(map[net.Listener]struct{}),
+		conns:      make(map[*conn]struct{}),
+		ring:       obs.NewTraceRing(cfg.TraceRingSize),
 	}
 }
 

@@ -18,12 +18,14 @@ import (
 type SessionDispatcher interface {
 	// OpenSession registers l (cloned by the callee — the session
 	// mutates its loop) and returns the live session with its initial
-	// reduction.
-	OpenSession(l *trace.Loop, segIters int, dst []float64) (*engine.Session, engine.Result, error)
+	// reduction. tenant is the owning connection's HELLO-bound tenant
+	// name: the open and every later apply are scheduled under that
+	// tenant's weighted queue.
+	OpenSession(l *trace.Loop, segIters int, dst []float64, tenant string) (*engine.Session, engine.Result, error)
 }
 
-func (d engineDispatcher) OpenSession(l *trace.Loop, segIters int, dst []float64) (*engine.Session, engine.Result, error) {
-	return d.eng.OpenSession(l, segIters, dst)
+func (d engineDispatcher) OpenSession(l *trace.Loop, segIters int, dst []float64, tenant string) (*engine.Session, engine.Result, error) {
+	return d.eng.OpenSessionTenant(l, segIters, dst, d.eng.TenantIndex(tenant))
 }
 
 // errSessionBudget reports that admission could not make room for a new

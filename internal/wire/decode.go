@@ -111,6 +111,14 @@ func (f Frame) DecodeHello() (Hello, error) {
 			return Hello{}, fmt.Errorf("%w: hello flags", ErrCorrupt)
 		}
 	}
+	// Tenant extends the tail after Flags, same evolution rule: absent
+	// from peers that predate it (or that claim no tenant), which decodes
+	// to the empty string — the default tenant.
+	if c.remaining() > 0 {
+		if h.Tenant, err = c.str(maxStringLen); err != nil {
+			return Hello{}, err
+		}
+	}
 	return h, nil
 }
 
@@ -431,7 +439,7 @@ func (f Frame) DecodeBusy() (BusyCode, error) {
 	if err != nil {
 		return 0, err
 	}
-	if code < byte(BusyConn) || code > byte(BusySession) {
+	if code < byte(BusyConn) || code > byte(BusyTenant) {
 		return 0, fmt.Errorf("%w: unknown busy code %d", ErrCorrupt, code)
 	}
 	return BusyCode(code), nil
@@ -546,6 +554,53 @@ func (f Frame) DecodeStats() (engine.Stats, error) {
 			if *p, err = c.uvarint(); err != nil {
 				return engine.Stats{}, fmt.Errorf("%w: session counter", ErrCorrupt)
 			}
+		}
+	}
+	// Optional per-tenant tail, fifth in the positional chain: a tenant
+	// count, then per tenant a name, weight, five counters and a
+	// queue-wait histogram snapshot.
+	if c.remaining() > 0 {
+		ntenants, err := c.intField("tenant count", c.remaining())
+		if err != nil {
+			return engine.Stats{}, err
+		}
+		s.Tenants = make([]engine.TenantStats, 0, ntenants)
+		for i := 0; i < ntenants; i++ {
+			var t engine.TenantStats
+			if t.Name, err = c.str(maxStringLen); err != nil {
+				return engine.Stats{}, err
+			}
+			if t.Weight, err = c.intField("tenant weight", math.MaxInt32); err != nil {
+				return engine.Stats{}, err
+			}
+			counters := []*uint64{&t.Jobs, &t.Batches, &t.Busy, &t.Recalibrations, &t.SchemeSwitches}
+			for _, p := range counters {
+				if *p, err = c.uvarint(); err != nil {
+					return engine.Stats{}, fmt.Errorf("%w: tenant counter", ErrCorrupt)
+				}
+			}
+			if t.QueueWait.Count, err = c.uvarint(); err != nil {
+				return engine.Stats{}, fmt.Errorf("%w: tenant queue-wait count", ErrCorrupt)
+			}
+			if t.QueueWait.SumNs, err = c.uvarint(); err != nil {
+				return engine.Stats{}, fmt.Errorf("%w: tenant queue-wait sum", ErrCorrupt)
+			}
+			if t.QueueWait.MaxNs, err = c.uvarint(); err != nil {
+				return engine.Stats{}, fmt.Errorf("%w: tenant queue-wait max", ErrCorrupt)
+			}
+			nbuckets, err := c.intField("tenant bucket count", c.remaining())
+			if err != nil {
+				return engine.Stats{}, err
+			}
+			if nbuckets > 0 {
+				t.QueueWait.Buckets = make([]uint64, nbuckets)
+				for b := range t.QueueWait.Buckets {
+					if t.QueueWait.Buckets[b], err = c.uvarint(); err != nil {
+						return engine.Stats{}, fmt.Errorf("%w: tenant bucket", ErrCorrupt)
+					}
+				}
+			}
+			s.Tenants = append(s.Tenants, t)
 		}
 	}
 	if c.remaining() != 0 {

@@ -42,16 +42,27 @@ func appendF64(dst []byte, v float64) []byte {
 	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
 }
 
-// AppendHello encodes the server greeting. The flags field is emitted
-// only when non-zero, exercising the optional-trailing-field evolution
-// rule both decoders must follow (docs/PROTOCOL.md "Versioning").
+// AppendHello encodes a HELLO greeting (the server's, or a tenant-scoped
+// client's). The flags field is emitted only when non-zero, exercising
+// the optional-trailing-field evolution rule both decoders must follow
+// (docs/PROTOCOL.md "Versioning"); the tenant field extends the tail the
+// same way, and since optional tails decode positionally, emitting the
+// tenant forces the flags out too (a zero is fine — only the frame
+// length carries meaning).
 func AppendHello(dst []byte, h Hello) []byte {
+	scoped := h.Tenant != ""
+	if len(h.Tenant) > maxStringLen {
+		h.Tenant = h.Tenant[:maxStringLen]
+	}
 	dst, p := beginFrame(dst, FrameHello, 0)
 	dst = binary.AppendUvarint(dst, uint64(h.Version))
 	dst = binary.AppendUvarint(dst, uint64(h.Procs))
 	dst = binary.AppendUvarint(dst, uint64(h.MaxInflight))
-	if h.Flags != 0 {
+	if h.Flags != 0 || scoped {
 		dst = binary.AppendUvarint(dst, h.Flags)
+	}
+	if scoped {
+		dst = appendString(dst, h.Tenant)
 	}
 	return endFrame(dst, p)
 }
@@ -232,16 +243,17 @@ func AppendStats(dst []byte, jobID uint64, s *engine.Stats) []byte {
 	// simplification quad extends the tail the same way; since optional
 	// tails decode positionally, emitting the quad forces the pair out
 	// too (zeros are fine — only the frame length carries meaning).
+	tenantTail := len(s.Tenants) != 0
 	sessTail := s.SessionOpens != 0 || s.SessionJobs != 0 ||
 		s.SessionSegsComputed != 0 || s.SessionSegsReused != 0
 	simpTail := s.SimplifiedBatches != 0 || s.SimplifyFallbacks != 0 ||
 		s.SegsComputed != 0 || s.SegsReused != 0
 	histTail := len(s.Stages) != 0
-	if sessTail || histTail || simpTail || s.Recalibrations != 0 || s.SchemeSwitches != 0 {
+	if tenantTail || sessTail || histTail || simpTail || s.Recalibrations != 0 || s.SchemeSwitches != 0 {
 		dst = binary.AppendUvarint(dst, s.Recalibrations)
 		dst = binary.AppendUvarint(dst, s.SchemeSwitches)
 	}
-	if sessTail || histTail || simpTail {
+	if tenantTail || sessTail || histTail || simpTail {
 		dst = binary.AppendUvarint(dst, s.SimplifiedBatches)
 		dst = binary.AppendUvarint(dst, s.SimplifyFallbacks)
 		dst = binary.AppendUvarint(dst, s.SegsComputed)
@@ -253,7 +265,7 @@ func AppendStats(dst []byte, jobID uint64, s *engine.Stats) []byte {
 	// nothing has no stage summaries and emits no tail — unless the
 	// session quad behind it forces the chain out, in which case a zero
 	// stage count stands in (the decoder reads nstages=0 and moves on).
-	if sessTail || histTail {
+	if tenantTail || sessTail || histTail {
 		dst = binary.AppendUvarint(dst, uint64(len(s.Stages)))
 		for _, st := range s.Stages {
 			name := st.Name
@@ -271,11 +283,43 @@ func AppendStats(dst []byte, jobID uint64, s *engine.Stats) []byte {
 		}
 	}
 	// Streaming-session quad, fourth in the chain.
-	if sessTail {
+	if tenantTail || sessTail {
 		dst = binary.AppendUvarint(dst, s.SessionOpens)
 		dst = binary.AppendUvarint(dst, s.SessionJobs)
 		dst = binary.AppendUvarint(dst, s.SessionSegsComputed)
 		dst = binary.AppendUvarint(dst, s.SessionSegsReused)
+	}
+	// Per-tenant tail, fifth in the chain: a tenant count, then per tenant
+	// its name, weight, counters and queue-wait histogram snapshot. Only
+	// multi-tenant engines populate Tenants, so single-tenant deployments
+	// never emit it (nor force the earlier tails out) and stay
+	// byte-identical to the legacy layout.
+	if tenantTail {
+		dst = binary.AppendUvarint(dst, uint64(len(s.Tenants)))
+		for _, t := range s.Tenants {
+			name := t.Name
+			if len(name) > maxStringLen {
+				name = name[:maxStringLen]
+			}
+			dst = appendString(dst, name)
+			w := t.Weight
+			if w < 0 {
+				w = 0
+			}
+			dst = binary.AppendUvarint(dst, uint64(w))
+			dst = binary.AppendUvarint(dst, t.Jobs)
+			dst = binary.AppendUvarint(dst, t.Batches)
+			dst = binary.AppendUvarint(dst, t.Busy)
+			dst = binary.AppendUvarint(dst, t.Recalibrations)
+			dst = binary.AppendUvarint(dst, t.SchemeSwitches)
+			dst = binary.AppendUvarint(dst, t.QueueWait.Count)
+			dst = binary.AppendUvarint(dst, t.QueueWait.SumNs)
+			dst = binary.AppendUvarint(dst, t.QueueWait.MaxNs)
+			dst = binary.AppendUvarint(dst, uint64(len(t.QueueWait.Buckets)))
+			for _, b := range t.QueueWait.Buckets {
+				dst = binary.AppendUvarint(dst, b)
+			}
+		}
 	}
 	return endFrame(dst, p)
 }

@@ -59,6 +59,13 @@ func main() {
 	sess := hist
 	sess.SessionOpens, sess.SessionJobs = 3, 25
 	sess.SessionSegsComputed, sess.SessionSegsReused = 40, 160
+	ten := sess
+	ten.Tenants = []engine.TenantStats{
+		{Name: "default", Weight: 1, Jobs: 30, Batches: 12,
+			QueueWait: obs.Snapshot{Count: 30, SumNs: 27000, MaxNs: 1300, Buckets: []uint64{1, 0, 4, 25}}},
+		{Name: "acme", Weight: 4, Jobs: 70, Batches: 28, Busy: 5, Recalibrations: 6, SchemeSwitches: 3,
+			QueueWait: obs.Snapshot{Count: 60, SumNs: 54000, MaxNs: 2700, Buckets: []uint64{1, 0, 9, 50}}},
+	}
 
 	sessRes := res
 	sessRes.Scheme, sessRes.SessionGen = "session", 26
@@ -85,6 +92,9 @@ func main() {
 		"close-session":  wire.AppendCloseSession(nil, 14, 1),
 		"result-gen":     wire.AppendResult(nil, 15, &sessRes),
 		"busy-session":   wire.AppendBusy(nil, 16, wire.BusySession),
+		"hello-tenant":   wire.AppendHello(nil, wire.Hello{Version: wire.ProtoVersion, Procs: 8, MaxInflight: 64, Tenant: "acme"}),
+		"stats-tenant":   wire.AppendStats(nil, 17, &ten),
+		"busy-tenant":    wire.AppendBusy(nil, 18, wire.BusyTenant),
 	}
 	for name, b := range seeds {
 		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", b)

@@ -128,6 +128,11 @@ const (
 	// bytes) is exhausted and no idle session could be evicted; the client
 	// should back off and retry OPEN_SESSION.
 	BusySession BusyCode = 4
+	// BusyTenant means the submitting tenant's quota rejected the job —
+	// its in-flight budget is exhausted or its token bucket is empty —
+	// while the connection and the server as a whole still have room. The
+	// client should back off and resubmit; other tenants are unaffected.
+	BusyTenant BusyCode = 5
 )
 
 // String names the rejection code for diagnostics.
@@ -141,6 +146,8 @@ func (c BusyCode) String() string {
 		return "backend tier busy"
 	case BusySession:
 		return "session budget exhausted"
+	case BusyTenant:
+		return "tenant quota"
 	default:
 		return fmt.Sprintf("BusyCode(%d)", uint8(c))
 	}
@@ -168,6 +175,13 @@ type Hello struct {
 	// Flags carries capability bits (HelloFlag*). Zero when the peer
 	// predates the field — it is an optional trailing extension.
 	Flags uint64
+	// Tenant is the tenant identity the peer claims, an optional trailing
+	// field after Flags. Empty means the default tenant (what legacy
+	// peers, which never send it, decode to). Clients send it in their
+	// own HELLO frame right after the preamble to scope the connection's
+	// submissions to a tenant; unknown names degrade to the default
+	// tenant rather than erroring, so config skew cannot reject traffic.
+	Tenant string
 }
 
 // SessionGonePrefix opens every ERROR message answering a SUBMIT_DELTA

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -505,10 +506,166 @@ func TestHelloFlagsCompat(t *testing.T) {
 	}
 }
 
+// TestHelloTenantCompat pins the HELLO frame's optional trailing tenant
+// field: tenantless frames are byte-identical to the pre-tenant encoding
+// and decode with Tenant empty, a tenant frame forces the flags field out
+// (positional tails) and round-trips, flags and tenant ride together, and
+// a truncated tenant string is corrupt.
+func TestHelloTenantCompat(t *testing.T) {
+	legacy := AppendHello(nil, Hello{Version: ProtoVersion, Procs: 4, MaxInflight: 8})
+	tenant := AppendHello(nil, Hello{Version: ProtoVersion, Procs: 4, MaxInflight: 8, Tenant: "acme"})
+	// Forced-out zero flags (1 byte) + length-prefixed name (1+4 bytes).
+	if len(tenant) != len(legacy)+6 {
+		t.Fatalf("tenant frame %d bytes vs legacy %d, want +6", len(tenant), len(legacy))
+	}
+
+	f, _, err := DecodeFrame(legacy, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := f.DecodeHello()
+	if err != nil || h.Tenant != "" {
+		t.Fatalf("legacy hello decoded tenant %q, err %v (want empty)", h.Tenant, err)
+	}
+
+	f, _, err = DecodeFrame(tenant, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, err = f.DecodeHello(); err != nil || h.Tenant != "acme" || h.Flags != 0 {
+		t.Fatalf("tenant hello decoded to %+v, err %v", h, err)
+	}
+
+	both := AppendHello(nil, Hello{Version: ProtoVersion, Procs: 4, MaxInflight: 8, Flags: HelloFlagGateway, Tenant: "acme"})
+	f, _, err = DecodeFrame(both, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, err = f.DecodeHello(); err != nil || h.Tenant != "acme" || h.Flags != HelloFlagGateway {
+		t.Fatalf("flags+tenant hello decoded to %+v, err %v", h, err)
+	}
+
+	// Cutting inside the tenant string (after its length prefix) is
+	// corrupt, not silently empty.
+	cut := append([]byte(nil), tenant[:len(tenant)-2]...)
+	ln := uint32(len(cut) - 4)
+	cut[0], cut[1], cut[2], cut[3] = byte(ln), byte(ln>>8), byte(ln>>16), byte(ln>>24)
+	f, _, err = DecodeFrame(cut, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.DecodeHello(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated tenant decoded without error: %v", err)
+	}
+}
+
+// TestStatsTenantCompat pins the fifth optional STATS tail — the
+// per-tenant rows after the session quad. The compat matrix: every
+// earlier-tail shape (legacy, pair, quad, hist, session) decodes with no
+// tenant rows; a tenant frame forces all four earlier tails out (zeros)
+// and round-trips names, weights, counters and queue-wait snapshots; all
+// tails ride together; truncating anywhere inside the tenant tail is
+// corrupt.
+func TestStatsTenantCompat(t *testing.T) {
+	base := engine.Stats{Jobs: 5, Schemes: map[string]uint64{"rep": 5}}
+	legacy := AppendStats(nil, 9, &base)
+
+	tenants := []engine.TenantStats{
+		{Name: "default", Weight: 1, Jobs: 3, Batches: 2,
+			QueueWait: obs.Snapshot{Count: 2, SumNs: 90, MaxNs: 60, Buckets: []uint64{0, 1, 1}}},
+		{Name: "acme", Weight: 4, Jobs: 40, Batches: 10, Busy: 6, Recalibrations: 2, SchemeSwitches: 1,
+			QueueWait: obs.Snapshot{Count: 10, SumNs: 5000, MaxNs: 900}},
+	}
+	tailed := base
+	tailed.Tenants = tenants
+	buf := AppendStats(nil, 9, &tailed)
+	// Forced-out earlier tails: zero pair (2) + zero quad (4) + zero-stage
+	// histogram (1) + zero session quad (4) = 11 bytes before the rows.
+	if len(buf) <= len(legacy)+11 {
+		t.Fatalf("tenant frame %d bytes vs legacy %d: tenant tail missing", len(buf), len(legacy))
+	}
+
+	decode := func(b []byte) (engine.Stats, error) {
+		f, _, err := DecodeFrame(b, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f.DecodeStats()
+	}
+
+	for name, st := range map[string]engine.Stats{
+		"legacy":  base,
+		"pair":    {Jobs: 5, Recalibrations: 7},
+		"quad":    {Jobs: 5, SegsReused: 11},
+		"hist":    {Jobs: 5, Stages: []obs.StageSummary{{Name: "execute", Snap: obs.Snapshot{Count: 1, SumNs: 5, MaxNs: 5, Buckets: []uint64{1}}}}},
+		"session": {Jobs: 5, SessionOpens: 2, SessionJobs: 9},
+	} {
+		s, err := decode(AppendStats(nil, 9, &st))
+		if err != nil || len(s.Tenants) != 0 {
+			t.Fatalf("%s frame decoded %d tenant rows, err %v (want none)", name, len(s.Tenants), err)
+		}
+	}
+
+	s, err := decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Recalibrations != 0 || s.SimplifiedBatches != 0 || len(s.Stages) != 0 || s.SessionOpens != 0 {
+		t.Fatalf("forced-out earlier tails decoded as %d/%d/%d/%d", s.Recalibrations, s.SimplifiedBatches, len(s.Stages), s.SessionOpens)
+	}
+	if len(s.Tenants) != len(tenants) {
+		t.Fatalf("tenant round-trip: %d rows, want %d", len(s.Tenants), len(tenants))
+	}
+	for i, want := range tenants {
+		got := s.Tenants[i]
+		if got.Name != want.Name || got.Weight != want.Weight ||
+			got.Jobs != want.Jobs || got.Batches != want.Batches || got.Busy != want.Busy ||
+			got.Recalibrations != want.Recalibrations || got.SchemeSwitches != want.SchemeSwitches {
+			t.Fatalf("tenant %d = %+v, want %+v", i, got, want)
+		}
+		if got.QueueWait.Count != want.QueueWait.Count || got.QueueWait.SumNs != want.QueueWait.SumNs ||
+			got.QueueWait.MaxNs != want.QueueWait.MaxNs || len(got.QueueWait.Buckets) != len(want.QueueWait.Buckets) {
+			t.Fatalf("tenant %d queue-wait %+v, want %+v", i, got.QueueWait, want.QueueWait)
+		}
+		for b := range want.QueueWait.Buckets {
+			if got.QueueWait.Buckets[b] != want.QueueWait.Buckets[b] {
+				t.Fatalf("tenant %d bucket %d = %d, want %d", i, b, got.QueueWait.Buckets[b], want.QueueWait.Buckets[b])
+			}
+		}
+	}
+
+	// Every earlier tail rides along undisturbed when also set.
+	full := tailed
+	full.Recalibrations, full.SegsReused, full.SessionJobs = 7, 11, 9
+	full.Stages = []obs.StageSummary{{Name: "execute", Snap: obs.Snapshot{Count: 1, SumNs: 5, MaxNs: 5, Buckets: []uint64{1}}}}
+	if s, err = decode(AppendStats(nil, 9, &full)); err != nil ||
+		s.Recalibrations != 7 || s.SegsReused != 11 || len(s.Stages) != 1 ||
+		s.SessionJobs != 9 || len(s.Tenants) != 2 {
+		t.Fatalf("full-tails frame decoded %d/%d/%d/%d/%d rows, err %v",
+			s.Recalibrations, s.SegsReused, len(s.Stages), s.SessionJobs, len(s.Tenants), err)
+	}
+
+	// Truncating inside the tenant tail is corrupt. The tail starts right
+	// after the 11 forced-out bytes.
+	tenantStart := len(legacy) + 11
+	for n := tenantStart + 1; n < len(buf); n++ {
+		cut := append([]byte(nil), buf[:n]...)
+		ln := uint32(len(cut) - 4)
+		cut[0], cut[1], cut[2], cut[3] = byte(ln), byte(ln>>8), byte(ln>>16), byte(ln>>24)
+		f, _, err := DecodeFrame(cut, 0)
+		if err != nil {
+			continue // header-level truncation already rejected
+		}
+		if _, err := f.DecodeStats(); err == nil {
+			t.Fatalf("tenant tail truncated to %d bytes decoded without error", n)
+		}
+	}
+}
+
 // TestBusyCodes round-trips every defined rejection code and pins that
 // out-of-range codes are corrupt, not silently accepted.
 func TestBusyCodes(t *testing.T) {
-	for _, code := range []BusyCode{BusyConn, BusyGlobal, BusyUpstream, BusySession} {
+	for _, code := range []BusyCode{BusyConn, BusyGlobal, BusyUpstream, BusySession, BusyTenant} {
 		f, _, err := DecodeFrame(AppendBusy(nil, 3, code), 0)
 		if err != nil {
 			t.Fatal(err)
@@ -517,13 +674,19 @@ func TestBusyCodes(t *testing.T) {
 		if err != nil || got != code {
 			t.Fatalf("busy %v round-tripped to %v, err %v", code, got, err)
 		}
+		if got.String() == "" || got.String() == fmt.Sprintf("BusyCode(%d)", uint8(code)) {
+			t.Fatalf("busy %d has no String name", uint8(code))
+		}
 	}
-	f, _, err := DecodeFrame(AppendBusy(nil, 3, BusyCode(5)), 0)
+	f, _, err := DecodeFrame(AppendBusy(nil, 3, BusyCode(6)), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := f.DecodeBusy(); !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("unknown busy code decoded: %v", err)
+	}
+	if got := BusyCode(6).String(); got != "BusyCode(6)" {
+		t.Fatalf("out-of-range BusyCode String = %q", got)
 	}
 }
 
@@ -567,6 +730,11 @@ func TestTruncatedFramesError(t *testing.T) {
 		AppendCloseSession(nil, 8, 2),
 		AppendResult(nil, 9, &sres),
 		AppendStats(nil, 10, &engine.Stats{SessionOpens: 1, SessionJobs: 2, Schemes: map[string]uint64{}, BatchOccupancy: []uint64{0}}),
+		AppendHello(nil, Hello{Version: 1, Procs: 4, MaxInflight: 8, Tenant: "acme"}),
+		AppendBusy(nil, 11, BusyTenant),
+		AppendStats(nil, 12, &engine.Stats{Schemes: map[string]uint64{}, BatchOccupancy: []uint64{0},
+			Tenants: []engine.TenantStats{{Name: "acme", Weight: 4, Jobs: 7,
+				QueueWait: obs.Snapshot{Count: 1, SumNs: 9, MaxNs: 9, Buckets: []uint64{1}}}}}),
 	}
 	for fi, full := range frames {
 		for n := 0; n < len(full); n++ {

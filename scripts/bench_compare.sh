@@ -285,6 +285,42 @@ END {
     }
 }' "$cand" || failed="$failed session"
 
+# Tenant-isolation gate: under a 10x hot-tenant flood, the background
+# tenant's p95 (TenantIsolation isolation_p95_pct) must stay within
+# TENANT_ISOLATION_MAX_PCT (default 150) percent of its solo baseline —
+# the mechanical check behind the weighted-fair scheduler's claim that a
+# noisy neighbor's backlog cannot queue ahead of another tenant's jobs
+# (a shared FIFO fails this by an order of magnitude). Runs whenever the
+# candidate carries the metric; a baseline that has it while the fresh
+# run does not is called out by name (the benchmark was dropped or ran
+# too few iterations to measure a percentile).
+awk -v maxpct="${TENANT_ISOLATION_MAX_PCT:-150}" -v cand="$cand" -v base="$base" '
+function field(line, key,    s) {
+    if (!match(line, "\"" key "\": *[0-9.]+")) return ""
+    s = substr(line, RSTART, RLENGTH)
+    sub("^\"" key "\": *", "", s)
+    return s
+}
+/"name": "TenantIsolation"/ {
+    if (FILENAME == cand) pct = field($0, "isolation_p95_pct")
+    if (FILENAME == base && /"isolation_p95_pct"/) inBase = 1
+}
+END {
+    if (pct + 0 <= 0) {
+        if (inBase) {
+            printf "bench_compare: isolation gate skipped: TenantIsolation isolation_p95_pct in baseline %s but missing from %s\n", base, cand
+        } else {
+            printf "bench_compare: isolation gate skipped: TenantIsolation isolation_p95_pct missing from %s\n", cand
+        }
+        exit 0
+    }
+    printf "bench_compare: tenant isolation: background p95 at %.1f%% of solo baseline under 10x flood (ceiling %d%%)\n", pct, maxpct
+    if (pct + 0 > maxpct + 0) {
+        print "bench_compare: FAIL: hot tenant degraded the background tenant past the isolation budget"
+        exit 1
+    }
+}' "$base" "$cand" || failed="$failed tenant-isolation"
+
 # Observability-overhead gate: the pooled steady-state hot path
 # (SchemeRunColdVsPooled/pooled) must stay within OBS_MAX_OVERHEAD_PCT
 # (default 3) percent of the committed baseline — a much tighter ceiling

@@ -6,7 +6,7 @@ set -eu
 cd "$(dirname "$0")/.."
 out=BENCH_engine.json
 
-raw=$(go test -bench 'Engine|Scheme|Remote|Gateway|Drift|Simplify|Session' -benchmem -run '^$' -benchtime 1s . )
+raw=$(go test -bench 'Engine|Scheme|Remote|Gateway|Drift|Simplify|Session|Tenant' -benchmem -run '^$' -benchtime 1s . )
 echo "$raw"
 
 # Per-kernel microbenchmarks (reduction package): every scheme's RunInto,
@@ -26,7 +26,7 @@ BEGIN { n = 0 }
 /^Benchmark/ {
     name = $1; sub(/^Benchmark/, "", name); sub(/-[0-9]+$/, "", name)
     names[n] = name; iters[n] = $2
-    ns[n] = ""; bytes[n] = ""; allocs[n] = ""; jpb[n] = ""; rpct[n] = ""; rjobs[n] = ""
+    ns[n] = ""; bytes[n] = ""; allocs[n] = ""; jpb[n] = ""; rpct[n] = ""; rjobs[n] = ""; ipct[n] = ""
     for (i = 3; i < NF; i++) {
         if ($(i+1) == "ns/op") ns[n] = $i
         else if ($(i+1) == "B/op") bytes[n] = $i
@@ -34,6 +34,7 @@ BEGIN { n = 0 }
         else if ($(i+1) == "jobs/batch") jpb[n] = $i
         else if ($(i+1) == "recovery%") rpct[n] = $i
         else if ($(i+1) == "recovery-jobs") rjobs[n] = $i
+        else if ($(i+1) == "isolation%") ipct[n] = $i
     }
     n++
 }
@@ -45,6 +46,7 @@ END {
         if (jpb[i] != "") printf ", \"jobs_per_batch\": %s", jpb[i]
         if (rpct[i] != "") printf ", \"recovery_p95_pct\": %s", rpct[i]
         if (rjobs[i] != "") printf ", \"recovery_jobs\": %s", rjobs[i]
+        if (ipct[i] != "") printf ", \"isolation_p95_pct\": %s", ipct[i]
         printf "}%s\n", (i < n-1 ? "," : "")
     }
     printf "  ]\n}\n"

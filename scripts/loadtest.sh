@@ -19,6 +19,18 @@
 # Sessions are daemon-scoped, so SESSIONS combines with RACE but not
 # with GATEWAY.
 #
+# Set TENANTS=N (N >= 2) to drive the multi-tenant QoS path instead:
+# reduxd boots with N tenants at descending weights, the last one behind
+# a tight token bucket (rate 200/s, burst 16) plus an in-flight quota of
+# 1 (so the BUSY path triggers on concurrency alone, independent of how
+# fast the machine drains the bucket — -race builds run several times
+# slower), and reduxserve offers each tenant its weight-proportional
+# share of the jobs under its own HELLO identity. The report must show every tenant's server-side attribution
+# equal to its offered share, and the rate-limited tenant must have drawn
+# BUSY rejections that surface in /metrics. Tenants are daemon-scoped
+# (the gateway forwards under the default identity), so TENANTS combines
+# with RACE but not with GATEWAY or SESSIONS.
+#
 # Set RACE=1 to build the binaries with the race detector (CI does).
 set -eu
 
@@ -28,9 +40,34 @@ jobs="${LOADTEST_JOBS:-2000}"
 clients="${LOADTEST_CLIENTS:-16}"
 gateway="${GATEWAY:-0}"
 sessions="${SESSIONS:-0}"
+tenants="${TENANTS:-0}"
 if [ "$sessions" -gt 0 ] && [ "$gateway" -gt 0 ]; then
     echo "loadtest: SESSIONS and GATEWAY are exclusive (the gateway does not forward sessions)" >&2
     exit 2
+fi
+if [ "$tenants" -gt 0 ] && { [ "$gateway" -gt 0 ] || [ "$sessions" -gt 0 ]; }; then
+    echo "loadtest: TENANTS is exclusive with GATEWAY and SESSIONS (tenants are daemon-scoped)" >&2
+    exit 2
+fi
+
+# The generated tenant config: descending weights, the last tenant capped
+# by a tight token bucket plus an in-flight quota of 1 so the BUSY path
+# is exercised for real at any machine speed.
+tspec=""
+tenant_flags=""
+if [ "$tenants" -gt 0 ]; then
+    i=1
+    while [ "$i" -le "$tenants" ]; do
+        w=$((tenants - i + 1))
+        if [ "$i" -eq "$tenants" ]; then
+            tspec="$tspec,capped:$w:200:16:1"
+        else
+            tspec="$tspec,t$i:$w"
+        fi
+        i=$((i + 1))
+    done
+    tspec=${tspec#,}
+    tenant_flags="-tenants $tspec"
 fi
 build_flags=""
 [ -n "${RACE:-}" ] && build_flags="-race"
@@ -98,7 +135,7 @@ backend_addrs=""
 backend_dbgs=""
 n=0
 while [ $n -lt "$gateway" ] || { [ "$gateway" -eq 0 ] && [ $n -lt 1 ]; }; do
-    "$work/reduxd" -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 -trace-slow -1ns > "$work/reduxd$n.log" 2>&1 &
+    "$work/reduxd" -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0 -trace-slow -1ns $tenant_flags > "$work/reduxd$n.log" 2>&1 &
     pid=$!
     pids="$pids $pid"
     wait_addr "$work/reduxd$n.log" "$pid"
@@ -124,6 +161,8 @@ else
     front_dbg="${backend_dbgs# }"
     if [ "$sessions" -gt 0 ]; then
         echo "loadtest: reduxd on $target, streaming $jobs delta batches through $sessions sessions"
+    elif [ "$tenants" -gt 0 ]; then
+        echo "loadtest: reduxd on $target, driving $jobs jobs from $clients clients as $tenants tenants ($tspec)"
     else
         echo "loadtest: reduxd on $target, driving $jobs jobs from $clients clients"
     fi
@@ -131,6 +170,7 @@ fi
 
 stream_flags="-zipf"
 [ "$sessions" -gt 0 ] && stream_flags="-sessions $sessions"
+[ "$tenants" -gt 0 ] && stream_flags="$tenant_flags"
 "$work/reduxserve" -remote "$target" -jobs "$jobs" -clients "$clients" \
     $stream_flags -scale 0.3 -json > "$work/report.json" &
 serve_pid=$!
@@ -150,6 +190,16 @@ wait "$serve_pid" || { echo "loadtest: reduxserve failed" >&2; exit 1; }
 # and check cross-tier trace stitching on the real wire path.
 curl -fsS "http://$front_dbg/metrics" > "$work/metrics.txt"
 scripts/metrics_lint.sh "$work/metrics.txt"
+
+if [ "$tenants" -gt 0 ]; then
+    # The per-tenant series must carry real labeled samples, and the
+    # capped tenant's rejections must have reached the exported counter
+    # (server busy counts merged into the engine rows).
+    grep -q 'redux_engine_tenant_jobs_total{tenant="t1"}' "$work/metrics.txt" \
+        || { echo "loadtest: FAIL: per-tenant job series missing from /metrics" >&2; exit 1; }
+    grep -Eq 'redux_engine_tenant_busy_total\{tenant="capped"\} [1-9]' "$work/metrics.txt" \
+        || { echo "loadtest: FAIL: capped tenant drew no busy rejections in /metrics" >&2; exit 1; }
+fi
 
 curl -fsS "http://$front_dbg/tracez" > "$work/tracez.json"
 grep -q '"trace_id"' "$work/tracez.json" \
@@ -192,7 +242,7 @@ cat "$work"/redux*.log
 # (session_jobs == jobs, so none fell back to one-shot submits), every
 # stream must have opened (session_opens == SESSIONS), and the driver's
 # shadow full-recompute verification must actually have run.
-awk -v jobs="$jobs" -v sessions="$sessions" '
+awk -v jobs="$jobs" -v sessions="$sessions" -v tenants="$tenants" '
 function val(line) { gsub(/[^0-9.]/, "", line); return line + 0 }
 /"jobs":/          { got_jobs = val($2) }
 /"failures":/      { failures = val($2) }
@@ -201,6 +251,12 @@ function val(line) { gsub(/[^0-9.]/, "", line); return line + 0 }
 /"session_opens":/ { opens = val($2) }
 /"session_jobs":/  { sjobs = val($2) }
 /"shadow_checks":/ { shadow = val($2) }
+# Tenant rows are the only objects in the report with a "name" field;
+# the fields that follow one belong to that tenant until the next.
+/"name":/          { gsub(/[", ]/, "", $2); cur = $2 }
+/"offered_jobs":/  { offered[cur] = val($2) }
+/"server_jobs":/   { served[cur] = val($2) }
+/"busy":/          { tbusy[cur] = val($2) }
 END {
     if (sessions > 0) {
         printf "loadtest: jobs=%d failures=%d verified=%d session_opens=%d session_jobs=%d shadow_checks=%d\n", \
@@ -215,6 +271,22 @@ END {
         if (opens != sessions) { print "loadtest: FAIL: session open count mismatch"; exit 1 }
         if (sjobs != jobs)     { print "loadtest: FAIL: delta batches not all served through sessions"; exit 1 }
         if (shadow <= 0)       { print "loadtest: FAIL: shadow full-recompute verification never ran"; exit 1 }
+    } else if (tenants > 0) {
+        # Closed-loop offers with BUSY retry mean every tenant completes
+        # exactly its weight-proportional share; the server rows must
+        # attribute them back without loss or cross-charging.
+        nrows = 0; bad = 0
+        for (name in offered) {
+            nrows++
+            printf "loadtest: tenant %s: offered=%d server=%d busy=%d\n", \
+                name, offered[name], served[name], tbusy[name]
+            if (served[name] != offered[name]) {
+                printf "loadtest: FAIL: tenant %s server attribution != offered share\n", name; bad = 1
+            }
+        }
+        if (nrows != tenants)   { print "loadtest: FAIL: tenant row count mismatch"; bad = 1 }
+        if (tbusy["capped"] <= 0) { print "loadtest: FAIL: capped tenant drew no busy rejections"; bad = 1 }
+        if (bad) exit 1
     } else if (coalesced <= 0) {
         print "loadtest: FAIL: no batch coalescing across the network"; exit 1
     }

@@ -126,6 +126,7 @@ series_for() {
         Schemes)           echo redux_engine_scheme_jobs_total ;;
         BatchOccupancy)    echo redux_engine_batch_occupancy_total ;;
         Stages)            echo redux_engine_stage_latency_seconds ;;
+        Tenants)           echo redux_engine_tenant_jobs_total ;;
         *)                 echo "" ;;
     esac
 }
